@@ -1,0 +1,564 @@
+//! The single-level accelerator L1 of the paper's Table 1.
+//!
+//! ## Transition matrix (Table 1, reproduced by this implementation)
+//!
+//! | state | Load | Store | Replacement | Invalidate | DataM | DataE | DataS | WbAck |
+//! |-------|------|-------|-------------|------------|-------|-------|-------|-------|
+//! | M     | hit  | hit   | issue PutM / B | send DirtyWb / I | — | — | — | — |
+//! | E     | hit  | hit / M | issue PutE / B | send CleanWb / I | — | — | — | — |
+//! | S     | hit  | issue GetM / B | issue PutS / B | send InvAck / I | — | — | — | — |
+//! | I     | issue GetS / B | issue GetM / B | — | send InvAck | — | — | — | — |
+//! | B     | stall | stall | stall | send InvAck | / M | / E | / S | / I |
+//!
+//! Four stable states and **one** transient state; the accelerator never
+//! counts acks, never sees another cache, and never handles a race other
+//! than its own Put crossing an Invalidate (resolved by answering `InvAck`
+//! from `B` and awaiting the guaranteed `WbAck`). The `tests` module holds
+//! a conformance test that walks this table entry by entry.
+
+use std::collections::HashMap;
+
+use xg_mem::{BlockAddr, DataBlock, Replacement, SetAssocCache};
+use xg_proto::{CoreKind, CoreMsg, Ctx, Message, XgData, XgiKind, XgiMsg};
+use xg_sim::{Component, CoverageSet, NodeId, Report};
+
+/// Coherence sophistication of an [`AccelL1`] (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccelMode {
+    /// Full MESI — the Table 1 protocol.
+    #[default]
+    Mesi,
+    /// MSI: treat `DataE` as `DataM` and send only dirty writebacks.
+    Msi,
+    /// VI: issue only `GetM`; every resident block is writable.
+    Vi,
+}
+
+/// Next-line prefetching (paper §1: "an accelerator that performs mostly
+/// streaming accesses may prefetch aggressively"). On every demand miss
+/// the cache also requests the following `degree` accelerator blocks —
+/// perfectly legal interface traffic, since prefetches are ordinary
+/// `GetS`/`GetM` requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Prefetch {
+    /// No prefetching.
+    #[default]
+    Off,
+    /// Fetch the next `degree` sequential blocks on each demand miss.
+    NextLine {
+        /// How many blocks ahead to fetch.
+        degree: usize,
+    },
+}
+
+/// Configuration for an [`AccelL1`].
+#[derive(Debug, Clone)]
+pub struct AccelL1Config {
+    /// Number of cache sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Replacement policy.
+    pub replacement: Replacement,
+    /// Seed for random replacement.
+    pub seed: u64,
+    /// Accelerator block size in host (64 B) blocks; Crossing Guard
+    /// translates when this is > 1 (paper §2.5).
+    pub block_blocks: usize,
+    /// Protocol sophistication.
+    pub mode: AccelMode,
+    /// Prefetching policy.
+    pub prefetch: Prefetch,
+}
+
+impl Default for AccelL1Config {
+    fn default() -> Self {
+        AccelL1Config {
+            sets: 64,
+            ways: 4,
+            replacement: Replacement::Lru,
+            seed: 0,
+            block_blocks: 1,
+            mode: AccelMode::Mesi,
+            prefetch: Prefetch::Off,
+        }
+    }
+}
+
+/// Stable states of the Table 1 protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AState {
+    M,
+    E,
+    S,
+}
+
+impl AState {
+    fn name(self) -> &'static str {
+        match self {
+            AState::M => "M",
+            AState::E => "E",
+            AState::S => "S",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    state: AState,
+    data: Vec<DataBlock>,
+    /// Brought in by the prefetcher and not yet demanded.
+    prefetched: bool,
+}
+
+/// The single transient state `B`: exactly one request outstanding.
+#[derive(Debug)]
+struct Pending {
+    is_put: bool,
+    is_prefetch: bool,
+    waiting: Vec<(NodeId, CoreMsg)>,
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    loads: u64,
+    stores: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+    invalidations: u64,
+    stalls: u64,
+    prefetches_issued: u64,
+    prefetch_hits: u64,
+    protocol_violation: u64,
+}
+
+/// The Table 1 accelerator cache. `below` is its Crossing Guard — or, in
+/// the two-level organization, the shared accelerator L2, which exposes the
+/// same interface.
+pub struct AccelL1 {
+    name: String,
+    below: NodeId,
+    cfg: AccelL1Config,
+    cache: SetAssocCache<Line>,
+    pending: HashMap<BlockAddr, Pending>,
+    stats: Stats,
+    coverage: CoverageSet,
+}
+
+impl AccelL1 {
+    /// Creates an accelerator L1 above `below` (a Crossing Guard or an
+    /// [`crate::AccelL2`]).
+    ///
+    /// # Panics
+    /// Panics if `cfg.block_blocks` is zero.
+    pub fn new(name: impl Into<String>, below: NodeId, cfg: AccelL1Config) -> Self {
+        assert!(cfg.block_blocks >= 1, "block_blocks must be at least 1");
+        AccelL1 {
+            name: name.into(),
+            below,
+            cache: SetAssocCache::new(cfg.sets, cfg.ways, cfg.replacement, cfg.seed),
+            pending: HashMap::new(),
+            cfg,
+            stats: Stats::default(),
+            coverage: CoverageSet::new(),
+        }
+    }
+
+    /// Impossible-event counter; stays zero against a conforming interface.
+    pub fn protocol_violations(&self) -> u64 {
+        self.stats.protocol_violation
+    }
+
+    /// Every `(state, event)` pair the paper's Table 1 defines as
+    /// reachable for the full-MESI mode, in the coverage vocabulary used
+    /// by this controller. `(B, Repl)` is listed as "stall" in Table 1 but
+    /// is unreachable here by construction (victims are only ever chosen
+    /// among stable lines), so it is excluded. The §4.1 methodology
+    /// compares stress-test coverage against exactly this set.
+    pub fn table1_expected() -> xg_sim::CoverageSet {
+        let mut set = xg_sim::CoverageSet::new();
+        for state in ["M", "E", "S"] {
+            for event in ["Load", "Store", "Repl", "Inv"] {
+                set.visit(state, event);
+            }
+        }
+        for event in ["Load", "Store", "Inv"] {
+            set.visit("I", event);
+        }
+        for event in ["Load", "Store", "Inv", "DataS", "DataE", "DataM", "WbAck"] {
+            set.visit("B", event);
+        }
+        set
+    }
+
+    /// The state name for `line_addr` (Table 1 vocabulary: M/E/S/I/B).
+    pub fn state_of(&self, line_addr: BlockAddr) -> &'static str {
+        if self.pending.contains_key(&line_addr) {
+            "B"
+        } else if let Some(line) = self.cache.get(line_addr) {
+            line.state.name()
+        } else {
+            "I"
+        }
+    }
+
+    fn line_addr(&self, block: BlockAddr) -> BlockAddr {
+        block.align_down(self.cfg.block_blocks as u64)
+    }
+
+    fn cover(&mut self, line_addr: BlockAddr, event: &'static str) {
+        let state = self.state_of(line_addr);
+        self.coverage.visit(state, event);
+    }
+
+    fn violation(&mut self) {
+        self.stats.protocol_violation += 1;
+    }
+
+    fn send_below(&self, addr: BlockAddr, kind: XgiKind, ctx: &mut Ctx<'_>) {
+        ctx.send(self.below, XgiMsg::new(addr, kind).into());
+    }
+
+    // ----- core side -------------------------------------------------------
+
+    fn handle_core(&mut self, from: NodeId, msg: CoreMsg, ctx: &mut Ctx<'_>) {
+        let la = self.line_addr(msg.addr.block());
+        match msg.kind {
+            CoreKind::Load => {
+                self.cover(la, "Load");
+                self.stats.loads += 1;
+            }
+            CoreKind::Store { .. } => {
+                self.cover(la, "Store");
+                self.stats.stores += 1;
+            }
+            CoreKind::Flush => {
+                self.cover(la, "Flush");
+            }
+            _ => {
+                self.violation();
+                return;
+            }
+        }
+        if let Some(p) = self.pending.get_mut(&la) {
+            // Table 1: B + Load/Store → stall.
+            self.stats.stalls += 1;
+            p.waiting.push((from, msg));
+            return;
+        }
+        let sub = (msg.addr.block().as_u64() - la.as_u64()) as usize;
+        let offset = msg.addr.block_offset() & !7;
+        match msg.kind {
+            CoreKind::Load => {
+                if let Some(line) = self.cache.get_mut(la) {
+                    self.stats.hits += 1;
+                    if std::mem::take(&mut line.prefetched) {
+                        self.stats.prefetch_hits += 1;
+                    }
+                    let value = line.data[sub].read_u64(offset);
+                    ctx.send(
+                        from,
+                        CoreMsg {
+                            id: msg.id,
+                            addr: msg.addr,
+                            kind: CoreKind::LoadResp { value },
+                        }
+                        .into(),
+                    );
+                } else {
+                    self.stats.misses += 1;
+                    let req = match self.cfg.mode {
+                        AccelMode::Vi => XgiKind::GetM,
+                        _ => XgiKind::GetS,
+                    };
+                    self.start_get(la, req, (from, msg), ctx);
+                }
+            }
+            CoreKind::Flush => {
+                if let Some(line) = self.cache.remove(la) {
+                    // Push the block down through the ordinary Put path;
+                    // answer once the WbAck lands (the flush op rides the
+                    // pending list and is re-handled on an absent line).
+                    self.start_put(la, line, ctx);
+                    self.pending
+                        .get_mut(&la)
+                        .expect("start_put pends")
+                        .waiting
+                        .push((from, msg));
+                } else {
+                    ctx.send(
+                        from,
+                        CoreMsg {
+                            id: msg.id,
+                            addr: msg.addr,
+                            kind: CoreKind::FlushResp,
+                        }
+                        .into(),
+                    );
+                }
+            }
+            CoreKind::Store { value } => match self.cache.get(la).map(|l| l.state) {
+                Some(AState::M) | Some(AState::E) => {
+                    self.stats.hits += 1;
+                    let line = self.cache.get_mut(la).expect("present");
+                    if std::mem::take(&mut line.prefetched) {
+                        self.stats.prefetch_hits += 1;
+                    }
+                    line.data[sub].write_u64(offset, value);
+                    line.state = AState::M; // Table 1: E + Store → hit / M
+                    ctx.send(
+                        from,
+                        CoreMsg {
+                            id: msg.id,
+                            addr: msg.addr,
+                            kind: CoreKind::StoreResp,
+                        }
+                        .into(),
+                    );
+                }
+                Some(AState::S) => {
+                    // Table 1: S + Store → issue GetM / B (copy dropped;
+                    // DataM will carry fresh data).
+                    self.stats.misses += 1;
+                    self.cache.remove(la);
+                    self.start_get(la, XgiKind::GetM, (from, msg), ctx);
+                }
+                None => {
+                    self.stats.misses += 1;
+                    self.start_get(la, XgiKind::GetM, (from, msg), ctx);
+                }
+            },
+            _ => unreachable!("filtered above"),
+        }
+    }
+
+    fn start_get(
+        &mut self,
+        la: BlockAddr,
+        req: XgiKind,
+        op: (NodeId, CoreMsg),
+        ctx: &mut Ctx<'_>,
+    ) {
+        self.pending.insert(
+            la,
+            Pending {
+                is_put: false,
+                is_prefetch: false,
+                waiting: vec![op],
+            },
+        );
+        self.send_below(la, req.clone(), ctx);
+        // A demand miss trains the next-line prefetcher.
+        if let Prefetch::NextLine { degree } = self.cfg.prefetch {
+            for i in 1..=degree as u64 {
+                let next = la.offset(i * self.cfg.block_blocks as u64);
+                if self.cache.contains(next) || self.pending.contains_key(&next) {
+                    continue;
+                }
+                self.pending.insert(
+                    next,
+                    Pending {
+                        is_put: false,
+                        is_prefetch: true,
+                        waiting: Vec::new(),
+                    },
+                );
+                self.stats.prefetches_issued += 1;
+                self.send_below(next, req.clone(), ctx);
+            }
+        }
+    }
+
+    // ----- interface side ---------------------------------------------------
+
+    fn handle_xgi(&mut self, msg: XgiMsg, ctx: &mut Ctx<'_>) {
+        let la = msg.addr;
+        if xg_sim::trace_enabled() {
+            eprintln!(
+                "[{}] {} <- xg {} @{} (state {})",
+                ctx.now(), self.name, msg.kind, la, self.state_of(la)
+            );
+        }
+        match msg.kind {
+            XgiKind::DataS { data } => {
+                self.cover(la, "DataS");
+                let state = match self.cfg.mode {
+                    AccelMode::Vi => AState::M,
+                    _ => AState::S,
+                };
+                self.grant(la, data, state, ctx);
+            }
+            XgiKind::DataE { data } => {
+                self.cover(la, "DataE");
+                let state = match self.cfg.mode {
+                    AccelMode::Mesi => AState::E,
+                    AccelMode::Msi | AccelMode::Vi => AState::M,
+                };
+                self.grant(la, data, state, ctx);
+            }
+            XgiKind::DataM { data } => {
+                self.cover(la, "DataM");
+                self.grant(la, data, AState::M, ctx);
+            }
+            XgiKind::WbAck => {
+                self.cover(la, "WbAck");
+                match self.pending.remove(&la) {
+                    Some(p) if p.is_put => {
+                        self.stats.writebacks += 1;
+                        self.drain(p.waiting, ctx);
+                    }
+                    Some(p) => {
+                        self.pending.insert(la, p);
+                        self.violation();
+                    }
+                    None => self.violation(),
+                }
+            }
+            XgiKind::Inv => {
+                self.cover(la, "Inv");
+                self.stats.invalidations += 1;
+                self.handle_inv(la, ctx);
+            }
+            _ => self.violation(),
+        }
+    }
+
+    fn grant(&mut self, la: BlockAddr, data: XgData, state: AState, ctx: &mut Ctx<'_>) {
+        if data.len() != self.cfg.block_blocks {
+            self.violation();
+            return;
+        }
+        match self.pending.remove(&la) {
+            Some(p) if !p.is_put => {
+                let is_prefetch = p.is_prefetch;
+                self.install(
+                    la,
+                    Line {
+                        state,
+                        data: data.blocks().to_vec(),
+                        prefetched: is_prefetch,
+                    },
+                    ctx,
+                );
+                ctx.note_progress();
+                self.drain(p.waiting, ctx);
+            }
+            Some(p) => {
+                self.pending.insert(la, p);
+                self.violation();
+            }
+            None => self.violation(),
+        }
+    }
+
+    fn handle_inv(&mut self, la: BlockAddr, ctx: &mut Ctx<'_>) {
+        if let Some(line) = self.cache.remove(la) {
+            let data = XgData::from_blocks(line.data);
+            let resp = match (line.state, self.cfg.mode) {
+                // MSI/VI modes hold no clean-exclusive state; everything
+                // owned is written back dirty.
+                (AState::M, _) => XgiKind::DirtyWb { data },
+                (AState::E, AccelMode::Mesi) => XgiKind::CleanWb { data },
+                (AState::E, _) => XgiKind::DirtyWb { data },
+                (AState::S, _) => XgiKind::InvAck,
+            };
+            self.send_below(la, resp, ctx);
+        } else {
+            // I or B: Table 1 says InvAck, no further action. A pending
+            // request stays pending — its one response is still owed.
+            self.send_below(la, XgiKind::InvAck, ctx);
+        }
+    }
+
+    fn install(&mut self, la: BlockAddr, line: Line, ctx: &mut Ctx<'_>) {
+        if let Some((victim_addr, victim)) = self
+            .cache
+            .take_victim_where(la, |a, _| !self.pending.contains_key(&a))
+        {
+            self.start_put(victim_addr, victim, ctx);
+        }
+        if self.cache.needs_eviction(la) {
+            // Every way is mid-transaction; extremely small caches only.
+            // Forward progress is preserved by serving the request straight
+            // from the in-flight data without caching it.
+            self.stats.stalls += 1;
+            return;
+        }
+        let evicted = self.cache.insert(la, line);
+        debug_assert!(evicted.is_none());
+    }
+
+    fn start_put(&mut self, la: BlockAddr, line: Line, ctx: &mut Ctx<'_>) {
+        // The victim was already pulled out of the array; record the
+        // replacement against its true stable state.
+        self.coverage.visit(line.state.name(), "Repl");
+        let data = XgData::from_blocks(line.data);
+        let req = match (line.state, self.cfg.mode) {
+            (AState::M, _) => XgiKind::PutM { data },
+            (AState::E, AccelMode::Mesi) => XgiKind::PutE { data },
+            (AState::E, _) => XgiKind::PutM { data },
+            (AState::S, _) => XgiKind::PutS,
+        };
+        self.pending.insert(
+            la,
+            Pending {
+                is_put: true,
+                is_prefetch: false,
+                waiting: Vec::new(),
+            },
+        );
+        self.send_below(la, req, ctx);
+    }
+
+    fn drain(&mut self, waiting: Vec<(NodeId, CoreMsg)>, ctx: &mut Ctx<'_>) {
+        for (from, msg) in waiting {
+            self.handle_core(from, msg, ctx);
+        }
+    }
+}
+
+impl Component<Message> for AccelL1 {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        match msg {
+            Message::Core(c) => self.handle_core(from, c, ctx),
+            Message::Xgi(x) => {
+                if from == self.below {
+                    self.handle_xgi(x, ctx);
+                } else {
+                    self.violation();
+                }
+            }
+            _ => self.violation(),
+        }
+    }
+
+    fn report(&self, out: &mut Report) {
+        let n = &self.name;
+        out.add(format!("{n}.loads"), self.stats.loads);
+        out.add(format!("{n}.stores"), self.stats.stores);
+        out.add(format!("{n}.hits"), self.stats.hits);
+        out.add(format!("{n}.misses"), self.stats.misses);
+        out.add(format!("{n}.writebacks"), self.stats.writebacks);
+        out.add(format!("{n}.invalidations"), self.stats.invalidations);
+        out.add(format!("{n}.stalls"), self.stats.stalls);
+        out.add(format!("{n}.prefetches_issued"), self.stats.prefetches_issued);
+        out.add(format!("{n}.prefetch_hits"), self.stats.prefetch_hits);
+        out.add(
+            format!("{n}.protocol_violation"),
+            self.stats.protocol_violation,
+        );
+        out.record_coverage(format!("accel_l1/{n}"), &self.coverage);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

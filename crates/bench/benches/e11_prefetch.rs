@@ -1,0 +1,25 @@
+//! E11: prints the prefetch ablation table and times one sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xg_bench::experiments::e11_prefetch;
+use xg_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let rows = e11_prefetch::run(Scale::Quick, 5);
+    println!("{}", e11_prefetch::table(&rows));
+    assert!(rows.iter().all(|r| r.errors == 0));
+
+    c.bench_function("e11_prefetch/sweep", |b| {
+        b.iter(|| e11_prefetch::run(Scale::Quick, 5).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

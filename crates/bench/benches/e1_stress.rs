@@ -1,0 +1,37 @@
+//! E1: prints the stress table (quick scale) and times one stress run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xg_bench::experiments::e1_stress;
+use xg_bench::Scale;
+use xg_harness::{run_stress, StressOpts, SystemConfig};
+
+fn bench(c: &mut Criterion) {
+    let rows = e1_stress::run(Scale::Quick, &[1]);
+    println!("{}", e1_stress::table(&rows));
+    assert!(rows.iter().all(|r| r.data_errors == 0 && !r.deadlocked));
+
+    let cfg = SystemConfig::matrix(1)[2].clone(); // hammer/xg_full_l1
+    c.bench_function("e1_stress/hammer_xg_full_l1_500ops", |b| {
+        b.iter(|| {
+            let out = run_stress(
+                &cfg,
+                &StressOpts {
+                    ops: 500,
+                    ..StressOpts::default()
+                },
+            );
+            assert_eq!(out.data_errors, 0);
+            out.cycles
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

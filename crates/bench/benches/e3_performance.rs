@@ -1,0 +1,39 @@
+//! E3: prints the performance figure data and times one workload run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xg_bench::experiments::e3_performance;
+use xg_bench::Scale;
+use xg_core::XgVariant;
+use xg_harness::{run_workload, AccelOrg, HostProtocol, Pattern, SystemConfig};
+
+fn bench(c: &mut Criterion) {
+    let series = e3_performance::run(Scale::Quick, 9);
+    println!("{}", e3_performance::table(&series));
+
+    let cfg = SystemConfig {
+        host: HostProtocol::Hammer,
+        accel: AccelOrg::Xg {
+            variant: XgVariant::FullState,
+            two_level: false,
+        },
+        seed: 9,
+        ..SystemConfig::default()
+    };
+    c.bench_function("e3_perf/hammer_xg_full_blocked_2k", |b| {
+        b.iter(|| {
+            let out = run_workload(&cfg, Pattern::Blocked, 2_000);
+            assert!(!out.incomplete);
+            out.accel_runtime
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E4/E7: prints the storage comparison table and times one measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xg_bench::experiments::e4_storage;
+use xg_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let rows = e4_storage::run(Scale::Quick, 3);
+    println!("{}", e4_storage::table(&rows));
+
+    c.bench_function("e4_storage/quick_sweep", |b| {
+        b.iter(|| e4_storage::run(Scale::Quick, 3).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E5: prints the PutS bandwidth table and times one measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xg_bench::experiments::e5_puts;
+use xg_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let rows = e5_puts::run(Scale::Quick, 4);
+    println!("{}", e5_puts::table(&rows));
+
+    c.bench_function("e5_puts/quick_sweep", |b| {
+        b.iter(|| e5_puts::run(Scale::Quick, 4).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E6: prints the DoS rate-limiting table and times one flood run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xg_bench::experiments::e6_rate_limit;
+use xg_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let rows = e6_rate_limit::run(Scale::Quick, 6);
+    println!("{}", e6_rate_limit::table(&rows));
+
+    c.bench_function("e6_rate_limit/quick_sweep", |b| {
+        b.iter(|| e6_rate_limit::run(Scale::Quick, 6).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E8: prints the timeout-recovery table and times one recovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xg_bench::experiments::e8_timeout;
+use xg_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let rows = e8_timeout::run(Scale::Quick, 7);
+    println!("{}", e8_timeout::table(&rows));
+    assert!(rows.iter().all(|r| r.completed));
+
+    c.bench_function("e8_timeout/sweep", |b| {
+        b.iter(|| e8_timeout::run(Scale::Quick, 7).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E9: prints the block-size translation table and times one sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xg_bench::experiments::e9_blocksize;
+use xg_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let rows = e9_blocksize::run(Scale::Quick, 8);
+    println!("{}", e9_blocksize::table(&rows));
+    assert!(rows.iter().all(|r| r.errors == 0));
+
+    c.bench_function("e9_blocksize/sweep", |b| {
+        b.iter(|| e9_blocksize::run(Scale::Quick, 8).len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates every table and figure of the Crossing Guard evaluation.
+//!
+//! ```text
+//! cargo run --release -p xg-bench --bin xg-report            # full scale
+//! cargo run --release -p xg-bench --bin xg-report -- quick   # CI scale
+//! ```
+//!
+//! Output feeds `EXPERIMENTS.md`.
+
+use xg_bench::experiments::*;
+use xg_bench::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    println!("Crossing Guard evaluation report (scale: {scale:?})");
+    println!("====================================================\n");
+
+    let rows = e1_stress::run(scale, &[1, 2]);
+    println!("{}", e1_stress::table(&rows));
+
+    let rows = e2_fuzz::run(scale, 5);
+    println!("{}", e2_fuzz::table(&rows));
+
+    let series = e3_performance::run(scale, 9);
+    println!("{}", e3_performance::table(&series));
+
+    let rows = e4_storage::run(scale, 3);
+    println!("{}", e4_storage::table(&rows));
+
+    let rows = e5_puts::run(scale, 4);
+    println!("{}", e5_puts::table(&rows));
+
+    let rows = e6_rate_limit::run(scale, 6);
+    println!("{}", e6_rate_limit::table(&rows));
+
+    let rows = e8_timeout::run(scale, 7);
+    println!("{}", e8_timeout::table(&rows));
+
+    let rows = e9_blocksize::run(scale, 8);
+    println!("{}", e9_blocksize::table(&rows));
+
+    let rows = e11_prefetch::run(scale, 5);
+    println!("{}", e11_prefetch::table(&rows));
+}

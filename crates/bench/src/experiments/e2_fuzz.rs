@@ -1,0 +1,151 @@
+//! E2 — fuzz safety (reconstructed from §1/§4: "we then bombard the
+//! Crossing Guard with a stream of random coherence messages ... this fuzz
+//! testing never leads to a crash or deadlock"), plus the E10 host-mod
+//! ablation (§3.2).
+//!
+//! Three groups of rows:
+//!
+//! 1. **Guarded, modified hosts** — the paper's claim: zero host protocol
+//!    violations, zero CPU data corruption, the host keeps completing CPU
+//!    work, and every injected violation class is reported to the OS.
+//! 2. **Guarded, unmodified (strict) hosts** — only meaningful for the
+//!    Transactional variant, which relies on the host modifications.
+//! 3. **Unprotected** — the same garbage aimed directly at the host
+//!    protocol, as a buggy accelerator-side cache could: the strict host's
+//!    correctness envelope is pierced.
+
+use xg_core::XgVariant;
+use xg_harness::{run_fuzz, AccelOrg, FuzzOpts, HostProtocol, SystemConfig};
+
+use crate::table::Table;
+use crate::Scale;
+
+/// One fuzzing outcome.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Configuration label.
+    pub config: String,
+    /// Fuzz messages injected.
+    pub injected: u64,
+    /// Host-controller protocol violations.
+    pub host_violations: u64,
+    /// Errors the guard reported to the OS.
+    pub os_errors: u64,
+    /// CPU tester ops completed during the bombardment.
+    pub cpu_ops: u64,
+    /// CPU value-check failures.
+    pub cpu_errors: u64,
+    /// Whether the host stopped making progress.
+    pub deadlocked: bool,
+}
+
+fn one(cfg: &SystemConfig, fuzz: &FuzzOpts, cpu_ops: u64, label: String) -> Row {
+    let out = run_fuzz(cfg, fuzz, cpu_ops);
+    Row {
+        config: label,
+        injected: out.injected,
+        host_violations: out.host_violations,
+        os_errors: out.os_errors,
+        cpu_ops: out.cpu_ops_completed,
+        cpu_errors: out.cpu_data_errors,
+        deadlocked: out.deadlocked,
+    }
+}
+
+/// Runs the fuzz suite.
+pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
+    let messages = scale.ops(400, 3_000);
+    let cpu_ops = scale.ops(800, 6_000);
+    let fuzz = FuzzOpts {
+        messages,
+        ..FuzzOpts::default()
+    };
+    let mut rows = Vec::new();
+    // Group 1: guarded, modified hosts.
+    for host in [HostProtocol::Hammer, HostProtocol::Mesi] {
+        for variant in [XgVariant::FullState, XgVariant::Transactional] {
+            let cfg = SystemConfig {
+                host,
+                accel: AccelOrg::FuzzXg { variant },
+                seed,
+                ..SystemConfig::default()
+            };
+            rows.push(one(&cfg, &fuzz, cpu_ops, cfg.name()));
+        }
+    }
+    // Group 2: guarded, *unmodified* hosts (the §3.2 ablation).
+    for host in [HostProtocol::Hammer, HostProtocol::Mesi] {
+        for variant in [XgVariant::FullState, XgVariant::Transactional] {
+            let cfg = SystemConfig {
+                host,
+                accel: AccelOrg::FuzzXg { variant },
+                strict_host: true,
+                seed,
+                ..SystemConfig::default()
+            };
+            rows.push(one(&cfg, &fuzz, cpu_ops, format!("{} (strict host)", cfg.name())));
+        }
+    }
+    // Group 3: unprotected strict hosts.
+    for host in [HostProtocol::Hammer, HostProtocol::Mesi] {
+        let cfg = SystemConfig {
+            host,
+            accel: AccelOrg::FuzzAccelSide,
+            strict_host: true,
+            seed,
+            ..SystemConfig::default()
+        };
+        rows.push(one(&cfg, &fuzz, cpu_ops, format!("{} (no guard)", cfg.name())));
+    }
+    rows
+}
+
+/// Renders the E2/E10 table.
+pub fn table(rows: &[Row]) -> String {
+    let mut t = Table::new(
+        "E2 (§4.2) + E10 (§3.2): fuzz safety and the host-modification ablation",
+        &[
+            "config",
+            "injected",
+            "host violations",
+            "OS error reports",
+            "cpu ops done",
+            "cpu data errors",
+            "deadlock",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.config.clone(),
+            r.injected.to_string(),
+            r.host_violations.to_string(),
+            r.os_errors.to_string(),
+            r.cpu_ops.to_string(),
+            r.cpu_errors.to_string(),
+            if r.deadlocked { "YES" } else { "no" }.into(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarded_modified_hosts_are_safe_and_unprotected_is_not() {
+        let rows = run(Scale::Quick, 5);
+        // Group 1 (first four rows): the paper's safety claim.
+        for r in &rows[0..4] {
+            assert_eq!(r.host_violations, 0, "{}", r.config);
+            assert_eq!(r.cpu_errors, 0, "{}", r.config);
+            assert!(!r.deadlocked, "{}", r.config);
+            assert!(r.os_errors > 0, "{}", r.config);
+        }
+        // Group 3 (last two rows): raw fuzzing disturbs an unguarded host.
+        let pierced = rows[rows.len() - 2..]
+            .iter()
+            .any(|r| r.host_violations > 0 || r.deadlocked || r.cpu_errors > 0);
+        assert!(pierced, "unguarded strict hosts should be disturbed");
+    }
+}

@@ -1,0 +1,11 @@
+//! The experiment index (see `DESIGN.md` §4): one module per table/figure.
+
+pub mod e1_stress;
+pub mod e2_fuzz;
+pub mod e3_performance;
+pub mod e4_storage;
+pub mod e5_puts;
+pub mod e6_rate_limit;
+pub mod e8_timeout;
+pub mod e9_blocksize;
+pub mod e11_prefetch;

@@ -1,0 +1,36 @@
+//! # xg-bench — the evaluation harness
+//!
+//! One module per experiment in `DESIGN.md`'s experiment index; each
+//! regenerates a table or figure of the Crossing Guard evaluation. The
+//! same code backs three entry points:
+//!
+//! * `cargo run -p xg-bench --bin xg-report` — regenerate everything at
+//!   full scale (feeds `EXPERIMENTS.md`).
+//! * `cargo bench -p xg-bench` — print each table at bench scale and
+//!   time a representative simulation with Criterion.
+//! * Unit tests asserting the *shape* claims (who wins, what stays zero).
+//!
+//! Scale is a knob, not a fork: [`Scale::Quick`] for CI, [`Scale::Full`]
+//! for the report.
+
+pub mod experiments;
+pub mod table;
+
+/// How much work to spend per experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds per experiment (CI, criterion preamble).
+    Quick,
+    /// Tens of seconds per experiment (the shipped report).
+    Full,
+}
+
+impl Scale {
+    /// Scales a base count.
+    pub fn ops(self, quick: u64, full: u64) -> u64 {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal plain-text table rendering for experiment output.
+
+/// A simple left-aligned text table with a title and column headers.
+///
+/// ```rust
+/// use xg_bench::table::Table;
+/// let mut t = Table::new("demo", &["config", "value"]);
+/// t.row(&["a".into(), "1".into()]);
+/// let s = t.render();
+/// assert!(s.contains("config"));
+/// assert!(s.contains("a"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the number of cells differs from the number of headers.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as e.g. `1.34x`.
+pub fn ratio(value: u64, baseline: u64) -> String {
+    if baseline == 0 {
+        "n/a".into()
+    } else {
+        format!("{:.2}x", value as f64 / baseline as f64)
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn percent(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "0.0%".into()
+    } else {
+        format!("{:.1}%", 100.0 * part as f64 / whole as f64)
+    }
+}
+
+/// Formats a byte count human-readably.
+pub fn bytes(n: u64) -> String {
+    if n >= 1024 * 1024 {
+        format!("{:.1} MiB", n as f64 / (1024.0 * 1024.0))
+    } else if n >= 1024 {
+        format!("{:.1} KiB", n as f64 / 1024.0)
+    } else {
+        format!("{n} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("t", &["a", "long_header"]);
+        t.row(&["xxxx".into(), "1".into()]);
+        t.row(&["y".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("== t =="));
+        assert!(lines[1].starts_with("a     long_header"));
+        assert!(lines[3].starts_with("xxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(150, 100), "1.50x");
+        assert_eq!(ratio(1, 0), "n/a");
+        assert_eq!(percent(1, 8), "12.5%");
+        assert_eq!(percent(0, 0), "0.0%");
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(2048), "2.0 KiB");
+        assert_eq!(bytes(3 * 1024 * 1024), "3.0 MiB");
+    }
+}

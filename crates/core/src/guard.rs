@@ -1,0 +1,1249 @@
+//! The Crossing Guard component.
+//!
+//! One instance guards one accelerator (paper §2). The accelerator-facing
+//! side speaks the standardized interface over an ordered link; the
+//! host-facing side is a persona (`hammer_side` / `mesi_side`). This module
+//! owns the guarantee checks of Figure 1, the per-variant state tracking
+//! (§2.3), invalidation forwarding with timeout recovery (2c), request rate
+//! limiting (§2.5), and block-size translation (§2.5).
+//!
+//! ## Event flow
+//!
+//! * Accelerator request → guarantee checks → persona `issue_get`/
+//!   `issue_put` per host block → persona `Granted`/`PutDone` events →
+//!   exactly one accelerator response.
+//! * Host demand → persona `Demand` event → answered immediately from
+//!   guard state when possible, otherwise one `Inv` crosses to the
+//!   accelerator and the (checked, possibly corrected, possibly fabricated)
+//!   answer flows back through `respond_demand`.
+//! * The single interface race — an accelerator `Put` crossing a host
+//!   `Inv` — is resolved here: the Put's data answers the host, the Put
+//!   gets its `WbAck`, and the `InvAck` the accelerator sends from state
+//!   `B` is absorbed.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use xg_mem::{BlockAddr, DataBlock, PagePerm};
+use xg_proto::{
+    Ctx, HammerKind, Message, OsMsg, XgData, XgError, XgErrorKind, XgiKind, XgiMsg,
+};
+use xg_sim::{Component, NodeId, Report};
+
+use crate::config::{XgConfig, XgVariant};
+use crate::hammer_side::HammerPersona;
+use crate::mesi_side::MesiPersona;
+use crate::persona::{DemandKind, DemandResponse, GetReq, GrantState, PersonaEvent, PutReq};
+use crate::rate_limit::TokenBucket;
+
+/// Which host protocol the persona speaks.
+enum Persona {
+    Hammer(HammerPersona),
+    Mesi(MesiPersona),
+}
+
+impl Persona {
+    fn issue_get(&mut self, h: BlockAddr, kind: GetReq, ctx: &mut Ctx<'_>) {
+        match self {
+            Persona::Hammer(p) => p.issue_get(h, kind, ctx),
+            Persona::Mesi(p) => p.issue_get(h, kind, ctx),
+        }
+    }
+    fn issue_put(&mut self, h: BlockAddr, put: PutReq, ctx: &mut Ctx<'_>) {
+        match self {
+            Persona::Hammer(p) => p.issue_put(h, put, ctx),
+            Persona::Mesi(p) => p.issue_put(h, put, ctx),
+        }
+    }
+    fn respond_demand(&mut self, h: BlockAddr, resp: DemandResponse, ctx: &mut Ctx<'_>) {
+        match self {
+            Persona::Hammer(p) => p.respond_demand(h, resp, ctx),
+            Persona::Mesi(p) => p.respond_demand(h, resp, ctx),
+        }
+    }
+    fn open_txns(&self) -> usize {
+        match self {
+            Persona::Hammer(p) => p.open_txns(),
+            Persona::Mesi(p) => p.open_txns(),
+        }
+    }
+    fn is_mesi(&self) -> bool {
+        matches!(self, Persona::Mesi(_))
+    }
+}
+
+/// What the Full State variant records about one accelerator block.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Accelerator was granted ownership (E or M).
+    owned: bool,
+    /// The grant was dirty (DataM).
+    dirty: bool,
+    /// Shadow copy kept because the page is read-only for the accelerator
+    /// but the host granted exclusively (paper §2.3.1); the accelerator
+    /// itself only received `DataS`.
+    shadow: Option<Vec<DataBlock>>,
+}
+
+/// An open accelerator-initiated transaction.
+#[derive(Debug)]
+enum AccelReq {
+    Get {
+        m: bool,
+        read_only: bool,
+        req_kind: GetReq,
+        /// An invalidation for this block was acked while the request was
+        /// open: any read grant already in flight is stale (the ISI race
+        /// of Sorin et al., hidden from the accelerator here) and must be
+        /// refetched.
+        poisoned: bool,
+        grants: BTreeMap<u64, (GrantState, DataBlock, bool)>,
+    },
+    Put {
+        pending: u32,
+    },
+}
+
+/// Why an `Inv` is outstanding at the accelerator.
+#[derive(Debug)]
+struct InvPending {
+    reasons: Vec<(BlockAddr, DemandKind)>,
+    /// The accelerator's block was already consumed by a racing Put; the
+    /// InvAck it sends from state B is absorbed silently.
+    race_consumed: bool,
+    epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    accel_received: u64,
+    accel_sent: u64,
+    grants: u64,
+    wbacks: u64,
+    invs_forwarded: u64,
+    demands_answered_locally: u64,
+    puts_suppressed: u64,
+    throttled: u64,
+    timeouts: u64,
+    race_puts: u64,
+    dropped_disabled: u64,
+    fabricated_responses: u64,
+    poisoned_refetches: u64,
+}
+
+/// The Crossing Guard component. See the [crate docs](crate) and the
+/// [module docs](self).
+pub struct CrossingGuard {
+    name: String,
+    accel: NodeId,
+    os: NodeId,
+    cfg: XgConfig,
+    k: u64,
+    persona: Persona,
+    /// Full State table (None for Transactional).
+    table: Option<HashMap<BlockAddr, Entry>>,
+    shadow_blocks: u64,
+    reqs: HashMap<BlockAddr, AccelReq>,
+    queued: HashMap<BlockAddr, VecDeque<XgiKind>>,
+    inv_pending: HashMap<BlockAddr, InvPending>,
+    wake_epochs: HashMap<u64, BlockAddr>,
+    next_epoch: u64,
+    internal_puts: HashSet<BlockAddr>,
+    rate: Option<TokenBucket>,
+    disabled: bool,
+    stats: Stats,
+    errors: BTreeMap<XgErrorKind, u64>,
+    peak_storage: u64,
+}
+
+impl CrossingGuard {
+    /// Creates a guard for a Hammer-protocol host; `dir` is the host
+    /// directory, `accel` the accelerator-side cache, `os` the OS model.
+    pub fn new_hammer(
+        name: impl Into<String>,
+        accel: NodeId,
+        dir: NodeId,
+        os: NodeId,
+        cfg: XgConfig,
+    ) -> Self {
+        Self::new(name, accel, os, Persona::Hammer(HammerPersona::new(dir)), cfg)
+    }
+
+    /// Creates a guard for an inclusive-MESI host; `l2` is the shared host
+    /// L2.
+    pub fn new_mesi(
+        name: impl Into<String>,
+        accel: NodeId,
+        l2: NodeId,
+        os: NodeId,
+        cfg: XgConfig,
+    ) -> Self {
+        Self::new(name, accel, os, Persona::Mesi(MesiPersona::new(l2)), cfg)
+    }
+
+    fn new(
+        name: impl Into<String>,
+        accel: NodeId,
+        os: NodeId,
+        persona: Persona,
+        cfg: XgConfig,
+    ) -> Self {
+        assert!(cfg.block_blocks >= 1, "block_blocks must be at least 1");
+        assert!(
+            cfg.block_blocks as u64 * xg_mem::BLOCK_BYTES <= xg_mem::PAGE_BYTES,
+            "accelerator blocks must not span pages"
+        );
+        assert!(
+            cfg.block_blocks == 1 || cfg.variant == XgVariant::FullState,
+            "block-size translation requires the Full State variant (paper §2.5)"
+        );
+        let table = match cfg.variant {
+            XgVariant::FullState => Some(HashMap::new()),
+            XgVariant::Transactional => None,
+        };
+        let rate = cfg.rate_limit.map(TokenBucket::new);
+        CrossingGuard {
+            name: name.into(),
+            accel,
+            os,
+            k: cfg.block_blocks as u64,
+            persona,
+            table,
+            shadow_blocks: 0,
+            reqs: HashMap::new(),
+            queued: HashMap::new(),
+            inv_pending: HashMap::new(),
+            wake_epochs: HashMap::new(),
+            next_epoch: 0,
+            internal_puts: HashSet::new(),
+            rate,
+            disabled: false,
+            cfg,
+            stats: Stats::default(),
+            errors: BTreeMap::new(),
+            peak_storage: 0,
+        }
+    }
+
+    /// Current Crossing Guard storage, in bytes — the metric of the paper's
+    /// Full State vs. Transactional comparison (§2.3). Counts block-state
+    /// table entries (10 B: tag + state), shadow data blocks, and open
+    /// transaction records (24 B each).
+    pub fn storage_bytes(&self) -> u64 {
+        let table = self
+            .table
+            .as_ref()
+            .map(|t| t.len() as u64 * 10)
+            .unwrap_or(0);
+        let shadows = self.shadow_blocks * xg_mem::BLOCK_BYTES;
+        let txns = (self.reqs.len() + self.inv_pending.len() + self.persona.open_txns()) as u64
+            * 24;
+        table + shadows + txns
+    }
+
+    /// High-water mark of [`storage_bytes`](Self::storage_bytes).
+    pub fn peak_storage_bytes(&self) -> u64 {
+        self.peak_storage
+    }
+
+    /// Total errors reported, by kind.
+    pub fn error_count(&self, kind: XgErrorKind) -> u64 {
+        self.errors.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total errors reported across all kinds.
+    pub fn errors_total(&self) -> u64 {
+        self.errors.values().sum()
+    }
+
+    /// Whether the OS disabled this guard's accelerator.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
+    fn report_error(&mut self, addr: Option<BlockAddr>, kind: XgErrorKind, ctx: &mut Ctx<'_>) {
+        if xg_sim::trace_enabled() {
+            eprintln!("[{}] guard ERROR {kind} @{addr:?}", ctx.now());
+        }
+        *self.errors.entry(kind).or_insert(0) += 1;
+        let err = XgError::new(ctx.self_id(), addr, kind);
+        ctx.send(self.os, OsMsg::Error(err).into());
+    }
+
+    fn send_accel(&mut self, addr: BlockAddr, kind: XgiKind, ctx: &mut Ctx<'_>) {
+        if xg_sim::trace_enabled() {
+            eprintln!("[{}] guard -> accel {} @{}", ctx.now(), kind, addr);
+        }
+        self.stats.accel_sent += 1;
+        ctx.send(self.accel, XgiMsg::new(addr, kind).into());
+    }
+
+    fn align(&self, h: BlockAddr) -> BlockAddr {
+        h.align_down(self.k)
+    }
+
+    fn perm(&self, a: BlockAddr) -> PagePerm {
+        self.cfg.perms.get(a.page())
+    }
+
+    // =======================================================================
+    // Accelerator side
+    // =======================================================================
+
+    fn handle_accel(&mut self, msg: XgiMsg, ctx: &mut Ctx<'_>) {
+        if xg_sim::trace_enabled() {
+            eprintln!(
+                "[{}] guard <- accel {} @{} (req={} inv={})",
+                ctx.now(), msg.kind, msg.addr,
+                self.reqs.contains_key(&self.align(msg.addr)),
+                self.inv_pending.contains_key(&self.align(msg.addr)),
+            );
+        }
+        self.stats.accel_received += 1;
+        let a = msg.addr;
+        if msg.kind.is_accel_response() {
+            // Responses are never throttled or queued (paper §2.5).
+            self.handle_accel_response(a, msg.kind, ctx);
+            return;
+        }
+        if !msg.kind.is_accel_request() {
+            self.report_error(Some(a), XgErrorKind::Malformed, ctx);
+            return;
+        }
+        if self.disabled {
+            self.stats.dropped_disabled += 1;
+            return;
+        }
+        // Rate limiting applies to requests only.
+        if let Some(rate) = self.rate.as_mut() {
+            if !rate.try_take(ctx.now()) {
+                let wait = rate.cycles_until_token(ctx.now()).clamp(1, 10_000);
+                self.stats.throttled += 1;
+                ctx.redeliver(self.accel, msg.into(), wait);
+                self.stats.accel_received -= 1;
+                return;
+            }
+        }
+        self.admit_request(a, msg.kind, ctx);
+    }
+
+    fn admit_request(&mut self, a: BlockAddr, kind: XgiKind, ctx: &mut Ctx<'_>) {
+        // Well-formedness: accelerator-block alignment and payload size.
+        if a.as_u64() % self.k != 0 {
+            self.report_error(Some(a), XgErrorKind::Malformed, ctx);
+            return;
+        }
+        if let XgiKind::PutE { data } | XgiKind::PutM { data } = &kind {
+            if data.len() != self.k as usize {
+                self.report_error(Some(a), XgErrorKind::Malformed, ctx);
+                return;
+            }
+        }
+        // The one legal interface race: a Put crossing our Inv.
+        if self.inv_pending.contains_key(&a) {
+            if matches!(
+                kind,
+                XgiKind::PutS | XgiKind::PutE { .. } | XgiKind::PutM { .. }
+            ) {
+                self.resolve_race_put(a, kind, ctx);
+            } else {
+                self.queued.entry(a).or_default().push_back(kind);
+            }
+            return;
+        }
+        // Internal relinquish puts (shadow flushes, post-demand leftovers)
+        // still own persona transactions on this block's sub-blocks; a new
+        // request must wait for them.
+        if self.has_internal_puts(a) {
+            self.queued.entry(a).or_default().push_back(kind);
+            return;
+        }
+        // Guarantee 1b: one transaction per block.
+        if self.reqs.contains_key(&a) {
+            self.report_error(Some(a), XgErrorKind::DuplicateRequest, ctx);
+            return;
+        }
+        // Guarantee 0: page permissions.
+        let perm = self.perm(a);
+        if !perm.allows_read() {
+            self.report_error(Some(a), XgErrorKind::PermissionRead, ctx);
+            return;
+        }
+        let wants_ownership = matches!(kind, XgiKind::GetM | XgiKind::PutE { .. } | XgiKind::PutM { .. });
+        if wants_ownership && !perm.allows_write() {
+            self.report_error(Some(a), XgErrorKind::PermissionWrite, ctx);
+            return;
+        }
+        // Guarantee 1a (Full State only): request vs. stable state.
+        if let Some(table) = &self.table {
+            let entry = table.get(&a);
+            let consistent = match &kind {
+                XgiKind::GetS => entry.is_none(),
+                // GetM from S is the legal upgrade; GetM while owned is not.
+                XgiKind::GetM => entry.map(|e| !e.owned || e.shadow.is_some()).unwrap_or(true),
+                XgiKind::PutS => entry
+                    .map(|e| !e.owned || e.shadow.is_some())
+                    .unwrap_or(false),
+                XgiKind::PutE { .. } => entry
+                    .map(|e| e.owned && !e.dirty && e.shadow.is_none())
+                    .unwrap_or(false),
+                XgiKind::PutM { .. } => {
+                    entry.map(|e| e.owned && e.shadow.is_none()).unwrap_or(false)
+                }
+                _ => true,
+            };
+            if !consistent {
+                self.report_error(Some(a), XgErrorKind::InconsistentRequest, ctx);
+                return;
+            }
+        }
+        self.execute_request(a, kind, perm, ctx);
+    }
+
+    fn execute_request(&mut self, a: BlockAddr, kind: XgiKind, perm: PagePerm, ctx: &mut Ctx<'_>) {
+        match kind {
+            XgiKind::GetS => {
+                let read_only = !perm.allows_write();
+                let req = if self.k > 1 {
+                    // Uniform S grants keep merged ownership simple.
+                    GetReq::SOnly
+                } else if read_only
+                    && (self.cfg.use_gets_only || self.table.is_none())
+                {
+                    GetReq::SOnly
+                } else {
+                    GetReq::S
+                };
+                self.reqs.insert(
+                    a,
+                    AccelReq::Get {
+                        m: false,
+                        read_only,
+                        req_kind: req,
+                        poisoned: false,
+                        grants: BTreeMap::new(),
+                    },
+                );
+                for i in 0..self.k {
+                    self.persona.issue_get(a.offset(i), req, ctx);
+                }
+            }
+            XgiKind::GetM => {
+                // An upgrade from S: the accelerator's old copy is implicitly
+                // dead; the grant carries fresh data.
+                if let Some(table) = self.table.as_mut() {
+                    if let Some(e) = table.remove(&a) {
+                        self.shadow_blocks -=
+                            e.shadow.as_ref().map(|s| s.len() as u64).unwrap_or(0);
+                        // A shadowed upgrade means the host already granted
+                        // us ownership exclusively for a read-only page and
+                        // the write permission has since been granted; the
+                        // simplest correct course is a fresh GetM.
+                        if e.shadow.is_some() {
+                            for i in 0..self.k {
+                                self.internal_put(
+                                    a.offset(i),
+                                    e.shadow.as_ref().expect("checked")[i as usize],
+                                    e.dirty,
+                                    ctx,
+                                );
+                            }
+                        }
+                    }
+                }
+                self.reqs.insert(
+                    a,
+                    AccelReq::Get {
+                        m: true,
+                        read_only: false,
+                        req_kind: GetReq::M,
+                        poisoned: false,
+                        grants: BTreeMap::new(),
+                    },
+                );
+                for i in 0..self.k {
+                    self.persona.issue_get(a.offset(i), GetReq::M, ctx);
+                }
+            }
+            XgiKind::PutS => self.execute_put_s(a, ctx),
+            XgiKind::PutE { ref data } | XgiKind::PutM { ref data } => {
+                let dirty = matches!(kind, XgiKind::PutM { .. });
+                if let Some(table) = self.table.as_mut() {
+                    table.remove(&a);
+                }
+                self.reqs.insert(a, AccelReq::Put { pending: self.k as u32 });
+                for i in 0..self.k {
+                    self.persona.issue_put(
+                        a.offset(i),
+                        PutReq::Owned {
+                            data: data.blocks()[i as usize],
+                            dirty,
+                        },
+                        ctx,
+                    );
+                }
+            }
+            _ => unreachable!("filtered in admit_request"),
+        }
+    }
+
+    fn execute_put_s(&mut self, a: BlockAddr, ctx: &mut Ctx<'_>) {
+        // Shadowed blocks: the accelerator held S but the host granted us
+        // ownership; relinquish it with the trusted shadow data.
+        let shadow = self.table.as_mut().and_then(|t| t.remove(&a)).and_then(|e| {
+            self.shadow_blocks -= e.shadow.as_ref().map(|s| s.len() as u64).unwrap_or(0);
+            e.shadow.map(|s| (s, e.dirty))
+        });
+        if let Some((shadow, dirty)) = shadow {
+            for i in 0..self.k {
+                self.internal_put(a.offset(i), shadow[i as usize], dirty, ctx);
+            }
+            self.send_accel(a, XgiKind::WbAck, ctx);
+            return;
+        }
+        let suppress = match &self.persona {
+            // Hammer evicts shared blocks silently: there is nothing to
+            // forward (paper §2.1).
+            Persona::Hammer(_) => true,
+            Persona::Mesi(_) => self.cfg.suppress_put_s,
+        };
+        if suppress {
+            self.stats.puts_suppressed += 1;
+            self.send_accel(a, XgiKind::WbAck, ctx);
+            return;
+        }
+        self.reqs.insert(a, AccelReq::Put { pending: self.k as u32 });
+        for i in 0..self.k {
+            self.persona.issue_put(a.offset(i), PutReq::S, ctx);
+        }
+    }
+
+    fn internal_put(&mut self, h: BlockAddr, data: DataBlock, dirty: bool, ctx: &mut Ctx<'_>) {
+        self.internal_puts.insert(h);
+        self.persona.issue_put(h, PutReq::Owned { data, dirty }, ctx);
+    }
+
+    // -----------------------------------------------------------------------
+    // The Put-vs-Inv race (paper §2.1: the only race the interface admits).
+    // -----------------------------------------------------------------------
+
+    fn resolve_race_put(&mut self, a: BlockAddr, kind: XgiKind, ctx: &mut Ctx<'_>) {
+        self.stats.race_puts += 1;
+        let resolution = match &kind {
+            XgiKind::PutS => Resolution::Shared,
+            XgiKind::PutE { data } | XgiKind::PutM { data } => {
+                if data.len() != self.k as usize {
+                    self.report_error(Some(a), XgErrorKind::Malformed, ctx);
+                    Resolution::None
+                } else {
+                    Resolution::Owned {
+                        data: data.blocks().to_vec(),
+                        dirty: matches!(kind, XgiKind::PutM { .. }),
+                    }
+                }
+            }
+            _ => Resolution::None,
+        };
+        self.apply_resolution(a, resolution, false, ctx);
+        // The Put's own (single) response.
+        self.send_accel(a, XgiKind::WbAck, ctx);
+        self.stats.wbacks += 1;
+        if let Some(ip) = self.inv_pending.get_mut(&a) {
+            ip.race_consumed = true;
+        }
+        if let Some(table) = self.table.as_mut() {
+            if let Some(e) = table.remove(&a) {
+                self.shadow_blocks -= e.shadow.as_ref().map(|s| s.len() as u64).unwrap_or(0);
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Accelerator responses to forwarded invalidations (Guarantee 2).
+    // -----------------------------------------------------------------------
+
+    fn handle_accel_response(&mut self, a: BlockAddr, kind: XgiKind, ctx: &mut Ctx<'_>) {
+        let Some(ip) = self.inv_pending.get(&a) else {
+            // Guarantee 2b: no corresponding host request.
+            self.report_error(Some(a), XgErrorKind::UnsolicitedResponse, ctx);
+            return;
+        };
+        if ip.race_consumed {
+            // This is the InvAck the accelerator owes from state B after
+            // the race; any other type is noise worth reporting.
+            if !matches!(kind, XgiKind::InvAck) {
+                self.report_error(Some(a), XgErrorKind::InconsistentResponse, ctx);
+            }
+            // Host demands may have accumulated while we waited for this
+            // trailing ack (e.g. the racing Put demoted us to a sharer and
+            // the host immediately invalidated that sharer). The
+            // accelerator holds nothing anymore: answer them all now.
+            self.apply_resolution(a, Resolution::Shared, false, ctx);
+            self.close_inv(a, ctx);
+            return;
+        }
+
+        // What do we *know* the accelerator held? (Guarantee 2a.)
+        let entry = self.table.as_ref().and_then(|t| t.get(&a).cloned());
+        let expects_owned = match (&self.table, &entry) {
+            (Some(_), Some(e)) => e.owned && e.shadow.is_none(),
+            (Some(_), None) => false,
+            (None, _) => {
+                // Transactional: deduce from what the host demanded.
+                ip.reasons.iter().any(|(_, k)| k.expects_data())
+            }
+        };
+
+        let read_only = !self.perm(a).allows_write();
+        let mut resolution = match kind {
+            XgiKind::InvAck => {
+                if expects_owned {
+                    // 2a: owner answered with a bare ack — fabricate a zero
+                    // writeback so the host is never left hanging.
+                    self.report_error(Some(a), XgErrorKind::InconsistentResponse, ctx);
+                    self.stats.fabricated_responses += 1;
+                    Resolution::Owned {
+                        data: vec![DataBlock::zeroed(); self.k as usize],
+                        dirty: true,
+                    }
+                } else if entry.is_some() || self.table.is_none() {
+                    Resolution::Shared
+                } else {
+                    Resolution::None
+                }
+            }
+            XgiKind::CleanWb { ref data } | XgiKind::DirtyWb { ref data } => {
+                let dirty = matches!(kind, XgiKind::DirtyWb { .. });
+                if data.len() != self.k as usize {
+                    self.report_error(Some(a), XgErrorKind::Malformed, ctx);
+                    self.stats.fabricated_responses += 1;
+                    Resolution::Owned {
+                        data: vec![DataBlock::zeroed(); self.k as usize],
+                        dirty: true,
+                    }
+                } else if read_only {
+                    // Guarantee 0b dominates: data from the accelerator for
+                    // a read-only page must never reach the host, not even
+                    // through the Transactional forwarding path. The
+                    // accelerator can have held at most a shared copy here
+                    // (ownership is never granted on read-only pages).
+                    self.report_error(Some(a), XgErrorKind::PermissionWrite, ctx);
+                    Resolution::Shared
+                } else if !expects_owned {
+                    // 2a: a writeback from a non-owner. With Full State we
+                    // correct it locally; Transactional forwards it and the
+                    // modified host tolerates it (paper §3.2.2). Either way
+                    // the OS hears about it.
+                    self.report_error(Some(a), XgErrorKind::InconsistentResponse, ctx);
+                    if self.table.is_some() {
+                        Resolution::Shared
+                    } else {
+                        Resolution::Owned {
+                            data: data.blocks().to_vec(),
+                            dirty,
+                        }
+                    }
+                } else {
+                    Resolution::Owned {
+                        data: data.blocks().to_vec(),
+                        dirty,
+                    }
+                }
+            }
+            _ => unreachable!("is_accel_response checked by caller"),
+        };
+
+        // Shadowed read-only blocks answer from the trusted shadow.
+        if let Some(e) = &entry {
+            if let Some(shadow) = &e.shadow {
+                resolution = Resolution::Owned {
+                    data: shadow.clone(),
+                    dirty: e.dirty,
+                };
+            }
+        }
+
+        self.apply_resolution(a, resolution, false, ctx);
+        if let Some(table) = self.table.as_mut() {
+            if let Some(e) = table.remove(&a) {
+                self.shadow_blocks -= e.shadow.as_ref().map(|s| s.len() as u64).unwrap_or(0);
+            }
+        }
+        self.close_inv(a, ctx);
+    }
+
+    /// Answers every pending host demand on `a` from a resolution, then
+    /// relinquishes leftover sub-blocks the host still thinks we own.
+    fn apply_resolution(
+        &mut self,
+        a: BlockAddr,
+        resolution: Resolution,
+        fabricated_by_timeout: bool,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let reasons = self
+            .inv_pending
+            .get_mut(&a)
+            .map(|ip| std::mem::take(&mut ip.reasons))
+            .unwrap_or_default();
+        let mut consumed: HashSet<BlockAddr> = HashSet::new();
+        for (h, kind) in &reasons {
+            let idx = (h.as_u64() - a.as_u64()) as usize;
+            let resp = match &resolution {
+                Resolution::Owned { data, dirty } => {
+                    let keep = matches!(kind, DemandKind::ReadOnly { .. });
+                    if keep {
+                        // Ownership must survive a non-upgradable read on
+                        // the Hammer side; flush through an internal put so
+                        // memory converges and the host forgets us.
+                        self.internal_put(*h, data[idx], *dirty, ctx);
+                    } else {
+                        consumed.insert(*h);
+                    }
+                    DemandResponse::Data {
+                        data: data[idx],
+                        dirty: *dirty,
+                        keep_shared: keep,
+                    }
+                }
+                Resolution::Shared => {
+                    if kind.expects_data() {
+                        if xg_sim::trace_enabled() {
+                            eprintln!("[{}] FABRICATE shared-resolution @{h} kind={kind:?}", ctx.now());
+                        }
+                        self.stats.fabricated_responses += 1;
+                        DemandResponse::Data {
+                            data: DataBlock::zeroed(),
+                            dirty: true,
+                            keep_shared: false,
+                        }
+                    } else {
+                        DemandResponse::SharedCopy
+                    }
+                }
+                Resolution::None => {
+                    if kind.expects_data() {
+                        if xg_sim::trace_enabled() {
+                            eprintln!("[{}] FABRICATE none-resolution @{h} kind={kind:?}", ctx.now());
+                        }
+                        self.stats.fabricated_responses += 1;
+                        DemandResponse::Data {
+                            data: DataBlock::zeroed(),
+                            dirty: true,
+                            keep_shared: false,
+                        }
+                    } else {
+                        DemandResponse::NoCopy
+                    }
+                }
+            };
+            self.persona.respond_demand(*h, resp, ctx);
+        }
+        // Sub-blocks we owned but no demand consumed go back to the host.
+        if let Resolution::Owned { data, dirty } = &resolution {
+            let entry_owned_at_host = self
+                .table
+                .as_ref()
+                .and_then(|t| t.get(&a))
+                .map(|e| e.owned)
+                .unwrap_or(!self.persona.is_mesi() || !reasons.is_empty());
+            if entry_owned_at_host || self.table.is_none() {
+                for i in 0..self.k {
+                    let h = a.offset(i);
+                    if !consumed.contains(&h)
+                        && !reasons.iter().any(|(rh, _)| *rh == h)
+                        && !self.internal_puts.contains(&h)
+                    {
+                        self.internal_put(h, data[i as usize], *dirty, ctx);
+                    }
+                }
+            }
+        }
+        if fabricated_by_timeout {
+            self.stats.fabricated_responses += 1;
+        }
+    }
+
+    fn close_inv(&mut self, a: BlockAddr, ctx: &mut Ctx<'_>) {
+        if let Some(ip) = self.inv_pending.remove(&a) {
+            self.wake_epochs.remove(&ip.epoch);
+        }
+        self.drain_queue(a, ctx);
+    }
+
+    fn has_internal_puts(&self, a: BlockAddr) -> bool {
+        (0..self.k).any(|i| self.internal_puts.contains(&a.offset(i)))
+    }
+
+    fn drain_queue(&mut self, a: BlockAddr, ctx: &mut Ctx<'_>) {
+        loop {
+            if self.inv_pending.contains_key(&a)
+                || self.reqs.contains_key(&a)
+                || self.has_internal_puts(a)
+            {
+                return;
+            }
+            let Some(q) = self.queued.get_mut(&a) else { return };
+            let Some(kind) = q.pop_front() else {
+                self.queued.remove(&a);
+                return;
+            };
+            self.admit_request(a, kind, ctx);
+        }
+    }
+
+    // =======================================================================
+    // Persona events
+    // =======================================================================
+
+    fn process_events(&mut self, events: Vec<PersonaEvent>, ctx: &mut Ctx<'_>) {
+        for ev in events {
+            match ev {
+                PersonaEvent::Granted {
+                    h,
+                    state,
+                    data,
+                    dirty,
+                } => self.on_granted(h, state, data, dirty, ctx),
+                PersonaEvent::PutDone { h } => self.on_put_done(h, ctx),
+                PersonaEvent::Demand { h, kind } => self.on_demand(h, kind, ctx),
+            }
+        }
+    }
+
+    fn on_granted(
+        &mut self,
+        h: BlockAddr,
+        state: GrantState,
+        data: DataBlock,
+        dirty: bool,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let a = self.align(h);
+        let complete = match self.reqs.get_mut(&a) {
+            Some(AccelReq::Get { grants, .. }) => {
+                grants.insert(h.as_u64() - a.as_u64(), (state, data, dirty));
+                grants.len() as u64 == self.k
+            }
+            _ => {
+                // A grant with no open request would be a persona bug.
+                debug_assert!(false, "grant without request");
+                false
+            }
+        };
+        if complete {
+            self.finalize_grant(a, ctx);
+        }
+    }
+
+    fn finalize_grant(&mut self, a: BlockAddr, ctx: &mut Ctx<'_>) {
+        // A poisoned *shared* read grant is stale (the acked invalidation
+        // targeted exactly this copy): retry against the current epoch. A
+        // grant that confers ownership can never be stale — hosts forward
+        // to owners rather than invalidating them, so any invalidation we
+        // acked belonged to an older shared copy.
+        if let Some(AccelReq::Get {
+            poisoned: poisoned @ true,
+            grants,
+            req_kind,
+            ..
+        }) = self.reqs.get_mut(&a)
+        {
+            *poisoned = false;
+            let became_owner = grants
+                .values()
+                .all(|(state, _, _)| matches!(state, GrantState::E | GrantState::M));
+            if !became_owner {
+                grants.clear();
+                let req = *req_kind;
+                self.stats.poisoned_refetches += 1;
+                for i in 0..self.k {
+                    self.persona.issue_get(a.offset(i), req, ctx);
+                }
+                return;
+            }
+        }
+        let Some(AccelReq::Get {
+            m,
+            read_only,
+            grants,
+            ..
+        }) = self.reqs.remove(&a)
+        else {
+            unreachable!("checked by caller")
+        };
+        let mut blocks = Vec::with_capacity(self.k as usize);
+        let mut all_owned = true;
+        let mut any_m = false;
+        let mut any_dirty = false;
+        for i in 0..self.k {
+            let (state, data, dirty) = grants[&i];
+            blocks.push(data);
+            all_owned &= matches!(state, GrantState::E | GrantState::M);
+            any_m |= matches!(state, GrantState::M);
+            any_dirty |= dirty;
+        }
+        self.stats.grants += 1;
+
+        let payload = XgData::from_blocks(blocks.clone());
+        if read_only && all_owned {
+            // Host granted exclusively for a read-only page: keep a shadow,
+            // hand the accelerator a shared copy (Guarantee 0b, §2.3.1).
+            if let Some(table) = self.table.as_mut() {
+                table.insert(
+                    a,
+                    Entry {
+                        owned: true,
+                        dirty: any_m && any_dirty,
+                        shadow: Some(blocks),
+                    },
+                );
+                self.shadow_blocks += self.k;
+            }
+            self.send_accel(a, XgiKind::DataS { data: payload }, ctx);
+        } else {
+            let kind = if all_owned {
+                if any_m && any_dirty {
+                    XgiKind::DataM { data: payload }
+                } else {
+                    XgiKind::DataE { data: payload }
+                }
+            } else {
+                XgiKind::DataS { data: payload }
+            };
+            if let Some(table) = self.table.as_mut() {
+                table.insert(
+                    a,
+                    Entry {
+                        owned: all_owned,
+                        dirty: all_owned && any_m && any_dirty,
+                        shadow: None,
+                    },
+                );
+            }
+            let _ = m;
+            self.send_accel(a, kind, ctx);
+        }
+        ctx.note_progress();
+        self.drain_queue(a, ctx);
+    }
+
+    fn on_put_done(&mut self, h: BlockAddr, ctx: &mut Ctx<'_>) {
+        if self.internal_puts.remove(&h) {
+            self.drain_queue(self.align(h), ctx);
+            return;
+        }
+        let a = self.align(h);
+        let complete = match self.reqs.get_mut(&a) {
+            Some(AccelReq::Put { pending }) => {
+                *pending -= 1;
+                *pending == 0
+            }
+            _ => {
+                debug_assert!(false, "put completion without request");
+                false
+            }
+        };
+        if complete {
+            self.reqs.remove(&a);
+            self.stats.wbacks += 1;
+            self.send_accel(a, XgiKind::WbAck, ctx);
+            ctx.note_progress();
+            self.drain_queue(a, ctx);
+        }
+    }
+
+    // =======================================================================
+    // Host demands
+    // =======================================================================
+
+    fn on_demand(&mut self, h: BlockAddr, kind: DemandKind, ctx: &mut Ctx<'_>) {
+        let a = self.align(h);
+        // Pages the accelerator cannot touch are answered without ever
+        // letting it observe the traffic (§3.2: closes the coherence
+        // side channel).
+        if self.perm(a) == PagePerm::None {
+            self.stats.demands_answered_locally += 1;
+            self.persona.respond_demand(h, DemandResponse::NoCopy, ctx);
+            return;
+        }
+        // While the accelerator's own Get for this block is in flight it
+        // holds no *readable* copy (Table 1 drops S on upgrade; the
+        // two-level L2 recalls its L1s first), and it cannot own the block
+        // (Guarantee 1a). The demand belongs to an older epoch and is
+        // answerable right here — forwarding an Inv now would interleave
+        // with the upcoming grant on the ordered link.
+        if matches!(self.reqs.get(&a), Some(AccelReq::Get { .. })) {
+            self.stats.demands_answered_locally += 1;
+            let resp = if kind.expects_data() {
+                // The host believing we own while our own Get is open means
+                // desync; keep the host safe anyway.
+                if xg_sim::trace_enabled() {
+                    eprintln!("[{}] FABRICATE open-get @{h} kind={kind:?}", ctx.now());
+                }
+                self.stats.fabricated_responses += 1;
+                DemandResponse::Data {
+                    data: DataBlock::zeroed(),
+                    dirty: true,
+                    keep_shared: false,
+                }
+            } else {
+                DemandResponse::SharedCopy
+            };
+            // A write-class demand may target the very grant in flight to
+            // us (an Inv can overtake owner-forwarded data on the unordered
+            // host network). Acking it promises the copy dies — so a read
+            // grant, if one arrives, is stale and must be refetched.
+            if matches!(kind, DemandKind::Write { .. } | DemandKind::Recall) {
+                if let Some(AccelReq::Get {
+                    m: false, poisoned, ..
+                }) = self.reqs.get_mut(&a)
+                {
+                    *poisoned = true;
+                }
+            }
+            self.persona.respond_demand(h, resp, ctx);
+            return;
+        }
+        if let Some(table) = &self.table {
+            match table.get(&a) {
+                None => {
+                    self.stats.demands_answered_locally += 1;
+                    self.persona.respond_demand(h, DemandResponse::NoCopy, ctx);
+                }
+                Some(e) if !e.owned || e.shadow.is_some() => {
+                    // Accelerator holds (at most) a shared copy.
+                    match kind {
+                        DemandKind::Read { .. } | DemandKind::ReadOnly { .. } => {
+                            self.stats.demands_answered_locally += 1;
+                            let resp = match &e.shadow {
+                                Some(shadow) => {
+                                    let idx = (h.as_u64() - a.as_u64()) as usize;
+                                    DemandResponse::Data {
+                                        data: shadow[idx],
+                                        dirty: e.dirty,
+                                        keep_shared: true,
+                                    }
+                                }
+                                None => DemandResponse::SharedCopy,
+                            };
+                            let was_shadow = e.shadow.is_some();
+                            self.persona.respond_demand(h, resp, ctx);
+                            // A MESI FwdGetS ends our ownership at the L2;
+                            // track the downgrade so the shadow is not
+                            // double-flushed later.
+                            if was_shadow && self.persona.is_mesi() {
+                                if let Some(t) = self.table.as_mut() {
+                                    if let Some(e) = t.get_mut(&a) {
+                                        if let Some(s) = e.shadow.take() {
+                                            self.shadow_blocks -= s.len() as u64;
+                                        }
+                                        e.owned = false;
+                                    }
+                                }
+                            }
+                        }
+                        DemandKind::Write { .. } | DemandKind::Recall => {
+                            self.forward_inv(a, h, kind, ctx);
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Accelerator owns the block: it must give it up.
+                    self.forward_inv(a, h, kind, ctx);
+                }
+            }
+            return;
+        }
+        // Transactional: deducible cases only; everything else crosses.
+        match kind {
+            DemandKind::Read { to_owner: false } | DemandKind::ReadOnly { to_owner: false } => {
+                // Conservative and safe: claim a shared copy exists, so the
+                // requestor never takes silent-upgradable exclusivity.
+                self.stats.demands_answered_locally += 1;
+                self.persona
+                    .respond_demand(h, DemandResponse::SharedCopy, ctx);
+            }
+            _ => self.forward_inv(a, h, kind, ctx),
+        }
+    }
+
+    fn forward_inv(&mut self, a: BlockAddr, h: BlockAddr, kind: DemandKind, ctx: &mut Ctx<'_>) {
+        if let Some(ip) = self.inv_pending.get_mut(&a) {
+            ip.reasons.push((h, kind));
+            return;
+        }
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        self.inv_pending.insert(
+            a,
+            InvPending {
+                reasons: vec![(h, kind)],
+                race_consumed: false,
+                epoch,
+            },
+        );
+        self.stats.invs_forwarded += 1;
+        self.send_accel(a, XgiKind::Inv, ctx);
+        if self.cfg.inv_timeout > 0 {
+            self.wake_epochs.insert(epoch, a);
+            ctx.wake_in(self.cfg.inv_timeout, epoch);
+        }
+    }
+
+    fn on_timeout(&mut self, epoch: u64, ctx: &mut Ctx<'_>) {
+        let Some(a) = self.wake_epochs.remove(&epoch) else {
+            return;
+        };
+        let still_pending = self
+            .inv_pending
+            .get(&a)
+            .map(|ip| ip.epoch == epoch)
+            .unwrap_or(false);
+        if !still_pending {
+            return;
+        }
+        // Guarantee 2c: the accelerator went silent. Fabricate the safest
+        // complete answer and tell the OS.
+        self.stats.timeouts += 1;
+        self.report_error(Some(a), XgErrorKind::ResponseTimeout, ctx);
+        let entry = self.table.as_ref().and_then(|t| t.get(&a).cloned());
+        let resolution = match &entry {
+            Some(e) if e.owned => Resolution::Owned {
+                data: e
+                    .shadow
+                    .clone()
+                    .unwrap_or_else(|| vec![DataBlock::zeroed(); self.k as usize]),
+                dirty: true,
+            },
+            Some(_) => Resolution::Shared,
+            None if self.table.is_some() => Resolution::None,
+            None => Resolution::Shared,
+        };
+        self.apply_resolution(a, resolution, true, ctx);
+        if let Some(table) = self.table.as_mut() {
+            if let Some(e) = table.remove(&a) {
+                self.shadow_blocks -= e.shadow.as_ref().map(|s| s.len() as u64).unwrap_or(0);
+            }
+        }
+        self.close_inv(a, ctx);
+    }
+}
+
+/// What the invalidated accelerator block turned out to contain.
+#[derive(Debug)]
+enum Resolution {
+    /// Owned data (real, shadow, or fabricated zeroes).
+    Owned { data: Vec<DataBlock>, dirty: bool },
+    /// At most a shared copy existed.
+    Shared,
+    /// Nothing was held.
+    None,
+}
+
+impl Component<Message> for CrossingGuard {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        match msg {
+            Message::Xgi(x) => {
+                if from == self.accel {
+                    self.handle_accel(x, ctx);
+                } else {
+                    self.report_error(Some(x.addr), XgErrorKind::Malformed, ctx);
+                }
+            }
+            Message::Os(OsMsg::DisableAccelerator) => {
+                self.disabled = true;
+            }
+            Message::Hammer(h) => {
+                let mut events = Vec::new();
+                match &mut self.persona {
+                    Persona::Hammer(p) => p.handle_host(&h, &mut events, ctx),
+                    Persona::Mesi(_) => {
+                        self.report_error(Some(h.addr), XgErrorKind::Malformed, ctx);
+                    }
+                }
+                self.process_events(events, ctx);
+            }
+            Message::Mesi(m) => {
+                let mut events = Vec::new();
+                match &mut self.persona {
+                    Persona::Mesi(p) => p.handle_host(&m, &mut events, ctx),
+                    Persona::Hammer(_) => {
+                        self.report_error(Some(m.addr), XgErrorKind::Malformed, ctx);
+                    }
+                }
+                self.process_events(events, ctx);
+            }
+            _ => {}
+        }
+        self.peak_storage = self.peak_storage.max(self.storage_bytes());
+    }
+
+    fn wake(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        self.on_timeout(token, ctx);
+    }
+
+    fn report(&self, out: &mut Report) {
+        let n = &self.name;
+        out.add(format!("{n}.accel_received"), self.stats.accel_received);
+        out.add(format!("{n}.accel_sent"), self.stats.accel_sent);
+        out.add(format!("{n}.grants"), self.stats.grants);
+        out.add(format!("{n}.wbacks"), self.stats.wbacks);
+        out.add(format!("{n}.invs_forwarded"), self.stats.invs_forwarded);
+        out.add(
+            format!("{n}.demands_answered_locally"),
+            self.stats.demands_answered_locally,
+        );
+        out.add(format!("{n}.puts_suppressed"), self.stats.puts_suppressed);
+        out.add(format!("{n}.throttled"), self.stats.throttled);
+        out.add(format!("{n}.timeouts"), self.stats.timeouts);
+        out.add(format!("{n}.race_puts"), self.stats.race_puts);
+        out.add(format!("{n}.dropped_disabled"), self.stats.dropped_disabled);
+        out.add(
+            format!("{n}.fabricated_responses"),
+            self.stats.fabricated_responses,
+        );
+        out.add(
+            format!("{n}.poisoned_refetches"),
+            self.stats.poisoned_refetches,
+        );
+        out.set(format!("{n}.storage_bytes"), self.storage_bytes());
+        out.set(format!("{n}.peak_storage_bytes"), self.peak_storage);
+        out.add(format!("{n}.errors_total"), self.errors_total());
+        for (kind, count) in &self.errors {
+            out.add(format!("{n}.errors.{kind}"), *count);
+        }
+        let (sent, puts_sent, received, violations) = match &self.persona {
+            Persona::Hammer(p) => (
+                p.stats.sent,
+                p.stats.puts_sent,
+                p.stats.received,
+                p.stats.violations,
+            ),
+            Persona::Mesi(p) => (
+                p.stats.sent,
+                p.stats.puts_sent,
+                p.stats.received,
+                p.stats.violations,
+            ),
+        };
+        out.add(format!("{n}.host_sent"), sent);
+        out.add(format!("{n}.host_puts_sent"), puts_sent);
+        out.add(format!("{n}.host_received"), received);
+        out.add(format!("{n}.persona_violations"), violations);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+// Keep HammerKind referenced for rustdoc links in module docs.
+#[allow(unused)]
+fn _doc_anchor(_: HammerKind) {}

@@ -1,0 +1,357 @@
+//! The Hammer-protocol persona: Crossing Guard as a private L1/L2.
+//!
+//! This module is where the broadcast protocol's complexity lands so the
+//! accelerator never sees it (paper §2.4): counting peer responses against
+//! the directory-announced expectation, choosing among stale memory data /
+//! owner data / multiple data copies, two-phase writebacks racing against
+//! forwards, and answering the forward broadcast for every transaction in
+//! the system — including blocks neither the guard nor the accelerator has
+//! ever touched.
+
+use std::collections::HashMap;
+
+use xg_mem::{BlockAddr, DataBlock};
+use xg_proto::{Ctx, HammerKind, HammerMsg};
+use xg_sim::NodeId;
+
+use crate::persona::{
+    DemandKind, DemandResponse, GetReq, GrantState, PersonaEvent, PersonaStats, PutReq, Requestor,
+};
+
+#[derive(Debug)]
+enum Txn {
+    Get {
+        kind: GetReq,
+        peers_expected: Option<u32>,
+        resps: u32,
+        mem: Option<DataBlock>,
+        peer: Option<(DataBlock, bool, bool)>, // (data, dirty, owner_keeps_copy)
+        had_copy: bool,
+    },
+    Put {
+        data: DataBlock,
+        dirty: bool,
+        invalidated: bool,
+    },
+}
+
+#[derive(Debug)]
+struct DemandCtx {
+    requestor: Requestor,
+}
+
+/// Crossing Guard's Hammer-protocol half.
+pub(crate) struct HammerPersona {
+    dir: NodeId,
+    txns: HashMap<BlockAddr, Txn>,
+    demands: HashMap<BlockAddr, DemandCtx>,
+    pub(crate) stats: PersonaStats,
+}
+
+impl HammerPersona {
+    pub(crate) fn new(dir: NodeId) -> Self {
+        HammerPersona {
+            dir,
+            txns: HashMap::new(),
+            demands: HashMap::new(),
+            stats: PersonaStats::default(),
+        }
+    }
+
+    fn send(&mut self, to: NodeId, addr: BlockAddr, kind: HammerKind, ctx: &mut Ctx<'_>) {
+        self.stats.sent += 1;
+        if matches!(kind, HammerKind::Put | HammerKind::WbData { .. }) {
+            self.stats.puts_sent += 1;
+        }
+        ctx.send(to, HammerMsg::new(addr, kind).into());
+    }
+
+    pub(crate) fn open_txns(&self) -> usize {
+        self.txns.len() + self.demands.len()
+    }
+
+    // ----- guard-facing API -------------------------------------------------
+
+    pub(crate) fn issue_get(&mut self, h: BlockAddr, kind: GetReq, ctx: &mut Ctx<'_>) {
+        self.txns.insert(
+            h,
+            Txn::Get {
+                kind,
+                peers_expected: None,
+                resps: 0,
+                mem: None,
+                peer: None,
+                had_copy: false,
+            },
+        );
+        let req = match kind {
+            GetReq::S => HammerKind::GetS,
+            GetReq::SOnly => HammerKind::GetSOnly,
+            GetReq::M => HammerKind::GetM,
+        };
+        self.send(self.dir, h, req, ctx);
+    }
+
+    pub(crate) fn issue_put(&mut self, h: BlockAddr, put: PutReq, ctx: &mut Ctx<'_>) {
+        match put {
+            PutReq::S => {
+                // Hammer has no PutS; the guard should have suppressed it.
+                // Complete immediately so the guard's bookkeeping settles.
+                self.stats.violations += 1;
+            }
+            PutReq::Owned { data, dirty } => {
+                self.txns.insert(
+                    h,
+                    Txn::Put {
+                        data,
+                        dirty,
+                        invalidated: false,
+                    },
+                );
+                self.send(self.dir, h, HammerKind::Put, ctx);
+            }
+        }
+    }
+
+    pub(crate) fn respond_demand(
+        &mut self,
+        h: BlockAddr,
+        resp: DemandResponse,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let Some(DemandCtx { requestor, .. }) = self.demands.remove(&h) else {
+            self.stats.violations += 1;
+            return;
+        };
+        let kind = match resp {
+            DemandResponse::NoCopy => HammerKind::RespAck { had_copy: false },
+            DemandResponse::SharedCopy => HammerKind::RespAck { had_copy: true },
+            DemandResponse::Data {
+                data,
+                dirty,
+                keep_shared,
+            } => HammerKind::RespData {
+                data,
+                dirty,
+                owner_keeps_copy: keep_shared,
+            },
+        };
+        self.send(requestor, h, kind, ctx);
+    }
+
+    // ----- host-facing FSM ----------------------------------------------------
+
+    pub(crate) fn handle_host(
+        &mut self,
+        msg: &HammerMsg,
+        events: &mut Vec<PersonaEvent>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        self.stats.received += 1;
+        let h = msg.addr;
+        match msg.kind {
+            HammerKind::FwdGetS {
+                requestor,
+                to_owner,
+            } => self.handle_fwd(h, requestor, DemandKind::Read { to_owner }, events, ctx),
+            HammerKind::FwdGetSOnly {
+                requestor,
+                to_owner,
+            } => self.handle_fwd(h, requestor, DemandKind::ReadOnly { to_owner }, events, ctx),
+            HammerKind::FwdGetM {
+                requestor,
+                to_owner,
+            } => self.handle_fwd(h, requestor, DemandKind::Write { to_owner }, events, ctx),
+            HammerKind::MemData { data, peers } => {
+                match self.txns.get_mut(&h) {
+                    Some(Txn::Get {
+                        peers_expected,
+                        mem,
+                        ..
+                    }) => {
+                        *peers_expected = Some(peers);
+                        *mem = Some(data);
+                    }
+                    _ => {
+                        self.stats.violations += 1;
+                        return;
+                    }
+                }
+                self.try_complete(h, events, ctx);
+            }
+            HammerKind::RespData {
+                data,
+                dirty,
+                owner_keeps_copy,
+            } => {
+                match self.txns.get_mut(&h) {
+                    Some(Txn::Get { resps, peer, .. }) => {
+                        *resps += 1;
+                        let replace = match peer {
+                            None => true,
+                            Some((_, old_dirty, _)) => dirty && !*old_dirty,
+                        };
+                        if replace {
+                            *peer = Some((data, dirty, owner_keeps_copy));
+                        }
+                    }
+                    _ => {
+                        self.stats.violations += 1;
+                        return;
+                    }
+                }
+                self.try_complete(h, events, ctx);
+            }
+            HammerKind::RespAck { had_copy } => {
+                match self.txns.get_mut(&h) {
+                    Some(Txn::Get {
+                        resps, had_copy: hc, ..
+                    }) => {
+                        *resps += 1;
+                        *hc |= had_copy;
+                    }
+                    _ => {
+                        self.stats.violations += 1;
+                        return;
+                    }
+                }
+                self.try_complete(h, events, ctx);
+            }
+            HammerKind::WbAck => match self.txns.remove(&h) {
+                Some(Txn::Put { data, dirty, .. }) => {
+                    self.send(self.dir, h, HammerKind::WbData { data, dirty }, ctx);
+                    events.push(PersonaEvent::PutDone { h });
+                }
+                other => {
+                    self.restore(h, other);
+                    self.stats.violations += 1;
+                }
+            },
+            HammerKind::WbNack => match self.txns.remove(&h) {
+                Some(Txn::Put { invalidated, .. }) => {
+                    if !invalidated {
+                        self.stats.violations += 1;
+                    }
+                    events.push(PersonaEvent::PutDone { h });
+                }
+                other => {
+                    self.restore(h, other);
+                    self.stats.violations += 1;
+                }
+            },
+            _ => self.stats.violations += 1,
+        }
+    }
+
+    fn restore(&mut self, h: BlockAddr, txn: Option<Txn>) {
+        if let Some(txn) = txn {
+            self.txns.insert(h, txn);
+        }
+    }
+
+    fn handle_fwd(
+        &mut self,
+        h: BlockAddr,
+        requestor: NodeId,
+        kind: DemandKind,
+        events: &mut Vec<PersonaEvent>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        // A forward racing our own writeback is resolved right here, from
+        // the writeback data — the accelerator already gave the block up.
+        if let Some(Txn::Put {
+            data,
+            dirty,
+            invalidated,
+        }) = self.txns.get(&h)
+        {
+            let (data, dirty, was_invalidated) = (*data, *dirty, *invalidated);
+            if was_invalidated {
+                self.send(requestor, h, HammerKind::RespAck { had_copy: false }, ctx);
+                return;
+            }
+            let keeps_copy = matches!(kind, DemandKind::ReadOnly { .. });
+            self.send(
+                requestor,
+                h,
+                HammerKind::RespData {
+                    data,
+                    dirty,
+                    owner_keeps_copy: keeps_copy,
+                },
+                ctx,
+            );
+            if !keeps_copy {
+                if let Some(Txn::Put { invalidated, .. }) = self.txns.get_mut(&h) {
+                    *invalidated = true;
+                }
+            }
+            return;
+        }
+        if self.demands.contains_key(&h) {
+            // The directory serializes per block; two live demands for the
+            // same block mean desync. Answer safely.
+            self.stats.violations += 1;
+            self.send(requestor, h, HammerKind::RespAck { had_copy: false }, ctx);
+            return;
+        }
+        self.demands.insert(h, DemandCtx { requestor });
+        events.push(PersonaEvent::Demand { h, kind });
+    }
+
+    fn try_complete(&mut self, h: BlockAddr, events: &mut Vec<PersonaEvent>, ctx: &mut Ctx<'_>) {
+        let ready = matches!(
+            self.txns.get(&h),
+            Some(Txn::Get {
+                peers_expected: Some(p),
+                resps,
+                mem: Some(_),
+                ..
+            }) if resps >= p
+        );
+        if !ready {
+            return;
+        }
+        let Some(Txn::Get {
+            kind,
+            mem,
+            peer,
+            had_copy,
+            ..
+        }) = self.txns.remove(&h)
+        else {
+            unreachable!("checked above")
+        };
+        let mem = mem.expect("checked above");
+        let (state, dirty, data) = match kind {
+            GetReq::M => {
+                let (data, dirty) = peer.map(|(d, dy, _)| (d, dy)).unwrap_or((mem, false));
+                (GrantState::M, dirty, data)
+            }
+            GetReq::S | GetReq::SOnly => {
+                if let Some((d, dirty, keeps)) = peer {
+                    if keeps || kind == GetReq::SOnly {
+                        (GrantState::S, false, d)
+                    } else if dirty {
+                        (GrantState::M, true, d)
+                    } else {
+                        (GrantState::E, false, d)
+                    }
+                } else if had_copy || kind == GetReq::SOnly {
+                    (GrantState::S, false, mem)
+                } else {
+                    (GrantState::E, false, mem)
+                }
+            }
+        };
+        let new_owner = matches!(state, GrantState::E | GrantState::M);
+        self.send(self.dir, h, HammerKind::Unblock { new_owner }, ctx);
+        events.push(PersonaEvent::Granted {
+            h,
+            state,
+            data,
+            dirty,
+        });
+    }
+}
+

@@ -1,0 +1,531 @@
+//! The MESI-protocol persona: Crossing Guard as a private L1.
+//!
+//! Absorbs the inclusive protocol's requestor-side ack counting (the L2
+//! names a number of sharers; their `InvAck`s arrive directly from sibling
+//! caches), owner forwarding, recalls, and the writeback/forward races —
+//! none of which cross the standardized interface to the accelerator.
+
+use std::collections::HashMap;
+
+use xg_mem::{BlockAddr, DataBlock};
+use xg_proto::{Ctx, MesiKind, MesiMsg};
+use xg_sim::NodeId;
+
+use crate::persona::{
+    DemandKind, DemandResponse, GetReq, GrantState, PersonaEvent, PersonaStats, PutReq, Requestor,
+};
+
+#[derive(Debug)]
+enum Txn {
+    Get {
+        grant: Option<(GrantState, DataBlock, bool)>,
+        acks_expected: Option<u32>,
+        acks_got: u32,
+        /// Owner-demands that raced ahead of our own grant.
+        deferred: Vec<(Option<Requestor>, DemandKind)>,
+    },
+    Put {
+        is_s: bool,
+        data: DataBlock,
+        dirty: bool,
+        invalidated: bool,
+        /// A WbNack overtook its explaining demand; hold until it lands.
+        nacked: bool,
+    },
+}
+
+#[derive(Debug)]
+struct DemandCtx {
+    /// Who to answer: a sibling L1 for `Inv`/forwards, or `None` for a
+    /// Recall (answered to the L2).
+    requestor: Option<Requestor>,
+    kind: DemandKind,
+}
+
+/// Crossing Guard's MESI-protocol half.
+pub(crate) struct MesiPersona {
+    l2: NodeId,
+    txns: HashMap<BlockAddr, Txn>,
+    demands: HashMap<BlockAddr, DemandCtx>,
+    pub(crate) stats: PersonaStats,
+}
+
+impl MesiPersona {
+    pub(crate) fn new(l2: NodeId) -> Self {
+        MesiPersona {
+            l2,
+            txns: HashMap::new(),
+            demands: HashMap::new(),
+            stats: PersonaStats::default(),
+        }
+    }
+
+    fn send(&mut self, to: NodeId, addr: BlockAddr, kind: MesiKind, ctx: &mut Ctx<'_>) {
+        if xg_sim::trace_enabled() {
+            eprintln!("[{}] xg-persona -> {} {:?} @{}", ctx.now(), to, kind, addr);
+        }
+        self.stats.sent += 1;
+        if matches!(
+            kind,
+            MesiKind::PutS | MesiKind::PutE { .. } | MesiKind::PutM { .. }
+        ) {
+            self.stats.puts_sent += 1;
+        }
+        ctx.send(to, MesiMsg::new(addr, kind).into());
+    }
+
+    pub(crate) fn open_txns(&self) -> usize {
+        self.txns.len() + self.demands.len()
+    }
+
+    // ----- guard-facing API -------------------------------------------------
+
+    pub(crate) fn issue_get(&mut self, h: BlockAddr, kind: GetReq, ctx: &mut Ctx<'_>) {
+        self.txns.insert(
+            h,
+            Txn::Get {
+                grant: None,
+                acks_expected: None,
+                acks_got: 0,
+                deferred: Vec::new(),
+            },
+        );
+        let req = match kind {
+            GetReq::S => MesiKind::GetS,
+            GetReq::SOnly => MesiKind::GetSOnly,
+            GetReq::M => MesiKind::GetM,
+        };
+        self.send(self.l2, h, req, ctx);
+    }
+
+    pub(crate) fn issue_put(&mut self, h: BlockAddr, put: PutReq, ctx: &mut Ctx<'_>) {
+        let (is_s, data, dirty, req) = match put {
+            PutReq::S => (
+                true,
+                DataBlock::zeroed(),
+                false,
+                MesiKind::PutS,
+            ),
+            PutReq::Owned { data, dirty } => {
+                let req = if dirty {
+                    MesiKind::PutM { data }
+                } else {
+                    MesiKind::PutE { data }
+                };
+                (false, data, dirty, req)
+            }
+        };
+        self.txns.insert(
+            h,
+            Txn::Put {
+                is_s,
+                data,
+                dirty,
+                invalidated: false,
+                nacked: false,
+            },
+        );
+        self.send(self.l2, h, req, ctx);
+    }
+
+    pub(crate) fn respond_demand(
+        &mut self,
+        h: BlockAddr,
+        resp: DemandResponse,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let Some(DemandCtx { requestor, kind }) = self.demands.remove(&h) else {
+            self.stats.violations += 1;
+            return;
+        };
+        match kind {
+            DemandKind::Write { to_owner: false } => {
+                // An Inv aimed at our (supposed) shared copy.
+                match resp {
+                    DemandResponse::NoCopy | DemandResponse::SharedCopy => {
+                        if let Some(r) = requestor {
+                            self.send(r, h, MesiKind::InvAck, ctx);
+                        }
+                    }
+                    DemandResponse::Data { data, dirty, .. } => {
+                        // §3.2.2: the accelerator answered an Inv with data.
+                        // Forward it to the L2, whose host modification acks
+                        // the requestor on our behalf.
+                        self.send(self.l2, h, MesiKind::OwnerWb { data, dirty }, ctx);
+                    }
+                }
+            }
+            DemandKind::Read { .. } | DemandKind::ReadOnly { .. } => {
+                // FwdGetS while we own: requestor gets shared data, L2 gets
+                // a refresh copy. The guard fabricates data if the
+                // accelerator failed, so NoCopy/SharedCopy are fallbacks.
+                let (data, dirty) = match resp {
+                    DemandResponse::Data { data, dirty, .. } => (data, dirty),
+                    _ => {
+                        self.stats.violations += 1;
+                        (DataBlock::zeroed(), true)
+                    }
+                };
+                if let Some(r) = requestor {
+                    self.send(
+                        r,
+                        h,
+                        MesiKind::FwdData {
+                            data,
+                            dirty,
+                            exclusive: false,
+                        },
+                        ctx,
+                    );
+                }
+                self.send(self.l2, h, MesiKind::OwnerWb { data, dirty }, ctx);
+            }
+            DemandKind::Write { to_owner: true } => {
+                let (data, dirty) = match resp {
+                    DemandResponse::Data { data, dirty, .. } => (data, dirty),
+                    _ => {
+                        self.stats.violations += 1;
+                        (DataBlock::zeroed(), true)
+                    }
+                };
+                if let Some(r) = requestor {
+                    self.send(
+                        r,
+                        h,
+                        MesiKind::FwdData {
+                            data,
+                            dirty,
+                            exclusive: true,
+                        },
+                        ctx,
+                    );
+                }
+            }
+            DemandKind::Recall => {
+                let (data, dirty) = match resp {
+                    DemandResponse::Data { data, dirty, .. } => (data, dirty),
+                    DemandResponse::SharedCopy | DemandResponse::NoCopy => {
+                        (DataBlock::zeroed(), false)
+                    }
+                };
+                self.send(self.l2, h, MesiKind::RecallData { data, dirty }, ctx);
+            }
+        }
+    }
+
+    // ----- host-facing FSM ----------------------------------------------------
+
+    pub(crate) fn handle_host(
+        &mut self,
+        msg: &MesiMsg,
+        events: &mut Vec<PersonaEvent>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        self.stats.received += 1;
+        let h = msg.addr;
+        if xg_sim::trace_enabled() {
+            eprintln!("[{}] xg-persona <- {:?} @{} (txn {:?})", ctx.now(), msg.kind, h, self.txns.get(&h));
+        }
+        match msg.kind {
+            MesiKind::DataS { data } => self.grant(h, GrantState::S, data, false, 0, events, ctx),
+            MesiKind::DataE { data } => self.grant(h, GrantState::E, data, false, 0, events, ctx),
+            MesiKind::DataM { data, acks } => {
+                self.grant(h, GrantState::M, data, false, acks, events, ctx)
+            }
+            MesiKind::FwdData {
+                data,
+                dirty,
+                exclusive,
+            } => {
+                let state = if exclusive { GrantState::M } else { GrantState::S };
+                self.grant(h, state, data, dirty, 0, events, ctx);
+            }
+            MesiKind::InvAck => {
+                match self.txns.get_mut(&h) {
+                    Some(Txn::Get { acks_got, .. }) => *acks_got += 1,
+                    _ => {
+                        self.stats.violations += 1;
+                        return;
+                    }
+                }
+                self.try_complete(h, events, ctx);
+            }
+            MesiKind::Inv { requestor } => self.handle_inv(h, requestor, events, ctx),
+            MesiKind::FwdGetS { requestor } => self.handle_owner_demand(
+                h,
+                Some(requestor),
+                DemandKind::Read { to_owner: true },
+                events,
+                ctx,
+            ),
+            MesiKind::FwdGetM { requestor } => self.handle_owner_demand(
+                h,
+                Some(requestor),
+                DemandKind::Write { to_owner: true },
+                events,
+                ctx,
+            ),
+            MesiKind::Recall => {
+                self.handle_owner_demand(h, None, DemandKind::Recall, events, ctx)
+            }
+            MesiKind::WbAck => match self.txns.remove(&h) {
+                Some(Txn::Put { .. }) => events.push(PersonaEvent::PutDone { h }),
+                other => {
+                    self.restore(h, other);
+                    self.stats.violations += 1;
+                }
+            },
+            MesiKind::WbNack => match self.txns.remove(&h) {
+                Some(Txn::Put {
+                    invalidated: true, ..
+                }) => {
+                    events.push(PersonaEvent::PutDone { h });
+                }
+                Some(Txn::Put {
+                    is_s, data, dirty, ..
+                }) => {
+                    // Nack overtook its explaining demand; wait for it.
+                    self.txns.insert(
+                        h,
+                        Txn::Put {
+                            is_s,
+                            data,
+                            dirty,
+                            invalidated: false,
+                            nacked: true,
+                        },
+                    );
+                }
+                other => {
+                    self.restore(h, other);
+                    self.stats.violations += 1;
+                }
+            },
+            _ => self.stats.violations += 1,
+        }
+    }
+
+    fn restore(&mut self, h: BlockAddr, txn: Option<Txn>) {
+        if let Some(txn) = txn {
+            self.txns.insert(h, txn);
+        }
+    }
+
+    fn grant(
+        &mut self,
+        h: BlockAddr,
+        state: GrantState,
+        data: DataBlock,
+        dirty: bool,
+        acks: u32,
+        events: &mut Vec<PersonaEvent>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        match self.txns.get_mut(&h) {
+            Some(Txn::Get {
+                grant: grant @ None,
+                acks_expected,
+                ..
+            }) => {
+                *grant = Some((state, data, dirty));
+                *acks_expected = Some(acks);
+            }
+            _ => {
+                self.stats.violations += 1;
+                return;
+            }
+        }
+        self.try_complete(h, events, ctx);
+    }
+
+    fn handle_inv(
+        &mut self,
+        h: BlockAddr,
+        requestor: NodeId,
+        events: &mut Vec<PersonaEvent>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        match self.txns.get_mut(&h) {
+            Some(Txn::Put {
+                is_s, invalidated, nacked, ..
+            }) if *is_s => {
+                // Our PutS raced the invalidation: ack, then either await
+                // the Nack or (if it already overtook us) finish now.
+                let finished = *nacked;
+                *invalidated = true;
+                self.send(requestor, h, MesiKind::InvAck, ctx);
+                if finished {
+                    self.txns.remove(&h);
+                    events.push(PersonaEvent::PutDone { h });
+                }
+            }
+            Some(Txn::Put { .. }) => {
+                // Inv at an owner-putter is stale; ack and carry on.
+                self.send(requestor, h, MesiKind::InvAck, ctx);
+            }
+            _ => {
+                // Possibly a live shared copy at the accelerator (or an
+                // upgrade in flight whose old S copy must die). The guard
+                // decides; we answer once it does.
+                if self.demands.contains_key(&h) {
+                    self.stats.violations += 1;
+                    self.send(requestor, h, MesiKind::InvAck, ctx);
+                    return;
+                }
+                self.demands.insert(
+                    h,
+                    DemandCtx {
+                        requestor: Some(requestor),
+                        kind: DemandKind::Write { to_owner: false },
+                    },
+                );
+                events.push(PersonaEvent::Demand {
+                    h,
+                    kind: DemandKind::Write { to_owner: false },
+                });
+            }
+        }
+    }
+
+    fn handle_owner_demand(
+        &mut self,
+        h: BlockAddr,
+        requestor: Option<NodeId>,
+        kind: DemandKind,
+        events: &mut Vec<PersonaEvent>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        match self.txns.get(&h) {
+            Some(Txn::Put {
+                data,
+                dirty,
+                invalidated,
+                is_s,
+                nacked,
+            }) if !*is_s => {
+                let (data, dirty, was_invalidated, was_nacked) =
+                    (*data, *dirty, *invalidated, *nacked);
+                if was_invalidated {
+                    // Already surrendered; only reachable through desync.
+                    self.stats.violations += 1;
+                    return;
+                }
+                let mut surrendered = false;
+                let mut demoted = false;
+                match kind {
+                    DemandKind::Read { .. } | DemandKind::ReadOnly { .. } => {
+                        // Serve the read; our Put demotes to a PutS at the
+                        // L2 (it will see a non-owner sharer). Mark the
+                        // demotion so a later Inv is treated as hitting a
+                        // shared-copy eviction.
+                        if let Some(r) = requestor {
+                            self.send(
+                                r,
+                                h,
+                                MesiKind::FwdData {
+                                    data,
+                                    dirty,
+                                    exclusive: false,
+                                },
+                                ctx,
+                            );
+                        }
+                        self.send(self.l2, h, MesiKind::OwnerWb { data, dirty }, ctx);
+                        demoted = true;
+                    }
+                    DemandKind::Write { .. } => {
+                        if let Some(r) = requestor {
+                            self.send(
+                                r,
+                                h,
+                                MesiKind::FwdData {
+                                    data,
+                                    dirty,
+                                    exclusive: true,
+                                },
+                                ctx,
+                            );
+                        }
+                        surrendered = true;
+                    }
+                    DemandKind::Recall => {
+                        self.send(self.l2, h, MesiKind::RecallData { data, dirty }, ctx);
+                        surrendered = true;
+                    }
+                }
+                if was_nacked && surrendered {
+                    // The demand explains the earlier Nack; all done.
+                    self.txns.remove(&h);
+                    events.push(PersonaEvent::PutDone { h });
+                } else if surrendered || demoted {
+                    if let Some(Txn::Put {
+                        invalidated, is_s, ..
+                    }) = self.txns.get_mut(&h)
+                    {
+                        if surrendered {
+                            *invalidated = true;
+                        }
+                        if demoted {
+                            *is_s = true;
+                        }
+                    }
+                }
+            }
+            Some(Txn::Get { .. }) => {
+                // We are the owner-to-be without data yet: defer until the
+                // grant lands (the textbook IM race, invisible to the
+                // accelerator).
+                if let Some(Txn::Get { deferred, .. }) = self.txns.get_mut(&h) {
+                    deferred.push((requestor, kind));
+                }
+            }
+            _ => {
+                if self.demands.contains_key(&h) {
+                    self.stats.violations += 1;
+                    return;
+                }
+                self.demands.insert(h, DemandCtx { requestor, kind });
+                events.push(PersonaEvent::Demand { h, kind });
+            }
+        }
+    }
+
+    fn try_complete(&mut self, h: BlockAddr, events: &mut Vec<PersonaEvent>, ctx: &mut Ctx<'_>) {
+        let ready = matches!(
+            self.txns.get(&h),
+            Some(Txn::Get {
+                grant: Some(_),
+                acks_expected: Some(n),
+                acks_got,
+                ..
+            }) if acks_got >= n
+        );
+        if !ready {
+            return;
+        }
+        let Some(Txn::Get {
+            grant, deferred, ..
+        }) = self.txns.remove(&h)
+        else {
+            unreachable!("checked above")
+        };
+        let (state, data, dirty) = grant.expect("checked above");
+        events.push(PersonaEvent::Granted {
+            h,
+            state,
+            data,
+            dirty,
+        });
+        // Demands that raced ahead of our grant surface now; the guard will
+        // see them *after* the grant event, in order.
+        for (requestor, kind) in deferred {
+            if self.demands.contains_key(&h) {
+                self.stats.violations += 1;
+                continue;
+            }
+            self.demands.insert(h, DemandCtx { requestor, kind });
+            events.push(PersonaEvent::Demand { h, kind });
+        }
+        let _ = ctx;
+    }
+}

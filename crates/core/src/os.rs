@@ -1,0 +1,159 @@
+//! The OS model: error sink and policy engine (paper §2.2).
+
+use std::collections::BTreeMap;
+
+use xg_proto::{Ctx, Message, OsMsg, XgError, XgErrorKind};
+use xg_sim::{Component, NodeId, Report};
+
+use crate::config::OsPolicy;
+
+/// A minimal OS: receives [`XgError`] reports from Crossing Guard
+/// instances and applies a policy.
+///
+/// With [`OsPolicy::DisableAccelerator`], the first error from a guard
+/// triggers an [`OsMsg::DisableAccelerator`] back to that guard, after
+/// which the guard stops accepting accelerator requests (but keeps
+/// answering host demands safely) — the containment action the paper
+/// suggests ("disable the accelerator to prevent it from making further
+/// accesses").
+pub struct Os {
+    name: String,
+    policy: OsPolicy,
+    errors: Vec<XgError>,
+    by_kind: BTreeMap<XgErrorKind, u64>,
+    disabled: Vec<NodeId>,
+}
+
+impl Os {
+    /// Creates an OS model with the given policy.
+    pub fn new(name: impl Into<String>, policy: OsPolicy) -> Self {
+        Os {
+            name: name.into(),
+            policy,
+            errors: Vec::new(),
+            by_kind: BTreeMap::new(),
+            disabled: Vec::new(),
+        }
+    }
+
+    /// All error reports received so far, in arrival order.
+    pub fn errors(&self) -> &[XgError] {
+        &self.errors
+    }
+
+    /// Number of errors of a given kind.
+    pub fn count(&self, kind: XgErrorKind) -> u64 {
+        self.by_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total errors received.
+    pub fn total(&self) -> u64 {
+        self.errors.len() as u64
+    }
+
+    /// Guards this OS has disabled.
+    pub fn disabled_guards(&self) -> &[NodeId] {
+        &self.disabled
+    }
+}
+
+impl Component<Message> for Os {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        let Message::Os(OsMsg::Error(err)) = msg else {
+            return;
+        };
+        *self.by_kind.entry(err.kind).or_insert(0) += 1;
+        self.errors.push(err);
+        if self.policy == OsPolicy::DisableAccelerator && !self.disabled.contains(&from) {
+            self.disabled.push(from);
+            ctx.send(from, OsMsg::DisableAccelerator.into());
+        }
+    }
+
+    fn report(&self, out: &mut Report) {
+        let n = &self.name;
+        out.set(format!("{n}.errors_total"), self.total());
+        for (kind, count) in &self.by_kind {
+            out.add(format!("{n}.errors.{kind}"), *count);
+        }
+        out.set(format!("{n}.guards_disabled"), self.disabled.len() as u64);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xg_mem::BlockAddr;
+    use xg_sim::SimBuilder;
+
+    /// A stub guard that records whether it was disabled.
+    struct StubGuard {
+        disabled: bool,
+    }
+    impl Component<Message> for StubGuard {
+        fn name(&self) -> &str {
+            "stub_guard"
+        }
+        fn handle(&mut self, _from: NodeId, msg: Message, _ctx: &mut Ctx<'_>) {
+            if let Message::Os(OsMsg::DisableAccelerator) = msg {
+                self.disabled = true;
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn err(guard: NodeId, kind: XgErrorKind) -> Message {
+        OsMsg::Error(XgError::new(guard, Some(BlockAddr::new(1)), kind)).into()
+    }
+
+    #[test]
+    fn report_only_counts_without_disabling() {
+        let mut b = SimBuilder::new(1);
+        let guard = b.add(Box::new(StubGuard { disabled: false }));
+        let os = b.add(Box::new(Os::new("os", OsPolicy::ReportOnly)));
+        let mut sim = b.build();
+        sim.post(guard, os, err(guard, XgErrorKind::DuplicateRequest));
+        sim.post(guard, os, err(guard, XgErrorKind::DuplicateRequest));
+        sim.post(guard, os, err(guard, XgErrorKind::ResponseTimeout));
+        assert!(sim.run_to_quiescence(1_000).quiescent);
+        let osr = sim.get::<Os>(os).unwrap();
+        assert_eq!(osr.total(), 3);
+        assert_eq!(osr.count(XgErrorKind::DuplicateRequest), 2);
+        assert_eq!(osr.count(XgErrorKind::ResponseTimeout), 1);
+        assert_eq!(osr.count(XgErrorKind::Malformed), 0);
+        assert!(osr.disabled_guards().is_empty());
+        assert!(!sim.get::<StubGuard>(guard).unwrap().disabled);
+    }
+
+    #[test]
+    fn disable_policy_fires_once() {
+        let mut b = SimBuilder::new(1);
+        let guard = b.add(Box::new(StubGuard { disabled: false }));
+        let os = b.add(Box::new(Os::new("os", OsPolicy::DisableAccelerator)));
+        let mut sim = b.build();
+        sim.post(guard, os, err(guard, XgErrorKind::PermissionWrite));
+        sim.post(guard, os, err(guard, XgErrorKind::PermissionWrite));
+        assert!(sim.run_to_quiescence(1_000).quiescent);
+        assert!(sim.get::<StubGuard>(guard).unwrap().disabled);
+        assert_eq!(sim.get::<Os>(os).unwrap().disabled_guards(), &[guard]);
+        let report = sim.report();
+        assert_eq!(report.get("os.guards_disabled"), 1);
+        assert_eq!(report.get("os.errors_total"), 2);
+    }
+}

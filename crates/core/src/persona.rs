@@ -1,0 +1,119 @@
+//! Shared vocabulary between the guard core and its host personas.
+//!
+//! A *persona* is the host-facing half of a Crossing Guard instance: the
+//! state machine that makes Crossing Guard look like an ordinary cache to
+//! one particular host protocol. The guard core is protocol-agnostic and
+//! talks to its persona through the small vocabulary in this module; the
+//! personas (`hammer_side`, `mesi_side`) translate it to and from wire
+//! messages, absorbing ack counting, broadcast responses, two-phase
+//! writebacks, and every race along the way.
+
+use xg_mem::{BlockAddr, DataBlock};
+use xg_sim::NodeId;
+
+/// What a completed host Get granted us.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GrantState {
+    S,
+    E,
+    M,
+}
+
+/// A host request the guard can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum GetReq {
+    /// Ordinary read; the host may answer with exclusive data.
+    S,
+    /// Non-upgradable read (never grants ownership).
+    SOnly,
+    /// Write.
+    M,
+}
+
+/// A relinquish the guard can issue. (`PutS` suppression happens in the
+/// guard; a persona is only asked to put what its host protocol wants.)
+#[derive(Debug, Clone)]
+pub(crate) enum PutReq {
+    /// Evict a shared copy (MESI host only — Hammer drops S silently).
+    S,
+    /// Return owned data; `dirty` says whether memory must be updated.
+    Owned { data: DataBlock, dirty: bool },
+}
+
+/// A host demand, normalized across protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DemandKind {
+    /// Another cache wants to read. `to_owner`: the host believes we own
+    /// the block (so a data response is expected).
+    Read { to_owner: bool },
+    /// Another cache wants a non-upgradable read.
+    ReadOnly { to_owner: bool },
+    /// Another cache wants to write; our copy must die.
+    Write { to_owner: bool },
+    /// The host wants the block back entirely (inclusive L2 eviction).
+    Recall,
+}
+
+impl DemandKind {
+    /// Whether the host expects data from us for this demand.
+    pub(crate) fn expects_data(self) -> bool {
+        match self {
+            DemandKind::Read { to_owner }
+            | DemandKind::ReadOnly { to_owner }
+            | DemandKind::Write { to_owner } => to_owner,
+            DemandKind::Recall => true,
+        }
+    }
+}
+
+/// The guard's answer to a [`DemandKind`], handed back to the persona for
+/// wire translation.
+#[derive(Debug, Clone)]
+pub(crate) enum DemandResponse {
+    /// The accelerator holds nothing.
+    NoCopy,
+    /// The accelerator holds (or just relinquished) only a shared copy.
+    SharedCopy,
+    /// Owned data returned. `keep_shared` says the guard retains a
+    /// shared/shadow copy (the requestor must not take exclusivity).
+    Data {
+        data: DataBlock,
+        dirty: bool,
+        keep_shared: bool,
+    },
+}
+
+/// Events a persona reports to the guard core.
+#[derive(Debug, Clone)]
+pub(crate) enum PersonaEvent {
+    /// A previously-issued Get completed.
+    Granted {
+        h: BlockAddr,
+        state: GrantState,
+        data: DataBlock,
+        dirty: bool,
+    },
+    /// A previously-issued Put completed (acked or consumed by a race).
+    PutDone { h: BlockAddr },
+    /// The host demands the block; the guard must eventually call
+    /// `respond_demand(h, ...)` exactly once.
+    Demand { h: BlockAddr, kind: DemandKind },
+}
+
+/// Per-persona statistics the guard folds into its report.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PersonaStats {
+    /// Messages sent to the host network.
+    pub sent: u64,
+    /// Put-class messages sent to the host network.
+    pub puts_sent: u64,
+    /// Messages received from the host network.
+    pub received: u64,
+    /// Impossible events (desync with a trusted host = bug; nonzero only
+    /// under deliberately broken configurations).
+    pub violations: u64,
+}
+
+/// Node id placeholder used in demand contexts that answer to the host
+/// controller itself rather than a sibling cache.
+pub(crate) type Requestor = NodeId;

@@ -1,0 +1,128 @@
+//! Token-bucket request-rate limiting (paper §2.5).
+
+use xg_sim::Cycle;
+
+use crate::config::RateLimit;
+
+/// A deterministic token bucket over simulated time.
+///
+/// Crossing Guard uses this to bound the rate at which an accelerator can
+/// inject *requests* into the host coherence system, preventing a
+/// misbehaving (but message-wise legal) accelerator from denial-of-servicing
+/// the directory and shared interconnect. Responses are never charged.
+///
+/// ```rust
+/// use xg_core::{RateLimit, TokenBucket};
+/// use xg_sim::Cycle;
+///
+/// let mut tb = TokenBucket::new(RateLimit { tokens_per_kilocycle: 1000, burst: 2 });
+/// assert!(tb.try_take(Cycle::new(0)));
+/// assert!(tb.try_take(Cycle::new(0)));
+/// assert!(!tb.try_take(Cycle::new(0))); // burst exhausted
+/// assert!(tb.try_take(Cycle::new(1)));  // 1 token/cycle refill
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    limit: RateLimit,
+    /// Tokens scaled by 1000 to avoid fractional accrual.
+    milli_tokens: u64,
+    last: Cycle,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full.
+    pub fn new(limit: RateLimit) -> Self {
+        TokenBucket {
+            limit,
+            milli_tokens: limit.burst * 1000,
+            last: Cycle::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: Cycle) {
+        let elapsed = now.saturating_since(self.last);
+        self.last = self.last.max(now);
+        let cap = self.limit.burst * 1000;
+        self.milli_tokens = (self.milli_tokens
+            + elapsed.saturating_mul(self.limit.tokens_per_kilocycle))
+        .min(cap);
+    }
+
+    /// Takes one token if available.
+    pub fn try_take(&mut self, now: Cycle) -> bool {
+        self.refill(now);
+        if self.milli_tokens >= 1000 {
+            self.milli_tokens -= 1000;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cycles until one token will be available (0 if one is available now).
+    pub fn cycles_until_token(&mut self, now: Cycle) -> u64 {
+        self.refill(now);
+        if self.milli_tokens >= 1000 {
+            return 0;
+        }
+        let deficit = 1000 - self.milli_tokens;
+        if self.limit.tokens_per_kilocycle == 0 {
+            return u64::MAX;
+        }
+        deficit.div_ceil(self.limit.tokens_per_kilocycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket(rate: u64, burst: u64) -> TokenBucket {
+        TokenBucket::new(RateLimit {
+            tokens_per_kilocycle: rate,
+            burst,
+        })
+    }
+
+    #[test]
+    fn burst_then_starve() {
+        let mut tb = bucket(100, 3); // 0.1 tokens per cycle
+        for _ in 0..3 {
+            assert!(tb.try_take(Cycle::new(0)));
+        }
+        assert!(!tb.try_take(Cycle::new(0)));
+        // After 10 cycles exactly one token has accrued.
+        assert!(tb.try_take(Cycle::new(10)));
+        assert!(!tb.try_take(Cycle::new(10)));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut tb = bucket(1000, 2);
+        assert!(tb.try_take(Cycle::new(0)));
+        assert!(tb.try_take(Cycle::new(0)));
+        // A long time passes; only `burst` tokens are available.
+        for _ in 0..2 {
+            assert!(tb.try_take(Cycle::new(1_000_000)));
+        }
+        assert!(!tb.try_take(Cycle::new(1_000_000)));
+    }
+
+    #[test]
+    fn wait_time_is_exact() {
+        let mut tb = bucket(250, 1); // one token per 4 cycles
+        assert!(tb.try_take(Cycle::new(0)));
+        assert_eq!(tb.cycles_until_token(Cycle::new(0)), 4);
+        assert_eq!(tb.cycles_until_token(Cycle::new(2)), 2);
+        assert_eq!(tb.cycles_until_token(Cycle::new(4)), 0);
+        assert!(tb.try_take(Cycle::new(4)));
+    }
+
+    #[test]
+    fn zero_rate_never_refills() {
+        let mut tb = bucket(0, 1);
+        assert!(tb.try_take(Cycle::new(0)));
+        assert!(!tb.try_take(Cycle::new(1_000_000)));
+        assert_eq!(tb.cycles_until_token(Cycle::new(1_000_000)), u64::MAX);
+    }
+}

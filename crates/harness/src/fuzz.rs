@@ -1,0 +1,333 @@
+//! Fuzzers: pathological accelerators (paper §1, §4).
+//!
+//! [`FuzzAccel`] "bombards the Crossing Guard with a stream of random
+//! coherence messages to random addresses" — every interface kind
+//! (including host-to-accelerator kinds an accelerator should never send),
+//! random payload sizes, random addresses, and random or absent responses
+//! to invalidations. A safe guard never crashes, never deadlocks the host,
+//! and reports errors to the OS.
+//!
+//! [`FuzzHostCache`] is the control experiment: the same garbage aimed
+//! directly at an *unprotected* host protocol, as a buggy accelerator-side
+//! cache (Figure 2(a)) could do. The strict (unmodified) host counts
+//! protocol violations and can wedge — which is the point.
+
+use rand::Rng;
+use xg_mem::{BlockAddr, DataBlock};
+use xg_proto::{Ctx, HammerKind, HammerMsg, MesiKind, MesiMsg, Message, XgData, XgiKind, XgiMsg};
+use xg_sim::{Component, NodeId, Report};
+
+use crate::config::HostProtocol;
+
+/// Fuzzing parameters.
+#[derive(Debug, Clone)]
+pub struct FuzzOpts {
+    /// Total messages to inject.
+    pub messages: u64,
+    /// Address pool size in blocks (addresses are `0..blocks * 64`).
+    pub pool_blocks: u64,
+    /// Cycles between injections (min, max).
+    pub gap: (u64, u64),
+    /// Percent of invalidations that get *some* response (the rest are
+    /// dropped to exercise the 2c timeout).
+    pub respond_percent: u32,
+}
+
+impl Default for FuzzOpts {
+    fn default() -> Self {
+        FuzzOpts {
+            messages: 500,
+            pool_blocks: 16,
+            gap: (1, 30),
+            respond_percent: 70,
+        }
+    }
+}
+
+fn random_payload(ctx: &mut Ctx<'_>) -> XgData {
+    // Deliberately sometimes the wrong size.
+    let n = ctx.rng().gen_range(1..=3);
+    let mut blocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        blocks.push(DataBlock::splat(ctx.rng().gen()));
+    }
+    XgData::from_blocks(blocks)
+}
+
+fn random_xgi_kind(ctx: &mut Ctx<'_>) -> XgiKind {
+    match ctx.rng().gen_range(0..13) {
+        0 => XgiKind::GetS,
+        1 => XgiKind::GetM,
+        2 => XgiKind::PutS,
+        3 => XgiKind::PutE {
+            data: random_payload(ctx),
+        },
+        4 => XgiKind::PutM {
+            data: random_payload(ctx),
+        },
+        5 => XgiKind::InvAck,
+        6 => XgiKind::CleanWb {
+            data: random_payload(ctx),
+        },
+        7 => XgiKind::DirtyWb {
+            data: random_payload(ctx),
+        },
+        // Kinds only the guard may legally send — pure garbage from us.
+        8 => XgiKind::DataS {
+            data: random_payload(ctx),
+        },
+        9 => XgiKind::DataE {
+            data: random_payload(ctx),
+        },
+        10 => XgiKind::DataM {
+            data: random_payload(ctx),
+        },
+        11 => XgiKind::WbAck,
+        _ => XgiKind::Inv,
+    }
+}
+
+/// A pathologically buggy accelerator attached to a Crossing Guard.
+pub struct FuzzAccel {
+    name: String,
+    xg: NodeId,
+    opts: FuzzOpts,
+    sent: u64,
+    invs_seen: u64,
+    grants_seen: u64,
+}
+
+impl FuzzAccel {
+    /// Creates a fuzzer aimed at `xg`.
+    pub fn new(name: impl Into<String>, xg: NodeId, opts: FuzzOpts) -> Self {
+        FuzzAccel {
+            name: name.into(),
+            xg,
+            opts,
+            sent: 0,
+            invs_seen: 0,
+            grants_seen: 0,
+        }
+    }
+
+    /// Messages injected so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl Component<Message> for FuzzAccel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, _from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        let Message::Xgi(m) = msg else { return };
+        match m.kind {
+            XgiKind::Inv => {
+                self.invs_seen += 1;
+                if ctx.rng().gen_range(0..100) < self.opts.respond_percent {
+                    // Respond with a random (often wrong) response kind.
+                    let kind = match ctx.rng().gen_range(0..4) {
+                        0 => XgiKind::InvAck,
+                        1 => XgiKind::CleanWb {
+                            data: random_payload(ctx),
+                        },
+                        2 => XgiKind::DirtyWb {
+                            data: random_payload(ctx),
+                        },
+                        // Or answer with something that is not a response
+                        // at all.
+                        _ => XgiKind::GetM,
+                    };
+                    ctx.send(self.xg, XgiMsg::new(m.addr, kind).into());
+                }
+                // Otherwise: silence → the guard's 2c timeout must cover.
+            }
+            XgiKind::DataS { .. } | XgiKind::DataE { .. } | XgiKind::DataM { .. } => {
+                self.grants_seen += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn wake(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        if self.sent >= self.opts.messages {
+            return;
+        }
+        let block = ctx.rng().gen_range(0..self.opts.pool_blocks);
+        let kind = random_xgi_kind(ctx);
+        ctx.send(
+            self.xg,
+            XgiMsg::new(BlockAddr::new(block), kind).into(),
+        );
+        self.sent += 1;
+        let delay = ctx.rng().gen_range(self.opts.gap.0..=self.opts.gap.1);
+        ctx.wake_in(delay, 0);
+    }
+
+    fn report(&self, out: &mut Report) {
+        let n = &self.name;
+        out.add(format!("{n}.sent"), self.sent);
+        out.add(format!("{n}.invs_seen"), self.invs_seen);
+        out.add(format!("{n}.grants_seen"), self.grants_seen);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A fuzzer that speaks the raw host protocol — what a buggy
+/// accelerator-side cache can do to an unprotected host (Figure 2(a)).
+pub struct FuzzHostCache {
+    name: String,
+    host: HostProtocol,
+    home: NodeId,
+    peers: Vec<NodeId>,
+    opts: FuzzOpts,
+    sent: u64,
+}
+
+impl FuzzHostCache {
+    /// Creates a host-protocol fuzzer: requests go to `home`, responses to
+    /// random `peers`.
+    pub fn new(
+        name: impl Into<String>,
+        host: HostProtocol,
+        home: NodeId,
+        peers: Vec<NodeId>,
+        opts: FuzzOpts,
+    ) -> Self {
+        FuzzHostCache {
+            name: name.into(),
+            host,
+            home,
+            peers,
+            opts,
+            sent: 0,
+        }
+    }
+
+    fn random_hammer(&self, ctx: &mut Ctx<'_>) -> (HammerKind, bool) {
+        // (kind, aimed_at_home)
+        let data = DataBlock::splat(ctx.rng().gen());
+        match ctx.rng().gen_range(0..8) {
+            0 => (HammerKind::GetS, true),
+            1 => (HammerKind::GetM, true),
+            2 => (HammerKind::Put, true),
+            3 => (
+                HammerKind::WbData { data, dirty: true },
+                true,
+            ),
+            4 => (HammerKind::Unblock { new_owner: ctx.rng().gen() }, true),
+            5 => (
+                HammerKind::RespData {
+                    data,
+                    dirty: ctx.rng().gen(),
+                    owner_keeps_copy: ctx.rng().gen(),
+                },
+                false,
+            ),
+            6 => (
+                HammerKind::RespAck {
+                    had_copy: ctx.rng().gen(),
+                },
+                false,
+            ),
+            _ => (HammerKind::WbAck, false),
+        }
+    }
+
+    fn random_mesi(&self, ctx: &mut Ctx<'_>) -> (MesiKind, bool) {
+        let data = DataBlock::splat(ctx.rng().gen());
+        match ctx.rng().gen_range(0..8) {
+            0 => (MesiKind::GetS, true),
+            1 => (MesiKind::GetM, true),
+            2 => (MesiKind::PutS, true),
+            3 => (MesiKind::PutM { data }, true),
+            4 => (
+                MesiKind::OwnerWb {
+                    data,
+                    dirty: ctx.rng().gen(),
+                },
+                true,
+            ),
+            5 => (
+                MesiKind::RecallData {
+                    data,
+                    dirty: ctx.rng().gen(),
+                },
+                true,
+            ),
+            6 => (MesiKind::InvAck, false),
+            _ => (
+                MesiKind::FwdData {
+                    data,
+                    dirty: ctx.rng().gen(),
+                    exclusive: ctx.rng().gen(),
+                },
+                false,
+            ),
+        }
+    }
+}
+
+impl Component<Message> for FuzzHostCache {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, _from: NodeId, _msg: Message, _ctx: &mut Ctx<'_>) {
+        // Discard everything — including requests the host is waiting on.
+    }
+
+    fn wake(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        if self.sent >= self.opts.messages {
+            return;
+        }
+        let block = BlockAddr::new(ctx.rng().gen_range(0..self.opts.pool_blocks));
+        let msg: Message;
+        let to: NodeId;
+        match self.host {
+            HostProtocol::Hammer => {
+                let (kind, at_home) = self.random_hammer(ctx);
+                to = if at_home || self.peers.is_empty() {
+                    self.home
+                } else {
+                    let i = ctx.rng().gen_range(0..self.peers.len());
+                    self.peers[i]
+                };
+                msg = HammerMsg::new(block, kind).into();
+            }
+            HostProtocol::Mesi => {
+                let (kind, at_home) = self.random_mesi(ctx);
+                to = if at_home || self.peers.is_empty() {
+                    self.home
+                } else {
+                    let i = ctx.rng().gen_range(0..self.peers.len());
+                    self.peers[i]
+                };
+                msg = MesiMsg::new(block, kind).into();
+            }
+        }
+        ctx.send(to, msg);
+        self.sent += 1;
+        let delay = ctx.rng().gen_range(self.opts.gap.0..=self.opts.gap.1);
+        ctx.wake_in(delay, 0);
+    }
+
+    fn report(&self, out: &mut Report) {
+        out.add(format!("{}.sent", self.name), self.sent);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

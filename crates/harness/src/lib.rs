@@ -1,0 +1,41 @@
+//! # xg-harness — system assembly, stress testing, fuzzing, workloads
+//!
+//! Everything needed to *evaluate* Crossing Guard, mirroring the paper's
+//! methodology (§3–§4):
+//!
+//! * [`SystemConfig`] / [`build_system`] — wire up any of the paper's
+//!   twelve configurations (2 host protocols × {accelerator-side cache,
+//!   host-side cache, 2 Crossing Guard variants × 2 accelerator
+//!   organizations}), plus the fuzzing configurations.
+//! * [`TesterCore`] — the random value-checking coherence tester of §4.1:
+//!   rapid loads and stores to a small address pool with random message
+//!   latencies, single-writer-per-word value discipline, per-reader
+//!   monotonicity checks, and state/event coverage counting.
+//! * [`FuzzAccel`] — the §4.2-style fuzzer: bombards the Crossing Guard
+//!   interface with random (including malformed) messages and responds to
+//!   invalidations randomly or not at all.
+//! * [`FuzzHostCache`] — the same bombardment aimed directly at the host
+//!   protocol, for the unsafe accelerator-side baseline.
+//! * [`WorkloadCore`] / [`Pattern`] — synthetic traffic generators standing
+//!   in for the paper's Rodinia workloads on gem5-gpu (see `DESIGN.md` for
+//!   the substitution rationale): streaming, stencil, blocked,
+//!   data-dependent graph walks, reductions, and host↔accelerator
+//!   producer-consumer sharing.
+//! * [`runner`] — one-call experiment drivers returning structured
+//!   outcomes (cycles, errors, coverage, violations).
+
+pub mod config;
+pub mod fuzz;
+pub mod runner;
+pub mod system;
+pub mod tester;
+pub mod workloads;
+
+pub use config::{AccelOrg, HostProtocol, SystemConfig};
+pub use fuzz::{FuzzAccel, FuzzHostCache, FuzzOpts};
+pub use runner::{
+    run_fuzz, run_stress, run_workload, FuzzOutcome, PerfOutcome, StressOpts, StressOutcome,
+};
+pub use system::{build_system, BuiltSystem};
+pub use tester::{TesterCfg, TesterCore, TesterShared};
+pub use workloads::{Pattern, WorkloadCore};

@@ -1,0 +1,269 @@
+//! One-call experiment drivers.
+//!
+//! Each function assembles a system, attaches the right traffic
+//! generators, runs it under a progress watchdog (so protocol deadlock is
+//! *detected*, never hung on), and returns a structured outcome.
+
+use xg_core::OsPolicy;
+use xg_sim::Report;
+
+use crate::config::SystemConfig;
+use crate::fuzz::FuzzOpts;
+use crate::system::{build_system, CoreSlot};
+use crate::tester::{word_pool, TesterCfg, TesterCore, TesterShared};
+use crate::workloads::{Pattern, WorkloadCore};
+
+/// Options for a stress run (paper §4.1 methodology).
+#[derive(Debug, Clone)]
+pub struct StressOpts {
+    /// Total operations across all cores.
+    pub ops: u64,
+    /// Number of contended blocks in the address pool.
+    pub blocks: u64,
+    /// Words used per block.
+    pub words_per_block: u64,
+    /// Tester knobs.
+    pub tester: TesterCfg,
+    /// Watchdog: max cycles with no completed operation before declaring
+    /// deadlock.
+    pub stall_bound: u64,
+    /// Absolute simulation budget.
+    pub max_cycles: u64,
+}
+
+impl Default for StressOpts {
+    fn default() -> Self {
+        StressOpts {
+            ops: 2_000,
+            blocks: 4,
+            words_per_block: 2,
+            tester: TesterCfg::default(),
+            stall_bound: 100_000,
+            max_cycles: 50_000_000,
+        }
+    }
+}
+
+/// Outcome of a stress run.
+#[derive(Debug)]
+pub struct StressOutcome {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Operations completed.
+    pub completed: u64,
+    /// Value-check failures (0 for a correct protocol).
+    pub data_errors: u64,
+    /// First few failure descriptions.
+    pub error_log: Vec<String>,
+    /// True if the watchdog fired or operations were left hanging.
+    pub deadlocked: bool,
+    /// Distinct (state, event) pairs visited across all controllers.
+    pub transitions: usize,
+    /// Full statistics.
+    pub report: Report,
+}
+
+/// Runs the §4.1 random coherence stress test on `cfg`.
+pub fn run_stress(cfg: &SystemConfig, opts: &StressOpts) -> StressOutcome {
+    let cfg = cfg.clone().shrink_caches();
+    let accel_cores = match &cfg.accel {
+        crate::AccelOrg::Xg { two_level: true, .. } => cfg.accel_cores,
+        _ => 1,
+    };
+    let total_cores = cfg.cpu_cores + accel_cores;
+    let shared = TesterShared::new(total_cores, opts.ops);
+    let pool = word_pool(0x4000, opts.blocks, opts.words_per_block);
+    let mut system = build_system(&cfg, OsPolicy::ReportOnly, None, |slot, cache, index| {
+        let name = match slot {
+            CoreSlot::Cpu(i) => format!("tester_cpu{i}"),
+            CoreSlot::Accel(i) => format!("tester_acc{i}"),
+        };
+        Box::new(TesterCore::new(
+            name,
+            cache,
+            index,
+            shared.clone(),
+            pool.clone(),
+            opts.tester.clone(),
+        ))
+    });
+    system.start_cores();
+    let out = system
+        .sim
+        .run_with_watchdog(opts.max_cycles, opts.stall_bound);
+    let report = system.sim.report();
+    let shared = shared.borrow();
+    let hung_ops = report.sum_suffix(".outstanding") > 0;
+    let transitions: usize = report.coverages().map(|(_, c)| c.len()).sum();
+    StressOutcome {
+        cycles: out.now.as_u64(),
+        completed: shared.completed(),
+        data_errors: shared.data_errors(),
+        error_log: shared.error_log().to_vec(),
+        deadlocked: out.stalled || (!shared.done() && !out.quiescent) || hung_ops,
+        transitions,
+        report,
+    }
+}
+
+/// Outcome of a fuzzing run.
+#[derive(Debug)]
+pub struct FuzzOutcome {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Fuzz messages injected.
+    pub injected: u64,
+    /// Host-side protocol violations (impossible events at host
+    /// controllers). Zero when a Crossing Guard protects the host.
+    pub host_violations: u64,
+    /// Errors the guard reported to the OS, total.
+    pub os_errors: u64,
+    /// True if the host stopped making progress (CPU testers starved) or
+    /// ops were left permanently outstanding.
+    pub deadlocked: bool,
+    /// CPU tester operations that completed *while being bombarded* —
+    /// evidence the host stayed alive.
+    pub cpu_ops_completed: u64,
+    /// CPU-side value-check failures.
+    pub cpu_data_errors: u64,
+    /// Full statistics.
+    pub report: Report,
+}
+
+/// Runs a fuzz attack (`FuzzXg` or `FuzzAccelSide` organization) while CPU
+/// testers measure whether the host stays correct and alive.
+pub fn run_fuzz(cfg: &SystemConfig, fuzz: &FuzzOpts, cpu_ops: u64) -> FuzzOutcome {
+    assert!(
+        matches!(
+            cfg.accel,
+            crate::AccelOrg::FuzzXg { .. } | crate::AccelOrg::FuzzAccelSide
+        ),
+        "run_fuzz needs a fuzzing accelerator organization"
+    );
+    // Guarantee 0 is grounded in page permissions: give the accelerator
+    // read-write access to its own attack range and *nothing else*. What
+    // the accelerator may legally write is outside the protection claim
+    // (paper §2.2.1); everything else must be untouchable.
+    let mut cfg = cfg.clone();
+    let mut perms = xg_mem::PermissionTable::with_default(xg_mem::PagePerm::None);
+    let last_page = xg_mem::BlockAddr::new(fuzz.pool_blocks).page().as_u64();
+    for page in 0..=last_page {
+        perms.set(xg_mem::PageAddr::new(page), xg_mem::PagePerm::ReadWrite);
+    }
+    cfg.xg.perms = perms;
+    let cfg = &cfg;
+    let shared = TesterShared::new(cfg.cpu_cores, cpu_ops);
+    // CPU testers use a pool *disjoint* from the fuzzer's attack range:
+    // the fuzzer has read-write permission on its own pages, so corrupting
+    // those is explicitly outside Crossing Guard's threat model (paper
+    // §2.2.1). What must hold is that pages the accelerator cannot write
+    // — including everything the CPUs work on here — stay intact, and
+    // that the host keeps making progress.
+    let pool = word_pool(0x100_0000, fuzz.pool_blocks.max(4), 2);
+    let mut system = build_system(
+        cfg,
+        OsPolicy::ReportOnly,
+        Some(fuzz.clone()),
+        |slot, cache, index| {
+            let name = match slot {
+                CoreSlot::Cpu(i) => format!("tester_cpu{i}"),
+                CoreSlot::Accel(i) => format!("tester_acc{i}"),
+            };
+            Box::new(TesterCore::new(
+                name,
+                cache,
+                index,
+                shared.clone(),
+                pool.clone(),
+                TesterCfg::default(),
+            ))
+        },
+    );
+    system.start_cores();
+    let out = system.sim.run_with_watchdog(50_000_000, 200_000);
+    let report = system.sim.report();
+    let shared = shared.borrow();
+    let hung_ops = report.sum_suffix(".outstanding") > 0;
+    FuzzOutcome {
+        cycles: out.now.as_u64(),
+        injected: report.sum_suffix("fuzz_accel.sent") + report.sum_suffix("fuzz_host.sent"),
+        host_violations: report.sum_suffix(".protocol_violation"),
+        os_errors: report.get("os.errors_total"),
+        deadlocked: out.stalled || !shared.done() || hung_ops,
+        cpu_ops_completed: shared.completed(),
+        cpu_data_errors: shared.data_errors(),
+        report,
+    }
+}
+
+/// Outcome of a performance run.
+#[derive(Debug)]
+pub struct PerfOutcome {
+    /// Cycle at which the accelerator workload finished (the runtime the
+    /// performance figure plots).
+    pub accel_runtime: u64,
+    /// Average accelerator access latency.
+    pub accel_avg_latency: u64,
+    /// Total cycles simulated (includes CPU wind-down).
+    pub cycles: u64,
+    /// True if anything failed to finish.
+    pub incomplete: bool,
+    /// Full statistics.
+    pub report: Report,
+}
+
+/// Runs a performance experiment: the accelerator core(s) execute
+/// `pattern` for `accel_ops` accesses while the CPUs run a light streaming
+/// workload that shares the `ProducerConsumer` region.
+pub fn run_workload(cfg: &SystemConfig, pattern: Pattern, accel_ops: u64) -> PerfOutcome {
+    // Accel footprint: 256 words (16 KiB of blocks, bigger than the accel
+    // L1 in the default config → real miss traffic). Shared base for
+    // producer-consumer overlap with CPU cores.
+    const BASE: u64 = 0x10_0000;
+    const FOOTPRINT: u64 = 2048;
+    let mut system = build_system(cfg, OsPolicy::ReportOnly, None, |slot, cache, _index| {
+        match slot {
+            CoreSlot::Cpu(i) => Box::new(WorkloadCore::new(
+                format!("wl_cpu{i}"),
+                cache,
+                Pattern::ProducerConsumer,
+                BASE,
+                FOOTPRINT,
+                accel_ops / 4,
+            )),
+            CoreSlot::Accel(i) => Box::new(WorkloadCore::new(
+                format!("wl_acc{i}"),
+                cache,
+                pattern,
+                BASE,
+                FOOTPRINT,
+                accel_ops,
+            )),
+        }
+    });
+    system.start_cores();
+    let out = system.sim.run_with_watchdog(200_000_000, 1_000_000);
+    let mut accel_runtime = 0u64;
+    let mut accel_lat = (0u64, 0u64);
+    let mut incomplete = out.stalled;
+    for &core in &system.accel_cores {
+        let wl = system
+            .sim
+            .get::<WorkloadCore>(core)
+            .expect("accel cores are workload cores");
+        match wl.done_at() {
+            Some(done) => accel_runtime = accel_runtime.max(done.as_u64()),
+            None => incomplete = true,
+        }
+        accel_lat.0 += wl.avg_latency();
+        accel_lat.1 += 1;
+    }
+    let report = system.sim.report();
+    PerfOutcome {
+        accel_runtime,
+        accel_avg_latency: accel_lat.0 / accel_lat.1.max(1),
+        cycles: out.now.as_u64(),
+        incomplete,
+        report,
+    }
+}

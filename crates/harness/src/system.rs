@@ -1,0 +1,388 @@
+//! System assembly: builds a simulator for any [`SystemConfig`].
+
+use xg_accel::{AccelL1, AccelL1Config, AccelL2, AccelL2Config};
+use xg_core::{CrossingGuard, Os, OsPolicy, XgConfig};
+use xg_host_hammer::{HammerCache, HammerConfig, HammerDirectory};
+use xg_host_mesi::{MesiL1, MesiL1Config, MesiL2, MesiL2Config};
+use xg_proto::{Message, Sim, SimBuilder};
+use xg_sim::{Component, Link, NodeId};
+
+use crate::config::{AccelOrg, HostProtocol, SystemConfig};
+use crate::fuzz::{FuzzAccel, FuzzHostCache, FuzzOpts};
+
+/// Where a core sits, passed to the core factory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreSlot {
+    /// CPU core `i`; its global core index equals `i`.
+    Cpu(usize),
+    /// Accelerator core `i`; its global core index is `cpu_cores + i`.
+    Accel(usize),
+}
+
+/// A fully wired system ready to run.
+pub struct BuiltSystem {
+    /// The simulator.
+    pub sim: Sim,
+    /// CPU core nodes (from the factory).
+    pub cpu_cores: Vec<NodeId>,
+    /// CPU cache nodes.
+    pub cpu_caches: Vec<NodeId>,
+    /// Accelerator core nodes (empty in fuzz configurations).
+    pub accel_cores: Vec<NodeId>,
+    /// The cache each accelerator core talks to.
+    pub accel_frontends: Vec<NodeId>,
+    /// Directory (Hammer) or shared L2 (MESI).
+    pub home: NodeId,
+    /// The OS model.
+    pub os: NodeId,
+    /// The Crossing Guard, if this configuration has one.
+    pub xg: Option<NodeId>,
+    /// The fuzzer node, if this is a fuzzing configuration.
+    pub fuzzer: Option<NodeId>,
+}
+
+impl BuiltSystem {
+    /// Kicks every core's issue loop (wake token 0 at staggered times).
+    pub fn start_cores(&mut self) {
+        let all: Vec<NodeId> = self
+            .cpu_cores
+            .iter()
+            .chain(self.accel_cores.iter())
+            .copied()
+            .collect();
+        for (i, core) in all.into_iter().enumerate() {
+            self.sim.post_wake(core, 1 + i as u64, 0);
+        }
+        if let Some(fuzzer) = self.fuzzer {
+            self.sim.post_wake(fuzzer, 1, 0);
+        }
+    }
+}
+
+/// Builds the system described by `cfg`. The `make_core` factory produces
+/// each core component given its slot, the cache it should talk to, and
+/// its global core index (CPU cores first, then accelerator cores).
+///
+/// Fuzzing configurations (`FuzzXg`, `FuzzAccelSide`) need [`FuzzOpts`];
+/// pass `None` otherwise.
+///
+/// # Panics
+/// Panics if a fuzzing organization is selected without `fuzz` options.
+pub fn build_system(
+    cfg: &SystemConfig,
+    os_policy: OsPolicy,
+    fuzz: Option<FuzzOpts>,
+    mut make_core: impl FnMut(CoreSlot, NodeId, usize) -> Box<dyn Component<Message>>,
+) -> BuiltSystem {
+    let mut b = SimBuilder::new(cfg.seed);
+    let n = cfg.cpu_cores;
+
+    // ---- host caches (ids 0..n) ----
+    let hammer_cfg = HammerConfig {
+        sets: cfg.cpu_cache.0,
+        ways: cfg.cpu_cache.1,
+        strict_data: cfg.strict_host,
+        sink_nacks: !cfg.strict_host,
+        ..HammerConfig::default()
+    };
+    let mesi_l1_cfg = MesiL1Config {
+        sets: cfg.cpu_cache.0,
+        ways: cfg.cpu_cache.1,
+        ..MesiL1Config::default()
+    };
+    let mut cpu_caches = Vec::new();
+    for i in 0..n {
+        let cache: Box<dyn Component<Message>> = match cfg.host {
+            HostProtocol::Hammer => Box::new(HammerCache::new(
+                format!("cpu_cache{i}"),
+                NodeId::from_index(n), // home, added next
+                hammer_cfg.clone(),
+            )),
+            HostProtocol::Mesi => Box::new(MesiL1::new(
+                format!("cpu_cache{i}"),
+                NodeId::from_index(n),
+                mesi_l1_cfg.clone(),
+            )),
+        };
+        cpu_caches.push(b.add(cache));
+    }
+
+    // ---- layout bookkeeping for nodes added after the home ----
+    let home = NodeId::from_index(n);
+    let os_id = NodeId::from_index(n + 1);
+    let next_free = n + 2;
+
+    // Which node speaks the host protocol on the accelerator's behalf
+    // (peer list for the Hammer broadcast).
+    let (accel_host_peer, accel_infra): (Option<NodeId>, AccelInfra) = match &cfg.accel {
+        AccelOrg::AccelSide => (
+            Some(NodeId::from_index(next_free)),
+            AccelInfra::AccelSide {
+                cache: NodeId::from_index(next_free),
+            },
+        ),
+        AccelOrg::HostSide => (
+            Some(NodeId::from_index(next_free)),
+            AccelInfra::HostSide {
+                cache: NodeId::from_index(next_free),
+            },
+        ),
+        AccelOrg::Xg { two_level, .. } => {
+            let xg = NodeId::from_index(next_free);
+            let top = NodeId::from_index(next_free + 1);
+            (
+                Some(xg),
+                AccelInfra::Xg {
+                    xg,
+                    top,
+                    two_level: *two_level,
+                },
+            )
+        }
+        AccelOrg::FuzzXg { .. } => {
+            let xg = NodeId::from_index(next_free);
+            let fz = NodeId::from_index(next_free + 1);
+            (Some(xg), AccelInfra::FuzzXg { xg, fuzzer: fz })
+        }
+        AccelOrg::FuzzAccelSide => (
+            Some(NodeId::from_index(next_free)),
+            AccelInfra::FuzzHost {
+                fuzzer: NodeId::from_index(next_free),
+            },
+        ),
+    };
+
+    // ---- home node ----
+    match cfg.host {
+        HostProtocol::Hammer => {
+            let mut peers = cpu_caches.clone();
+            if let Some(p) = accel_host_peer {
+                peers.push(p);
+            }
+            let dir = b.add(Box::new(HammerDirectory::new(
+                "dir",
+                peers,
+                cfg.mem_latency,
+            )));
+            assert_eq!(dir, home);
+        }
+        HostProtocol::Mesi => {
+            let l2 = b.add(Box::new(MesiL2::new(
+                "host_l2",
+                MesiL2Config {
+                    sets: cfg.l2_cache.0,
+                    ways: cfg.l2_cache.1,
+                    mem_latency: cfg.mem_latency,
+                    ack_data_interchange: !cfg.strict_host,
+                    ..MesiL2Config::default()
+                },
+            )));
+            assert_eq!(l2, home);
+        }
+    }
+
+    // ---- OS ----
+    let os = b.add(Box::new(Os::new("os", os_policy)));
+    assert_eq!(os, os_id);
+
+    // ---- accelerator infrastructure ----
+    let accel_l1_cfg = AccelL1Config {
+        sets: cfg.accel_cache.0,
+        ways: cfg.accel_cache.1,
+        block_blocks: cfg.xg.block_blocks,
+        prefetch: cfg.prefetch,
+        ..AccelL1Config::default()
+    };
+    let xg_config = |variant| XgConfig {
+        variant,
+        ..cfg.xg.clone()
+    };
+
+    let mut xg_node = None;
+    let mut fuzzer_node = None;
+    let mut accel_frontends: Vec<NodeId> = Vec::new();
+    // Per-frontend crossing link handled below; collect (node, is_ordered).
+    match (&cfg.accel, accel_infra) {
+        (AccelOrg::AccelSide, AccelInfra::AccelSide { cache }) => {
+            let c: Box<dyn Component<Message>> = match cfg.host {
+                HostProtocol::Hammer => Box::new(HammerCache::new(
+                    "accel_cache",
+                    home,
+                    HammerConfig {
+                        sets: cfg.accel_cache.0,
+                        ways: cfg.accel_cache.1,
+                        ..hammer_cfg.clone()
+                    },
+                )),
+                HostProtocol::Mesi => Box::new(MesiL1::new(
+                    "accel_cache",
+                    home,
+                    MesiL1Config {
+                        sets: cfg.accel_cache.0,
+                        ways: cfg.accel_cache.1,
+                        ..MesiL1Config::default()
+                    },
+                )),
+            };
+            let id = b.add(c);
+            assert_eq!(id, cache);
+            // The accelerator-side cache reaches the host over the chip
+            // crossing.
+            b.link_bidi(cache, home, Link::unordered(cfg.crossing.0, cfg.crossing.1));
+            accel_frontends.push(cache);
+        }
+        (AccelOrg::HostSide, AccelInfra::HostSide { cache }) => {
+            let c: Box<dyn Component<Message>> = match cfg.host {
+                HostProtocol::Hammer => {
+                    Box::new(HammerCache::new("hostside_cache", home, hammer_cfg.clone()))
+                }
+                HostProtocol::Mesi => {
+                    Box::new(MesiL1::new("hostside_cache", home, MesiL1Config::default()))
+                }
+            };
+            let id = b.add(c);
+            assert_eq!(id, cache);
+            accel_frontends.push(cache);
+            // The *core↔cache* link carries the crossing latency here: the
+            // accelerator has no cache of its own (Figure 2(b)).
+        }
+        (AccelOrg::Xg { variant, .. }, AccelInfra::Xg { xg, top, two_level }) => {
+            let guard: Box<dyn Component<Message>> = match cfg.host {
+                HostProtocol::Hammer => Box::new(CrossingGuard::new_hammer(
+                    "xg",
+                    top,
+                    home,
+                    os_id,
+                    xg_config(*variant),
+                )),
+                HostProtocol::Mesi => Box::new(CrossingGuard::new_mesi(
+                    "xg",
+                    top,
+                    home,
+                    os_id,
+                    xg_config(*variant),
+                )),
+            };
+            let id = b.add(guard);
+            assert_eq!(id, xg);
+            xg_node = Some(xg);
+            b.link_bidi(xg, top, Link::ordered(cfg.crossing.0, cfg.crossing.1));
+            if two_level {
+                let l2 = b.add(Box::new(AccelL2::new(
+                    "accel_l2",
+                    xg,
+                    AccelL2Config {
+                        sets: cfg.l2_cache.0,
+                        ways: cfg.l2_cache.1,
+                        block_blocks: cfg.xg.block_blocks,
+                        weak_sharing: cfg.weak_accel_sharing,
+                        ..AccelL2Config::default()
+                    },
+                )));
+                assert_eq!(l2, top);
+                for i in 0..cfg.accel_cores {
+                    let l1 = b.add(Box::new(AccelL1::new(
+                        format!("accel_l1_{i}"),
+                        l2,
+                        accel_l1_cfg.clone(),
+                    )));
+                    b.link_bidi(l1, l2, Link::ordered(1, 3));
+                    accel_frontends.push(l1);
+                }
+            } else {
+                let l1 = b.add(Box::new(AccelL1::new("accel_l1", xg, accel_l1_cfg.clone())));
+                assert_eq!(l1, top);
+                accel_frontends.push(l1);
+            }
+        }
+        (AccelOrg::FuzzXg { variant }, AccelInfra::FuzzXg { xg, fuzzer }) => {
+            let guard: Box<dyn Component<Message>> = match cfg.host {
+                HostProtocol::Hammer => Box::new(CrossingGuard::new_hammer(
+                    "xg",
+                    fuzzer,
+                    home,
+                    os_id,
+                    xg_config(*variant),
+                )),
+                HostProtocol::Mesi => Box::new(CrossingGuard::new_mesi(
+                    "xg",
+                    fuzzer,
+                    home,
+                    os_id,
+                    xg_config(*variant),
+                )),
+            };
+            let id = b.add(guard);
+            assert_eq!(id, xg);
+            xg_node = Some(xg);
+            let opts = fuzz.clone().expect("FuzzXg needs FuzzOpts");
+            let fz = b.add(Box::new(FuzzAccel::new("fuzz_accel", xg, opts)));
+            assert_eq!(fz, fuzzer);
+            fuzzer_node = Some(fz);
+            b.link_bidi(xg, fz, Link::ordered(cfg.crossing.0, cfg.crossing.1));
+        }
+        (AccelOrg::FuzzAccelSide, AccelInfra::FuzzHost { fuzzer }) => {
+            let opts = fuzz.clone().expect("FuzzAccelSide needs FuzzOpts");
+            let fz = b.add(Box::new(FuzzHostCache::new(
+                "fuzz_host",
+                cfg.host,
+                home,
+                cpu_caches.clone(),
+                opts,
+            )));
+            assert_eq!(fz, fuzzer);
+            fuzzer_node = Some(fz);
+            b.link_bidi(fz, home, Link::unordered(cfg.crossing.0, cfg.crossing.1));
+        }
+        _ => unreachable!("accel org / infra mismatch"),
+    }
+
+    // ---- cores, added last so every frontend id is known ----
+    let mut cpu_cores = Vec::new();
+    for i in 0..n {
+        let core = b.add(make_core(CoreSlot::Cpu(i), cpu_caches[i], i));
+        b.link_bidi(core, cpu_caches[i], Link::ordered(1, 1));
+        cpu_cores.push(core);
+    }
+    let mut accel_cores = Vec::new();
+    let accel_core_count = match &cfg.accel {
+        AccelOrg::FuzzXg { .. } | AccelOrg::FuzzAccelSide => 0,
+        AccelOrg::Xg { two_level: true, .. } => cfg.accel_cores,
+        _ => 1,
+    };
+    for i in 0..accel_core_count {
+        let frontend = accel_frontends[i.min(accel_frontends.len() - 1)];
+        let core = b.add(make_core(CoreSlot::Accel(i), frontend, n + i));
+        let link = if matches!(cfg.accel, AccelOrg::HostSide) {
+            // Figure 2(b): every access crosses the chip boundary.
+            Link::ordered(cfg.crossing.0, cfg.crossing.1)
+        } else {
+            Link::ordered(1, 1)
+        };
+        b.link_bidi(core, frontend, link);
+        accel_cores.push(core);
+    }
+
+    b.default_link(Link::unordered(cfg.host_link.0, cfg.host_link.1));
+
+    BuiltSystem {
+        sim: b.build(),
+        cpu_cores,
+        cpu_caches,
+        accel_cores,
+        accel_frontends,
+        home,
+        os,
+        xg: xg_node,
+        fuzzer: fuzzer_node,
+    }
+}
+
+/// Internal: node layout per accelerator organization.
+enum AccelInfra {
+    AccelSide { cache: NodeId },
+    HostSide { cache: NodeId },
+    Xg { xg: NodeId, top: NodeId, two_level: bool },
+    FuzzXg { xg: NodeId, fuzzer: NodeId },
+    FuzzHost { fuzzer: NodeId },
+}

@@ -1,0 +1,314 @@
+//! Synthetic workload generators — Rodinia proxies (see `DESIGN.md`).
+//!
+//! The paper's performance evaluation runs GPGPU kernels on gem5-gpu. The
+//! performance-relevant property of those kernels is the *shape* of their
+//! memory traffic — footprint, reuse, read/write mix, dependence, and how
+//! much data crosses between host and accelerator. Each [`Pattern`] below
+//! reproduces one such shape with a deterministic index-based generator so
+//! runs are exactly repeatable:
+//!
+//! | pattern | Rodinia analogue | traffic shape |
+//! |---------|------------------|---------------|
+//! | `Streaming` | srad, streamcluster | long unit-stride scans, some writes |
+//! | `Stencil` | hotspot | neighborhood reads, per-point write |
+//! | `Blocked` | lud, video decode | high locality within tiles |
+//! | `GraphWalk` | bfs | dependent, unpredictable reads |
+//! | `Reduction` | kmeans | scans plus hot accumulator writes |
+//! | `ProducerConsumer` | host-fed kernels | fine-grained host↔accel sharing |
+
+use std::collections::HashMap;
+
+use xg_mem::Addr;
+use xg_proto::{CoreKind, CoreMsg, Ctx, Message};
+use xg_sim::{Component, Cycle, NodeId, Report};
+
+/// A deterministic memory access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Unit-stride scan over the footprint; every 4th access writes.
+    Streaming,
+    /// 3-point neighborhood reads followed by a write per point.
+    Stencil,
+    /// Tile-at-a-time: 16 sequential words per tile, half writes.
+    Blocked,
+    /// Data-dependent pointer chasing: one outstanding access, scrambled
+    /// addresses, reads only.
+    GraphWalk,
+    /// Sequential reads with every 8th access writing one of 4 hot
+    /// accumulator words.
+    Reduction,
+    /// Alternates between a private region and a region shared with other
+    /// cores (fine-grained host↔accelerator sharing).
+    ProducerConsumer,
+}
+
+impl Pattern {
+    /// All patterns, for sweeps.
+    pub const ALL: [Pattern; 6] = [
+        Pattern::Streaming,
+        Pattern::Stencil,
+        Pattern::Blocked,
+        Pattern::GraphWalk,
+        Pattern::Reduction,
+        Pattern::ProducerConsumer,
+    ];
+
+    /// Short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::Streaming => "streaming",
+            Pattern::Stencil => "stencil",
+            Pattern::Blocked => "blocked",
+            Pattern::GraphWalk => "graph",
+            Pattern::Reduction => "reduction",
+            Pattern::ProducerConsumer => "prodcons",
+        }
+    }
+
+    /// Maximum outstanding requests for this pattern (1 models true data
+    /// dependence).
+    pub fn max_in_flight(self) -> usize {
+        match self {
+            Pattern::GraphWalk => 1,
+            _ => 4,
+        }
+    }
+
+    /// The `n`-th access: `(word_offset, is_store)` within a footprint of
+    /// `footprint_words` 8-byte words.
+    pub fn access(self, n: u64, footprint_words: u64) -> (u64, bool) {
+        let fp = footprint_words.max(8);
+        match self {
+            Pattern::Streaming => (n % fp, n % 4 == 3),
+            Pattern::Stencil => {
+                // Per point p: read p-1, p, p+1, then write p.
+                let p = (n / 4) % fp;
+                match n % 4 {
+                    0 => (p.saturating_sub(1), false),
+                    1 => (p, false),
+                    2 => ((p + 1) % fp, false),
+                    _ => (p, true),
+                }
+            }
+            Pattern::Blocked => {
+                let tile = (n / 16) % (fp / 16).max(1);
+                let word = n % 16;
+                (tile * 16 + word, word >= 8)
+            }
+            Pattern::GraphWalk => (scramble(n) % fp, false),
+            Pattern::Reduction => {
+                if n % 8 == 7 {
+                    (scramble(n) % 4, true) // hot accumulators
+                } else {
+                    (8 + n % (fp - 8), false)
+                }
+            }
+            Pattern::ProducerConsumer => {
+                // Even accesses: private half; odd: shared half (offset so
+                // all cores collide there), writes on every 3rd access.
+                if n % 2 == 0 {
+                    (n % (fp / 2), n % 3 == 0)
+                } else {
+                    (fp / 2 + scramble(n) % (fp / 2).min(32), n % 3 == 0)
+                }
+            }
+        }
+    }
+}
+
+/// SplitMix64-style scramble for data-dependent patterns.
+fn scramble(n: u64) -> u64 {
+    let mut z = n.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A core that executes a [`Pattern`] for a fixed number of accesses and
+/// records when it finished.
+pub struct WorkloadCore {
+    name: String,
+    cache: NodeId,
+    pattern: Pattern,
+    base: u64,
+    footprint_words: u64,
+    ops_target: u64,
+    issued: u64,
+    completed: u64,
+    in_flight: HashMap<u64, ()>,
+    next_id: u64,
+    done_at: Option<Cycle>,
+    latency_sum: u64,
+    issue_times: HashMap<u64, u64>,
+}
+
+impl WorkloadCore {
+    /// Creates a workload core over `[base, base + footprint_words * 8)`.
+    pub fn new(
+        name: impl Into<String>,
+        cache: NodeId,
+        pattern: Pattern,
+        base: u64,
+        footprint_words: u64,
+        ops_target: u64,
+    ) -> Self {
+        WorkloadCore {
+            name: name.into(),
+            cache,
+            pattern,
+            base,
+            footprint_words,
+            ops_target,
+            issued: 0,
+            completed: 0,
+            in_flight: HashMap::new(),
+            next_id: 0,
+            done_at: None,
+            latency_sum: 0,
+            issue_times: HashMap::new(),
+        }
+    }
+
+    /// Accesses completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Cycle at which the last access completed (None if unfinished).
+    pub fn done_at(&self) -> Option<Cycle> {
+        self.done_at
+    }
+
+    /// Average access latency in cycles (0 before any completion).
+    pub fn avg_latency(&self) -> u64 {
+        if self.completed == 0 {
+            0
+        } else {
+            self.latency_sum / self.completed
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>) {
+        while self.issued < self.ops_target
+            && self.in_flight.len() < self.pattern.max_in_flight()
+        {
+            let (word, store) = self.pattern.access(self.issued, self.footprint_words);
+            let addr = self.base + word * 8;
+            let id = self.next_id;
+            self.next_id += 1;
+            self.issued += 1;
+            self.in_flight.insert(id, ());
+            self.issue_times.insert(id, ctx.now().as_u64());
+            let kind = if store {
+                CoreKind::Store { value: self.issued }
+            } else {
+                CoreKind::Load
+            };
+            ctx.send(
+                self.cache,
+                CoreMsg {
+                    id,
+                    addr: Addr::new(addr),
+                    kind,
+                }
+                .into(),
+            );
+        }
+    }
+}
+
+impl Component<Message> for WorkloadCore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, _from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        let Message::Core(c) = msg else { return };
+        if self.in_flight.remove(&c.id).is_none() {
+            return;
+        }
+        if let Some(t0) = self.issue_times.remove(&c.id) {
+            self.latency_sum += ctx.now().as_u64() - t0;
+        }
+        self.completed += 1;
+        ctx.note_progress();
+        if self.completed >= self.ops_target {
+            self.done_at = Some(ctx.now());
+            return;
+        }
+        self.issue(ctx);
+    }
+
+    fn wake(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        self.issue(ctx);
+    }
+
+    fn report(&self, out: &mut Report) {
+        let n = &self.name;
+        out.add(format!("{n}.ops_completed"), self.completed);
+        out.add(format!("{n}.latency_sum"), self.latency_sum);
+        if let Some(done) = self.done_at {
+            out.set(format!("{n}.done_at"), done.as_u64());
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_stay_in_footprint() {
+        for p in Pattern::ALL {
+            for n in 0..10_000u64 {
+                let (word, _) = p.access(n, 256);
+                assert!(word < 256, "{p:?} escaped at n={n}: {word}");
+            }
+        }
+    }
+
+    #[test]
+    fn patterns_are_deterministic() {
+        for p in Pattern::ALL {
+            for n in [0u64, 7, 123, 9999] {
+                assert_eq!(p.access(n, 128), p.access(n, 128));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_is_unit_stride_and_graph_is_not() {
+        let a: Vec<u64> = (0..8).map(|n| Pattern::Streaming.access(n, 256).0).collect();
+        assert_eq!(a, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let g: Vec<u64> = (0..8).map(|n| Pattern::GraphWalk.access(n, 256).0).collect();
+        let sorted = {
+            let mut s = g.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_ne!(g, sorted, "graph walk should not be sequential");
+    }
+
+    #[test]
+    fn writes_exist_but_are_minority_for_scans() {
+        let stores = (0..1000)
+            .filter(|&n| Pattern::Streaming.access(n, 256).1)
+            .count();
+        assert!(stores > 0 && stores < 500);
+        assert!((0..1000).all(|n| !Pattern::GraphWalk.access(n, 256).1));
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<_> =
+            Pattern::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), Pattern::ALL.len());
+    }
+}

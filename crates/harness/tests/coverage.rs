@@ -1,0 +1,75 @@
+//! Coverage-completeness checks in the spirit of §4.1: the random tester
+//! must eventually visit every `(state, event)` pair the protocol tables
+//! declare reachable, and must never visit a pair outside them.
+
+use xg_accel::AccelL1;
+use xg_core::XgVariant;
+use xg_harness::{run_stress, AccelOrg, HostProtocol, StressOpts, SystemConfig, TesterCfg};
+use xg_sim::CoverageSet;
+
+fn stress_coverage(variant: XgVariant, seed: u64, ops: u64) -> CoverageSet {
+    let cfg = SystemConfig {
+        host: HostProtocol::Hammer,
+        accel: AccelOrg::Xg {
+            variant,
+            two_level: false,
+        },
+        seed,
+        ..SystemConfig::default()
+    };
+    let out = run_stress(
+        &cfg,
+        &StressOpts {
+            ops,
+            blocks: 4,
+            tester: TesterCfg {
+                store_percent: 60,
+                ..TesterCfg::default()
+            },
+            ..StressOpts::default()
+        },
+    );
+    assert!(!out.deadlocked);
+    assert_eq!(out.data_errors, 0, "{:?}", out.error_log);
+    out.report
+        .coverage("accel_l1/accel_l1")
+        .expect("accelerator coverage collected")
+        .clone()
+}
+
+#[test]
+fn accel_l1_visits_exactly_the_table1_matrix() {
+    // Merge coverage across both guard variants and several seeds: some
+    // pairs (e.g. an Invalidate landing on an absent block) only occur
+    // with the Transactional guard, which forwards demands it cannot
+    // deduce away.
+    let mut seen = CoverageSet::new();
+    for (variant, seed) in [
+        (XgVariant::FullState, 101),
+        (XgVariant::FullState, 102),
+        (XgVariant::Transactional, 103),
+        (XgVariant::Transactional, 104),
+    ] {
+        seen.merge(&stress_coverage(variant, seed, 3_000));
+    }
+
+    let expected = AccelL1::table1_expected();
+    // Soundness: nothing outside Table 1 was ever visited.
+    for (state, event) in seen.iter() {
+        assert!(
+            expected.contains(state, event),
+            "({state}, {event}) visited but not part of Table 1"
+        );
+    }
+    // Completeness: everything Table 1 declares reachable was visited.
+    let missing: Vec<_> = expected
+        .iter()
+        .filter(|&(s, e)| !seen.contains(s, e))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "Table 1 pairs never exercised: {missing:?} (visited {}/{})",
+        seen.len(),
+        expected.len()
+    );
+}

@@ -1,0 +1,289 @@
+//! The Hammer directory + memory controller.
+//!
+//! The directory serializes transactions per block (a blocking directory),
+//! broadcasts forwards to every peer cache (it keeps no sharer list), and
+//! tracks the identity of the current owner so it can accept or `WbNack` a
+//! `Put`. Memory lives behind the directory and is read on every request
+//! (`MemData` also tells the requestor how many peer responses to expect).
+
+use std::collections::{HashMap, VecDeque};
+
+use xg_mem::{BlockAddr, DataBlock};
+use xg_proto::{Ctx, HammerKind, HammerMsg, Message};
+use xg_sim::{Component, CoverageSet, NodeId, Report};
+
+/// Per-block directory state.
+#[derive(Debug, Default)]
+struct DirBlock {
+    owner: Option<NodeId>,
+    busy: Option<Busy>,
+    queue: VecDeque<(NodeId, HammerKind)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Busy {
+    /// A Get is outstanding; waiting for the requestor's `Unblock`.
+    Get { requestor: NodeId },
+    /// A writeback was acked; waiting for `WbData`.
+    Wb { putter: NodeId },
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    gets: u64,
+    getms: u64,
+    puts: u64,
+    nacks: u64,
+    mem_reads: u64,
+    mem_writes: u64,
+    protocol_violation: u64,
+}
+
+/// The directory/memory controller of the Hammer-like protocol.
+pub struct HammerDirectory {
+    name: String,
+    caches: Vec<NodeId>,
+    memory: HashMap<BlockAddr, DataBlock>,
+    blocks: HashMap<BlockAddr, DirBlock>,
+    mem_latency: u64,
+    stats: Stats,
+    coverage: CoverageSet,
+}
+
+impl HammerDirectory {
+    /// Creates a directory serving the given set of peer caches (every
+    /// cache controller in the system, including any Crossing Guard, which
+    /// appears here as just another cache). `mem_latency` is added to every
+    /// memory read response.
+    pub fn new(name: impl Into<String>, caches: Vec<NodeId>, mem_latency: u64) -> Self {
+        HammerDirectory {
+            name: name.into(),
+            caches,
+            memory: HashMap::new(),
+            blocks: HashMap::new(),
+            mem_latency,
+            stats: Stats::default(),
+            coverage: CoverageSet::new(),
+        }
+    }
+
+    /// Pre-loads memory contents (for tests and workload setup).
+    pub fn write_memory(&mut self, addr: BlockAddr, data: DataBlock) {
+        self.memory.insert(addr, data);
+    }
+
+    /// Reads current memory contents (zero if never written).
+    pub fn read_memory(&self, addr: BlockAddr) -> DataBlock {
+        self.memory.get(&addr).copied().unwrap_or_default()
+    }
+
+    /// Number of `WbNack`s issued (legal-race or erroneous puts).
+    pub fn nacks(&self) -> u64 {
+        self.stats.nacks
+    }
+
+    /// Number of impossible events observed. Zero among trusted caches.
+    pub fn protocol_violations(&self) -> u64 {
+        self.stats.protocol_violation
+    }
+
+    fn state_name(&self, addr: BlockAddr) -> &'static str {
+        match self.blocks.get(&addr) {
+            None => "O_mem",
+            Some(b) => match (&b.busy, b.owner) {
+                (Some(Busy::Get { .. }), _) => "Busy_Get",
+                (Some(Busy::Wb { .. }), _) => "Busy_Wb",
+                (None, Some(_)) => "NO",
+                (None, None) => "O_mem",
+            },
+        }
+    }
+
+    fn cover(&mut self, addr: BlockAddr, event: &'static str) {
+        let state = self.state_name(addr);
+        self.coverage.visit(state, event);
+    }
+
+    fn handle_request(&mut self, from: NodeId, addr: BlockAddr, kind: HammerKind, ctx: &mut Ctx<'_>) {
+        let block = self.blocks.entry(addr).or_default();
+        if xg_sim::trace_enabled() {
+            eprintln!(
+                "[{}] dir <- {} {:?} @{} (owner={:?} busy={:?} qlen={})",
+                ctx.now(), from, kind, addr, block.owner, block.busy, block.queue.len()
+            );
+        }
+        match kind {
+            HammerKind::GetS | HammerKind::GetSOnly | HammerKind::GetM => {
+                if block.busy.is_some() {
+                    block.queue.push_back((from, kind));
+                    return;
+                }
+                block.busy = Some(Busy::Get { requestor: from });
+                let owner = block.owner;
+                if matches!(kind, HammerKind::GetM) {
+                    self.stats.getms += 1;
+                } else {
+                    self.stats.gets += 1;
+                }
+                self.stats.mem_reads += 1;
+                // Broadcast to every peer cache except the requestor.
+                let peers: Vec<NodeId> = self
+                    .caches
+                    .iter()
+                    .copied()
+                    .filter(|&c| c != from)
+                    .collect();
+                for &peer in &peers {
+                    let to_owner = owner == Some(peer);
+                    let fwd = match kind {
+                        HammerKind::GetS => HammerKind::FwdGetS {
+                            requestor: from,
+                            to_owner,
+                        },
+                        HammerKind::GetSOnly => HammerKind::FwdGetSOnly {
+                            requestor: from,
+                            to_owner,
+                        },
+                        HammerKind::GetM => HammerKind::FwdGetM {
+                            requestor: from,
+                            to_owner,
+                        },
+                        _ => unreachable!(),
+                    };
+                    ctx.send(peer, HammerMsg::new(addr, fwd).into());
+                }
+                let data = self.memory.get(&addr).copied().unwrap_or_default();
+                ctx.send_after(
+                    from,
+                    HammerMsg::new(
+                        addr,
+                        HammerKind::MemData {
+                            data,
+                            peers: peers.len() as u32,
+                        },
+                    )
+                    .into(),
+                    self.mem_latency,
+                );
+            }
+            HammerKind::Put => {
+                if block.busy.is_some() {
+                    block.queue.push_back((from, kind));
+                    return;
+                }
+                self.stats.puts += 1;
+                if block.owner == Some(from) {
+                    block.busy = Some(Busy::Wb { putter: from });
+                    ctx.send(from, HammerMsg::new(addr, HammerKind::WbAck).into());
+                } else {
+                    self.stats.nacks += 1;
+                    ctx.send(from, HammerMsg::new(addr, HammerKind::WbNack).into());
+                }
+            }
+            HammerKind::WbData { data, dirty } => {
+                if block.busy == Some(Busy::Wb { putter: from }) {
+                    if dirty {
+                        self.stats.mem_writes += 1;
+                        self.memory.insert(addr, data);
+                    }
+                    block.owner = None;
+                    block.busy = None;
+                    self.drain_queue(addr, ctx);
+                } else {
+                    self.stats.protocol_violation += 1;
+                }
+            }
+            HammerKind::Unblock { new_owner } => {
+                if block.busy == Some(Busy::Get { requestor: from }) {
+                    if new_owner {
+                        block.owner = Some(from);
+                    }
+                    block.busy = None;
+                    self.drain_queue(addr, ctx);
+                } else {
+                    self.stats.protocol_violation += 1;
+                }
+            }
+            _ => {
+                self.stats.protocol_violation += 1;
+            }
+        }
+    }
+
+    fn drain_queue(&mut self, addr: BlockAddr, ctx: &mut Ctx<'_>) {
+        // Re-handle queued requests until one makes the block busy again.
+        loop {
+            let Some(block) = self.blocks.get_mut(&addr) else {
+                return;
+            };
+            if block.busy.is_some() {
+                return;
+            }
+            let Some((from, kind)) = block.queue.pop_front() else {
+                return;
+            };
+            let event = event_name(&kind);
+            self.cover(addr, event);
+            self.handle_request(from, addr, kind, ctx);
+        }
+    }
+}
+
+fn event_name(kind: &HammerKind) -> &'static str {
+    match kind {
+        HammerKind::GetS => "GetS",
+        HammerKind::GetSOnly => "GetSOnly",
+        HammerKind::GetM => "GetM",
+        HammerKind::Put => "Put",
+        HammerKind::WbData { .. } => "WbData",
+        HammerKind::Unblock { .. } => "Unblock",
+        HammerKind::FwdGetS { .. } => "FwdGetS",
+        HammerKind::FwdGetSOnly { .. } => "FwdGetSOnly",
+        HammerKind::FwdGetM { .. } => "FwdGetM",
+        HammerKind::MemData { .. } => "MemData",
+        HammerKind::RespData { .. } => "RespData",
+        HammerKind::RespAck { .. } => "RespAck",
+        HammerKind::WbAck => "WbAck",
+        HammerKind::WbNack => "WbNack",
+    }
+}
+
+impl Component<Message> for HammerDirectory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        match msg {
+            Message::Hammer(h) => {
+                self.cover(h.addr, event_name(&h.kind));
+                self.handle_request(from, h.addr, h.kind, ctx);
+            }
+            _ => {
+                self.stats.protocol_violation += 1;
+            }
+        }
+    }
+
+    fn report(&self, out: &mut Report) {
+        let n = &self.name;
+        out.add(format!("{n}.gets"), self.stats.gets);
+        out.add(format!("{n}.getms"), self.stats.getms);
+        out.add(format!("{n}.puts"), self.stats.puts);
+        out.add(format!("{n}.nacks"), self.stats.nacks);
+        out.add(format!("{n}.mem_reads"), self.stats.mem_reads);
+        out.add(format!("{n}.mem_writes"), self.stats.mem_writes);
+        out.add(
+            format!("{n}.protocol_violation"),
+            self.stats.protocol_violation,
+        );
+        out.record_coverage(format!("hammer_dir/{n}"), &self.coverage);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

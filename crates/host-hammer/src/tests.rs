@@ -1,0 +1,322 @@
+//! Directed end-to-end tests of the Hammer protocol (cache + directory).
+
+use xg_mem::Addr;
+use xg_proto::{CoreKind, CoreMsg, Ctx, Message};
+use xg_sim::{Component, Link, NodeId, SimBuilder};
+
+use crate::{HammerCache, HammerConfig, HammerDirectory};
+
+/// A passive core that records every response it receives.
+pub(crate) struct TestCore {
+    name: String,
+    pub responses: Vec<CoreMsg>,
+}
+
+impl TestCore {
+    pub fn new(name: impl Into<String>) -> Self {
+        TestCore {
+            name: name.into(),
+            responses: Vec::new(),
+        }
+    }
+
+    pub fn last_load_value(&self) -> Option<u64> {
+        self.responses.iter().rev().find_map(|m| match m.kind {
+            CoreKind::LoadResp { value } => Some(value),
+            _ => None,
+        })
+    }
+}
+
+impl Component<Message> for TestCore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn handle(&mut self, _from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        if let Message::Core(c) = msg {
+            self.responses.push(c);
+            ctx.note_progress();
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+struct System {
+    sim: xg_proto::Sim,
+    cores: Vec<NodeId>,
+    caches: Vec<NodeId>,
+    dir: NodeId,
+    next_id: u64,
+}
+
+impl System {
+    fn new(n: usize, cfg: HammerConfig, seed: u64) -> Self {
+        let mut b = SimBuilder::new(seed);
+        // Directory id is assigned after caches, so pre-compute it:
+        // nodes are cores (0..n), caches (n..2n), dir (2n).
+        let mut cores = Vec::new();
+        let mut caches = Vec::new();
+        for i in 0..n {
+            cores.push(b.add(Box::new(TestCore::new(format!("core{i}")))));
+        }
+        let dir_id = NodeId::from_index(2 * n);
+        for i in 0..n {
+            caches.push(b.add(Box::new(HammerCache::new(
+                format!("l2_{i}"),
+                dir_id,
+                cfg.clone(),
+            ))));
+        }
+        let dir = b.add(Box::new(HammerDirectory::new(
+            "dir",
+            caches.clone(),
+            20,
+        )));
+        assert_eq!(dir, dir_id);
+        b.default_link(Link::unordered(1, 12));
+        for i in 0..n {
+            b.link_bidi(cores[i], caches[i], Link::ordered(1, 1));
+        }
+        System {
+            sim: b.build(),
+            cores,
+            caches,
+            dir,
+            next_id: 0,
+        }
+    }
+
+    fn store(&mut self, core: usize, addr: u64, value: u64) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sim.post(
+            self.cores[core],
+            self.caches[core],
+            CoreMsg {
+                id,
+                addr: Addr::new(addr),
+                kind: CoreKind::Store { value },
+            }
+            .into(),
+        );
+        assert!(self.sim.run_to_quiescence(100_000).quiescent);
+    }
+
+    fn load(&mut self, core: usize, addr: u64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sim.post(
+            self.cores[core],
+            self.caches[core],
+            CoreMsg {
+                id,
+                addr: Addr::new(addr),
+                kind: CoreKind::Load,
+            }
+            .into(),
+        );
+        assert!(self.sim.run_to_quiescence(100_000).quiescent);
+        self.sim
+            .get::<TestCore>(self.cores[core])
+            .unwrap()
+            .last_load_value()
+            .expect("load response")
+    }
+
+    fn assert_clean(&self) {
+        let report = self.sim.report();
+        assert_eq!(report.sum_suffix(".protocol_violation"), 0);
+        assert_eq!(report.sum_suffix(".unexpected_nack"), 0);
+    }
+}
+
+#[test]
+fn store_then_load_same_core() {
+    let mut sys = System::new(2, HammerConfig::default(), 1);
+    sys.store(0, 0x100, 77);
+    assert_eq!(sys.load(0, 0x100), 77);
+    sys.assert_clean();
+}
+
+#[test]
+fn dirty_data_forwards_between_caches() {
+    let mut sys = System::new(2, HammerConfig::default(), 2);
+    sys.store(0, 0x200, 1234);
+    // Core 1 reads the dirty data; owner supplies it (memory is stale).
+    assert_eq!(sys.load(1, 0x200), 1234);
+    let dir = sys.sim.get::<HammerDirectory>(sys.dir).unwrap();
+    // The store never reached memory: only the owner has it.
+    assert_eq!(dir.read_memory(Addr::new(0x200).block()).read_u64(0), 0);
+    sys.assert_clean();
+}
+
+#[test]
+fn upgrade_invalidates_sharers() {
+    let mut sys = System::new(3, HammerConfig::default(), 3);
+    sys.store(0, 0x300, 1);
+    assert_eq!(sys.load(1, 0x300), 1);
+    assert_eq!(sys.load(2, 0x300), 1);
+    // Core 1 upgrades (S→M through GetM) and writes.
+    sys.store(1, 0x300, 2);
+    assert_eq!(sys.load(0, 0x300), 2);
+    assert_eq!(sys.load(2, 0x300), 2);
+    sys.assert_clean();
+}
+
+#[test]
+fn exclusive_grant_on_unshared_read() {
+    let mut sys = System::new(2, HammerConfig::default(), 4);
+    assert_eq!(sys.load(0, 0x400), 0);
+    // The read got E, so the following store is a silent upgrade: the
+    // directory sees no GetM.
+    sys.store(0, 0x400, 5);
+    let report = sys.sim.report();
+    assert_eq!(report.get("dir.getms"), 0);
+    assert_eq!(sys.load(0, 0x400), 5);
+    sys.assert_clean();
+}
+
+#[test]
+fn shared_grant_when_another_reader_exists() {
+    let mut sys = System::new(2, HammerConfig::default(), 5);
+    assert_eq!(sys.load(0, 0x500), 0);
+    assert_eq!(sys.load(1, 0x500), 0);
+    // Core 1's store now requires a GetM (it only has S).
+    sys.store(1, 0x500, 9);
+    let report = sys.sim.report();
+    assert!(report.get("dir.getms") >= 1);
+    assert_eq!(sys.load(0, 0x500), 9);
+    sys.assert_clean();
+}
+
+#[test]
+fn eviction_writes_back_dirty_data() {
+    let cfg = HammerConfig {
+        sets: 1,
+        ways: 1,
+        ..HammerConfig::default()
+    };
+    let mut sys = System::new(1, cfg, 6);
+    sys.store(0, 0x100, 11);
+    // Different block, same (only) set: evicts and writes back 0x100.
+    sys.store(0, 0x140, 22);
+    let dir = sys.sim.get::<HammerDirectory>(sys.dir).unwrap();
+    assert_eq!(dir.read_memory(Addr::new(0x100).block()).read_u64(0), 11);
+    assert_eq!(sys.load(0, 0x100), 11);
+    assert_eq!(sys.load(0, 0x140), 22);
+    sys.assert_clean();
+}
+
+#[test]
+fn silent_shared_eviction_produces_no_put() {
+    let cfg = HammerConfig {
+        sets: 1,
+        ways: 1,
+        ..HammerConfig::default()
+    };
+    let mut sys = System::new(2, cfg, 7);
+    // Make 0x100 shared in cache 0 (cache 1 holds it too).
+    sys.store(1, 0x100, 3);
+    assert_eq!(sys.load(0, 0x100), 3);
+    let puts_before = sys.sim.report().get("dir.puts");
+    // Evict the shared block from cache 0 by loading another block.
+    let _ = sys.load(0, 0x140);
+    let report = sys.sim.report();
+    assert_eq!(report.get("dir.puts"), puts_before, "S eviction must be silent");
+    assert!(report.sum_suffix(".silent_drops") >= 1);
+    sys.assert_clean();
+}
+
+#[test]
+fn many_cores_hammer_one_block() {
+    let mut sys = System::new(4, HammerConfig::default(), 8);
+    for round in 0..6u64 {
+        let writer = (round % 4) as usize;
+        sys.store(writer, 0x700, round + 1);
+        for reader in 0..4 {
+            assert_eq!(sys.load(reader, 0x700), round + 1, "round {round}");
+        }
+    }
+    sys.assert_clean();
+}
+
+#[test]
+fn concurrent_racing_ops_converge() {
+    // Fire overlapping stores/loads from all cores without quiescing in
+    // between; afterwards all cores must agree on the final value.
+    let mut sys = System::new(4, HammerConfig::default(), 9);
+    for i in 0..4 {
+        let id = sys.next_id;
+        sys.next_id += 1;
+        sys.sim.post(
+            sys.cores[i],
+            sys.caches[i],
+            CoreMsg {
+                id,
+                addr: Addr::new(0x800),
+                kind: CoreKind::Store {
+                    value: 100 + i as u64,
+                },
+            }
+            .into(),
+        );
+    }
+    assert!(sys.sim.run_to_quiescence(1_000_000).quiescent);
+    let v = sys.load(0, 0x800);
+    for core in 1..4 {
+        assert_eq!(sys.load(core, 0x800), v);
+    }
+    assert!((100..104).contains(&v));
+    sys.assert_clean();
+}
+
+#[test]
+fn coverage_records_transients() {
+    let mut sys = System::new(3, HammerConfig::default(), 10);
+    for round in 0..8u64 {
+        sys.store((round % 3) as usize, 0x900, round);
+        let _ = sys.load(((round + 1) % 3) as usize, 0x900);
+    }
+    let report = sys.sim.report();
+    let cov = report.coverage("hammer_cache/l2_0").unwrap();
+    assert!(cov.contains("I", "Load") || cov.contains("I", "Store"));
+    assert!(!cov.is_empty());
+    let dir_cov = report.coverage("hammer_dir/dir").unwrap();
+    assert!(dir_cov.contains("O_mem", "GetM") || dir_cov.contains("NO", "GetM"));
+}
+
+#[test]
+fn mshr_pressure_stalls_but_completes() {
+    let cfg = HammerConfig {
+        sets: 2,
+        ways: 1,
+        mshr_entries: 1,
+        ..HammerConfig::default()
+    };
+    let mut sys = System::new(1, cfg, 11);
+    // Issue many concurrent misses to force MSHR stalls.
+    for i in 0..8u64 {
+        let id = sys.next_id;
+        sys.next_id += 1;
+        sys.sim.post(
+            sys.cores[0],
+            sys.caches[0],
+            CoreMsg {
+                id,
+                addr: Addr::new(0x1000 + i * 64),
+                kind: CoreKind::Store { value: i },
+            }
+            .into(),
+        );
+    }
+    assert!(sys.sim.run_to_quiescence(1_000_000).quiescent);
+    for i in 0..8u64 {
+        assert_eq!(sys.load(0, 0x1000 + i * 64), i);
+    }
+    sys.assert_clean();
+}

@@ -1,0 +1,878 @@
+//! The MESI private L1 cache controller.
+//!
+//! ## Transition matrix
+//!
+//! Stable: `M E S I`. Transients: `IS_D` (read miss, waiting data; with an
+//! `ISI` flavor when an invalidation overtakes the grant), `IM_AD` (write
+//! miss, waiting data + acks), `IM_A` (data arrived, still counting acks),
+//! `SM_AD` (upgrade in flight, shared copy retained), `WB` (writeback
+//! pending), `WB_I` (writeback pending, copy already surrendered to a
+//! racing request).
+//!
+//! | state | Load | Store | Repl | Inv | FwdGetS | FwdGetM | Recall | grant/acks | WbAck | WbNack |
+//! |-------|------|-------|------|-----|---------|---------|--------|------------|-------|--------|
+//! | M     | hit  | hit   | PutM/WB | ack (stale) | data+OwnerWb → S | data → I | data → I | — | — | — |
+//! | E     | hit  | hit→M | PutE/WB | ack (stale) | data+OwnerWb → S | data → I | data → I | — | — | — |
+//! | S     | hit  | GetM/SM_AD | PutS/WB | ack → I | — | — | — | — | — | — |
+//! | I     | GetS/IS_D | GetM/IM_AD | — | ack | — | — | — | — | — | — |
+//! | IS_D  | queue | queue | — | ack, poison | — | — | — | data → use once, I (if poisoned) else S/E | — | — |
+//! | IM_AD | queue | queue | — | ack (stale) | defer | defer | defer | collect → M (+serve deferred) | — | — |
+//! | IM_A  | queue | queue | — | ack (stale) | defer | defer | defer | acks → M | — | — |
+//! | SM_AD | hit  | queue | — | ack, drop copy → IM_AD | — | — | — | collect → M | — | — |
+//! | WB    | queue | queue | — | ack → WB_I (PutS) | data+OwnerWb, Put demotes to PutS | data → WB_I | data → WB_I | — | → I | sink → I |
+//! | WB_I  | queue | queue | — | ack | — | — | — | — | → I† | → I |
+//!
+//! † Impossible among trusted controllers; counted as a violation.
+//!
+//! "defer" queues the forward until the write completes — the requestor is
+//! already the owner from the L2's point of view before it has data, a
+//! textbook MESI race that the accelerator protocols behind Crossing Guard
+//! never see.
+
+use xg_mem::{BlockAddr, DataBlock, Mshr, Replacement, SetAssocCache};
+use xg_proto::{CoreKind, CoreMsg, Ctx, MesiKind, MesiMsg, Message};
+use xg_sim::{Component, CoverageSet, NodeId, Report};
+
+/// Configuration for a [`MesiL1`].
+#[derive(Debug, Clone)]
+pub struct MesiL1Config {
+    /// Number of cache sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Maximum simultaneous transactions.
+    pub mshr_entries: usize,
+    /// Replacement policy.
+    pub replacement: Replacement,
+    /// Seed for random replacement.
+    pub seed: u64,
+}
+
+impl Default for MesiL1Config {
+    fn default() -> Self {
+        MesiL1Config {
+            sets: 64,
+            ways: 8,
+            mshr_entries: 16,
+            replacement: Replacement::Lru,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum L1State {
+    M,
+    E,
+    S,
+}
+
+impl L1State {
+    fn name(self) -> &'static str {
+        match self {
+            L1State::M => "M",
+            L1State::E => "E",
+            L1State::S => "S",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    state: L1State,
+    dirty: bool,
+    data: DataBlock,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GetKind {
+    S,
+    M,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PutKind {
+    S,
+    E,
+    M,
+}
+
+/// A forward that arrived while our own write was still completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Deferred {
+    FwdGetS(NodeId),
+    FwdGetM(NodeId),
+    Recall,
+}
+
+#[derive(Debug, Clone)]
+enum Txn {
+    Get {
+        kind: GetKind,
+        /// Grant received (data plus the state it grants).
+        grant: Option<(DataBlock, L1State, bool)>, // (data, state, dirty)
+        /// Acks still outstanding (`None` until the grant tells us).
+        acks_expected: Option<u32>,
+        acks_got: u32,
+        /// Shared copy retained during an SM_AD upgrade.
+        local: Option<DataBlock>,
+        /// An invalidation hit us mid-flight (ISI): use data once, then I.
+        poisoned: bool,
+        deferred: Vec<Deferred>,
+        waiting: Vec<(NodeId, CoreMsg)>,
+    },
+    Wb {
+        kind: PutKind,
+        data: DataBlock,
+        dirty: bool,
+        invalidated: bool,
+        /// A WbNack overtook the demand that explains it on the unordered
+        /// network; hold the data until that demand arrives and serve it.
+        nacked: bool,
+        waiting: Vec<(NodeId, CoreMsg)>,
+    },
+}
+
+impl Txn {
+    fn waiting_mut(&mut self) -> &mut Vec<(NodeId, CoreMsg)> {
+        match self {
+            Txn::Get { waiting, .. } | Txn::Wb { waiting, .. } => waiting,
+        }
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self {
+            Txn::Get {
+                kind: GetKind::S, ..
+            } => "IS_D",
+            Txn::Get {
+                local: Some(_), ..
+            } => "SM_AD",
+            Txn::Get { grant: None, .. } => "IM_AD",
+            Txn::Get { .. } => "IM_A",
+            Txn::Wb { nacked: true, .. } => "WB_N",
+            Txn::Wb {
+                invalidated: false, ..
+            } => "WB",
+            Txn::Wb {
+                invalidated: true, ..
+            } => "WB_I",
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Stats {
+    violation_reasons: std::collections::BTreeMap<&'static str, u64>,
+    loads: u64,
+    stores: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+    isi_races: u64,
+    deferred_fwds: u64,
+    mshr_stalls: u64,
+    protocol_violation: u64,
+}
+
+/// A private MESI L1 cache serving one core.
+pub struct MesiL1 {
+    name: String,
+    l2: NodeId,
+    cfg: MesiL1Config,
+    cache: SetAssocCache<Line>,
+    mshr: Mshr<Txn>,
+    stats: Stats,
+    coverage: CoverageSet,
+}
+
+impl MesiL1 {
+    /// Creates an L1 that sends its requests to the shared L2 at `l2`.
+    pub fn new(name: impl Into<String>, l2: NodeId, cfg: MesiL1Config) -> Self {
+        MesiL1 {
+            name: name.into(),
+            l2,
+            cache: SetAssocCache::new(cfg.sets, cfg.ways, cfg.replacement, cfg.seed),
+            mshr: Mshr::new(cfg.mshr_entries),
+            cfg,
+            stats: Stats::default(),
+            coverage: CoverageSet::new(),
+        }
+    }
+
+    /// Number of impossible events observed (zero among trusted parts).
+    pub fn protocol_violations(&self) -> u64 {
+        self.stats.protocol_violation
+    }
+
+    /// Number of ISI races survived (invalidation overtook a grant).
+    pub fn isi_races(&self) -> u64 {
+        self.stats.isi_races
+    }
+
+    fn state_name(&self, addr: BlockAddr) -> &'static str {
+        if let Some(line) = self.cache.get(addr) {
+            line.state.name()
+        } else if let Some(txn) = self.mshr.get(addr) {
+            txn.state_name()
+        } else {
+            "I"
+        }
+    }
+
+    fn cover(&mut self, addr: BlockAddr, event: &'static str) {
+        let state = self.state_name(addr);
+        self.coverage.visit(state, event);
+    }
+
+    fn violation(&mut self, why: &'static str) {
+        self.stats.protocol_violation += 1;
+        *self.stats.violation_reasons.entry(why).or_insert(0) += 1;
+    }
+
+    // ----- core side -------------------------------------------------------
+
+    fn handle_core(&mut self, from: NodeId, msg: CoreMsg, ctx: &mut Ctx<'_>) {
+        let addr = msg.addr.block();
+        let offset = msg.addr.block_offset() & !7;
+        match msg.kind {
+            CoreKind::Load => {
+                self.cover(addr, "Load");
+                self.stats.loads += 1;
+            }
+            CoreKind::Store { .. } => {
+                self.cover(addr, "Store");
+                self.stats.stores += 1;
+            }
+            CoreKind::Flush => {
+                // Hardware coherence makes flushes unnecessary on the host
+                // side; acknowledge immediately.
+                ctx.send(
+                    from,
+                    CoreMsg {
+                        id: msg.id,
+                        addr: msg.addr,
+                        kind: CoreKind::FlushResp,
+                    }
+                    .into(),
+                );
+                return;
+            }
+            _ => {
+                self.violation("core sent a response kind");
+                return;
+            }
+        }
+
+        if let Some(txn) = self.mshr.get_mut(addr) {
+            // One special case keeps SM_AD useful: loads still hit on the
+            // retained shared copy.
+            if let (CoreKind::Load, Txn::Get { local: Some(d), .. }) = (&msg.kind, &*txn) {
+                let value = d.read_u64(offset);
+                ctx.send(
+                    from,
+                    CoreMsg {
+                        id: msg.id,
+                        addr: msg.addr,
+                        kind: CoreKind::LoadResp { value },
+                    }
+                    .into(),
+                );
+                return;
+            }
+            txn.waiting_mut().push((from, msg));
+            return;
+        }
+
+        match msg.kind {
+            CoreKind::Load => {
+                if let Some(line) = self.cache.get_mut(addr) {
+                    self.stats.hits += 1;
+                    let value = line.data.read_u64(offset);
+                    ctx.send(
+                        from,
+                        CoreMsg {
+                            id: msg.id,
+                            addr: msg.addr,
+                            kind: CoreKind::LoadResp { value },
+                        }
+                        .into(),
+                    );
+                } else {
+                    self.stats.misses += 1;
+                    self.start_get(GetKind::S, addr, None, (from, msg), ctx);
+                }
+            }
+            CoreKind::Store { value } => match self.cache.get(addr).map(|l| l.state) {
+                Some(L1State::M) | Some(L1State::E) => {
+                    self.stats.hits += 1;
+                    let line = self.cache.get_mut(addr).expect("present");
+                    line.data.write_u64(offset, value);
+                    line.dirty = true;
+                    line.state = L1State::M;
+                    ctx.send(
+                        from,
+                        CoreMsg {
+                            id: msg.id,
+                            addr: msg.addr,
+                            kind: CoreKind::StoreResp,
+                        }
+                        .into(),
+                    );
+                }
+                Some(L1State::S) => {
+                    self.stats.misses += 1;
+                    let line = self.cache.remove(addr).expect("present");
+                    self.start_get(GetKind::M, addr, Some(line.data), (from, msg), ctx);
+                }
+                None => {
+                    self.stats.misses += 1;
+                    self.start_get(GetKind::M, addr, None, (from, msg), ctx);
+                }
+            },
+            _ => unreachable!("filtered above"),
+        }
+    }
+
+    fn start_get(
+        &mut self,
+        kind: GetKind,
+        addr: BlockAddr,
+        local: Option<DataBlock>,
+        op: (NodeId, CoreMsg),
+        ctx: &mut Ctx<'_>,
+    ) {
+        if self.mshr.len() >= self.mshr.capacity() {
+            self.stats.mshr_stalls += 1;
+            if let Some(data) = local {
+                self.cache.insert(
+                    addr,
+                    Line {
+                        state: L1State::S,
+                        dirty: false,
+                        data,
+                    },
+                );
+            }
+            let (from, msg) = op;
+            ctx.redeliver(from, msg.into(), 8);
+            return;
+        }
+        self.mshr
+            .alloc(
+                addr,
+                Txn::Get {
+                    kind,
+                    grant: None,
+                    acks_expected: None,
+                    acks_got: 0,
+                    local,
+                    poisoned: false,
+                    deferred: Vec::new(),
+                    waiting: vec![op],
+                },
+            )
+            .expect("capacity checked");
+        let req = match kind {
+            GetKind::S => MesiKind::GetS,
+            GetKind::M => MesiKind::GetM,
+        };
+        ctx.send(self.l2, MesiMsg::new(addr, req).into());
+    }
+
+    // ----- network side ----------------------------------------------------
+
+    fn handle_mesi(&mut self, from: NodeId, msg: MesiMsg, ctx: &mut Ctx<'_>) {
+        let addr = msg.addr;
+        if xg_sim::trace_enabled() {
+            eprintln!(
+                "[{}] {} <- {} {:?} @{} (state {})",
+                ctx.now(), self.name, from, msg.kind, addr, self.state_name(addr)
+            );
+        }
+        match msg.kind {
+            MesiKind::DataS { data } => {
+                self.cover(addr, "DataS");
+                self.grant(addr, data, L1State::S, false, 0, ctx);
+            }
+            MesiKind::DataE { data } => {
+                self.cover(addr, "DataE");
+                self.grant(addr, data, L1State::E, false, 0, ctx);
+            }
+            MesiKind::DataM { data, acks } => {
+                self.cover(addr, "DataM");
+                self.grant(addr, data, L1State::M, false, acks, ctx);
+            }
+            MesiKind::FwdData {
+                data,
+                dirty,
+                exclusive,
+            } => {
+                self.cover(addr, "FwdData");
+                let state = if exclusive { L1State::M } else { L1State::S };
+                self.grant(addr, data, state, dirty, 0, ctx);
+            }
+            MesiKind::InvAck => {
+                self.cover(addr, "InvAck");
+                let mut ok = false;
+                if let Some(Txn::Get { acks_got, .. }) = self.mshr.get_mut(addr) {
+                    *acks_got += 1;
+                    ok = true;
+                }
+                if ok {
+                    self.try_complete_get(addr, ctx);
+                } else {
+                    self.violation("InvAck without transaction");
+                }
+            }
+            MesiKind::Inv { requestor } => {
+                self.cover(addr, "Inv");
+                self.handle_inv(addr, requestor, ctx);
+            }
+            MesiKind::FwdGetS { requestor } => {
+                self.cover(addr, "FwdGetS");
+                self.handle_demand(addr, Deferred::FwdGetS(requestor), ctx);
+            }
+            MesiKind::FwdGetM { requestor } => {
+                self.cover(addr, "FwdGetM");
+                self.handle_demand(addr, Deferred::FwdGetM(requestor), ctx);
+            }
+            MesiKind::Recall => {
+                self.cover(addr, "Recall");
+                self.handle_demand(addr, Deferred::Recall, ctx);
+            }
+            MesiKind::WbAck => {
+                self.cover(addr, "WbAck");
+                match self.mshr.remove(addr) {
+                    Some(Txn::Wb { waiting, .. }) => {
+                        self.stats.writebacks += 1;
+                        self.drain_waiting(waiting, ctx);
+                    }
+                    other => {
+                        self.restore(addr, other);
+                        self.violation("WbAck without writeback");
+                    }
+                }
+            }
+            MesiKind::WbNack => {
+                self.cover(addr, "WbNack");
+                match self.mshr.remove(addr) {
+                    Some(Txn::Wb {
+                        invalidated: true,
+                        waiting,
+                        ..
+                    }) => {
+                        self.drain_waiting(waiting, ctx);
+                    }
+                    Some(txn @ Txn::Wb { .. }) => {
+                        // The Nack overtook the demand that explains it
+                        // (an Inv, FwdGetM, or Recall already in flight on
+                        // the unordered network). Hold the data in WB_N and
+                        // serve that demand when it lands.
+                        let Txn::Wb {
+                            kind, data, dirty, waiting, ..
+                        } = txn
+                        else {
+                            unreachable!()
+                        };
+                        self.restore(
+                            addr,
+                            Some(Txn::Wb {
+                                kind,
+                                data,
+                                dirty,
+                                invalidated: false,
+                                nacked: true,
+                                waiting,
+                            }),
+                        );
+                    }
+                    other => {
+                        self.restore(addr, other);
+                        self.violation("WbNack without writeback");
+                    }
+                }
+            }
+            _ => self.violation("request kind delivered to an L1"),
+        }
+        let _ = from;
+    }
+
+    fn restore(&mut self, addr: BlockAddr, txn: Option<Txn>) {
+        if let Some(txn) = txn {
+            self.mshr.alloc(addr, txn).expect("slot just freed");
+        }
+    }
+
+    fn grant(
+        &mut self,
+        addr: BlockAddr,
+        data: DataBlock,
+        state: L1State,
+        dirty: bool,
+        acks: u32,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let ok = match self.mshr.get_mut(addr) {
+            Some(Txn::Get {
+                grant,
+                acks_expected,
+                ..
+            }) if grant.is_none() => {
+                *grant = Some((data, state, dirty));
+                *acks_expected = Some(acks);
+                true
+            }
+            _ => false,
+        };
+        if ok {
+            self.try_complete_get(addr, ctx);
+        } else {
+            self.violation("grant without matching transaction");
+        }
+    }
+
+    fn handle_inv(&mut self, addr: BlockAddr, requestor: NodeId, ctx: &mut Ctx<'_>) {
+        // Universal rule: always ack the requestor, then drop any shared
+        // copy we hold. An Inv can be stale (sent at our old S copy and
+        // reordered past its own epoch); acking is correct in every case.
+        ctx.send(requestor, MesiMsg::new(addr, MesiKind::InvAck).into());
+        if let Some(line) = self.cache.get(addr) {
+            if line.state == L1State::S {
+                self.cache.remove(addr);
+            }
+            return;
+        }
+        match self.mshr.get_mut(addr) {
+            Some(Txn::Get {
+                kind: GetKind::S,
+                poisoned,
+                ..
+            }) => {
+                // ISI: the grant in flight is already stale.
+                *poisoned = true;
+                self.stats.isi_races += 1;
+            }
+            Some(Txn::Get { local, .. }) => {
+                // SM_AD loses its shared copy → IM_AD.
+                if local.take().is_some() {
+                    self.stats.isi_races += 1;
+                }
+            }
+            Some(Txn::Wb {
+                kind: PutKind::S,
+                invalidated,
+                nacked,
+                ..
+            }) => {
+                if *nacked {
+                    // The explaining demand arrived; the transaction is
+                    // fully resolved.
+                    if let Some(Txn::Wb { waiting, .. }) = self.mshr.remove(addr) {
+                        self.drain_waiting(waiting, ctx);
+                    }
+                } else {
+                    *invalidated = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// FwdGetS / FwdGetM / Recall: demands that only an owner receives.
+    fn handle_demand(&mut self, addr: BlockAddr, demand: Deferred, ctx: &mut Ctx<'_>) {
+        if let Some(line) = self.cache.get(addr) {
+            if line.state == L1State::S {
+                self.violation("owner demand while in S");
+                return;
+            }
+            let (data, dirty) = (line.data, line.dirty);
+            match demand {
+                Deferred::FwdGetS(requestor) => {
+                    ctx.send(
+                        requestor,
+                        MesiMsg::new(
+                            addr,
+                            MesiKind::FwdData {
+                                data,
+                                dirty,
+                                exclusive: false,
+                            },
+                        )
+                        .into(),
+                    );
+                    ctx.send(
+                        self.l2,
+                        MesiMsg::new(addr, MesiKind::OwnerWb { data, dirty }).into(),
+                    );
+                    let line = self.cache.get_mut(addr).expect("present");
+                    line.state = L1State::S;
+                    line.dirty = false;
+                }
+                Deferred::FwdGetM(requestor) => {
+                    ctx.send(
+                        requestor,
+                        MesiMsg::new(
+                            addr,
+                            MesiKind::FwdData {
+                                data,
+                                dirty,
+                                exclusive: true,
+                            },
+                        )
+                        .into(),
+                    );
+                    self.cache.remove(addr);
+                }
+                Deferred::Recall => {
+                    ctx.send(
+                        self.l2,
+                        MesiMsg::new(addr, MesiKind::RecallData { data, dirty }).into(),
+                    );
+                    self.cache.remove(addr);
+                }
+            }
+            return;
+        }
+        match self.mshr.get_mut(addr) {
+            Some(Txn::Get { deferred, .. }) => {
+                // We are the owner-to-be but have no data yet: defer.
+                self.stats.deferred_fwds += 1;
+                deferred.push(demand);
+            }
+            Some(Txn::Wb {
+                kind: PutKind::E | PutKind::M,
+                data,
+                dirty,
+                invalidated: invalidated @ false,
+                nacked,
+                ..
+            }) => {
+                let was_nacked = *nacked;
+                let (data, dirty) = (*data, *dirty);
+                match demand {
+                    Deferred::FwdGetS(requestor) => {
+                        // Serve the read; our in-flight Put demotes to a
+                        // PutS at the L2 (it will see a non-owner sharer).
+                        // Record the demotion so a later Inv treats the
+                        // writeback as a shared-copy eviction.
+                        ctx.send(
+                            requestor,
+                            MesiMsg::new(
+                                addr,
+                                MesiKind::FwdData {
+                                    data,
+                                    dirty,
+                                    exclusive: false,
+                                },
+                            )
+                            .into(),
+                        );
+                        ctx.send(
+                            self.l2,
+                            MesiMsg::new(addr, MesiKind::OwnerWb { data, dirty }).into(),
+                        );
+                        if let Some(Txn::Wb { kind, .. }) = self.mshr.get_mut(addr) {
+                            *kind = PutKind::S;
+                        }
+                        return;
+                    }
+                    Deferred::FwdGetM(requestor) => {
+                        ctx.send(
+                            requestor,
+                            MesiMsg::new(
+                                addr,
+                                MesiKind::FwdData {
+                                    data,
+                                    dirty,
+                                    exclusive: true,
+                                },
+                            )
+                            .into(),
+                        );
+                        *invalidated = true;
+                    }
+                    Deferred::Recall => {
+                        ctx.send(
+                            self.l2,
+                            MesiMsg::new(addr, MesiKind::RecallData { data, dirty }).into(),
+                        );
+                        *invalidated = true;
+                    }
+                }
+                if was_nacked {
+                    // This demand explains the earlier Nack; all done.
+                    if let Some(Txn::Wb { waiting, .. }) = self.mshr.remove(addr) {
+                        self.drain_waiting(waiting, ctx);
+                    }
+                }
+            }
+            _ => {
+                // Nothing held: only reachable with a misbehaving peer.
+                self.violation("owner demand without a copy");
+                if let Deferred::Recall = demand {
+                    ctx.send(
+                        self.l2,
+                        MesiMsg::new(
+                            addr,
+                            MesiKind::RecallData {
+                                data: DataBlock::zeroed(),
+                                dirty: false,
+                            },
+                        )
+                        .into(),
+                    );
+                }
+            }
+        }
+    }
+
+    fn try_complete_get(&mut self, addr: BlockAddr, ctx: &mut Ctx<'_>) {
+        let ready = matches!(
+            self.mshr.get(addr),
+            Some(Txn::Get {
+                grant: Some(_),
+                acks_expected: Some(n),
+                acks_got,
+                ..
+            }) if acks_got >= n
+        );
+        if !ready {
+            return;
+        }
+        let Some(Txn::Get {
+            grant,
+            poisoned,
+            deferred,
+            waiting,
+            ..
+        }) = self.mshr.remove(addr)
+        else {
+            unreachable!("checked above")
+        };
+        let (data, state, dirty) = grant.expect("checked above");
+
+        if poisoned {
+            // ISI: satisfy the loads that were already waiting with the
+            // granted (coherent-at-grant-time) data, then drop the block.
+            let mut rest = Vec::new();
+            for (from, msg) in waiting {
+                match msg.kind {
+                    CoreKind::Load => {
+                        let offset = msg.addr.block_offset() & !7;
+                        ctx.send(
+                            from,
+                            CoreMsg {
+                                id: msg.id,
+                                addr: msg.addr,
+                                kind: CoreKind::LoadResp {
+                                    value: data.read_u64(offset),
+                                },
+                            }
+                            .into(),
+                        );
+                    }
+                    _ => rest.push((from, msg)),
+                }
+            }
+            ctx.note_progress();
+            self.drain_waiting(rest, ctx);
+            return;
+        }
+
+        self.install_line(addr, Line { state, dirty, data }, ctx);
+        ctx.note_progress();
+        // Serve demands that raced ahead of our own completion.
+        for demand in deferred {
+            self.handle_demand(addr, demand, ctx);
+        }
+        self.drain_waiting(waiting, ctx);
+    }
+
+    fn install_line(&mut self, addr: BlockAddr, line: Line, ctx: &mut Ctx<'_>) {
+        if let Some((victim_addr, victim)) = self.cache.take_victim(addr) {
+            self.start_writeback(victim_addr, victim, ctx);
+        }
+        let evicted = self.cache.insert(addr, line);
+        debug_assert!(evicted.is_none(), "victim was taken first");
+    }
+
+    fn start_writeback(&mut self, addr: BlockAddr, line: Line, ctx: &mut Ctx<'_>) {
+        self.cover(addr, "Repl");
+        let (kind, req) = match line.state {
+            L1State::S => (PutKind::S, MesiKind::PutS),
+            L1State::E => (PutKind::E, MesiKind::PutE { data: line.data }),
+            L1State::M => (PutKind::M, MesiKind::PutM { data: line.data }),
+        };
+        let txn = Txn::Wb {
+            kind,
+            data: line.data,
+            dirty: line.dirty,
+            invalidated: false,
+            nacked: false,
+            waiting: Vec::new(),
+        };
+        if self.mshr.alloc(addr, txn).is_ok() {
+            ctx.send(self.l2, MesiMsg::new(addr, req).into());
+        } else {
+            self.stats.mshr_stalls += 1;
+            self.cache.insert(addr, line);
+        }
+    }
+
+    fn drain_waiting(&mut self, waiting: Vec<(NodeId, CoreMsg)>, ctx: &mut Ctx<'_>) {
+        for (from, msg) in waiting {
+            self.handle_core(from, msg, ctx);
+        }
+    }
+}
+
+impl Component<Message> for MesiL1 {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        match msg {
+            Message::Core(c) => self.handle_core(from, c, ctx),
+            Message::Mesi(m) => self.handle_mesi(from, m, ctx),
+            _ => self.violation("foreign protocol message"),
+        }
+    }
+
+    fn report(&self, out: &mut Report) {
+        let n = &self.name;
+        out.add(format!("{n}.loads"), self.stats.loads);
+        out.add(format!("{n}.stores"), self.stats.stores);
+        out.add(format!("{n}.hits"), self.stats.hits);
+        out.add(format!("{n}.misses"), self.stats.misses);
+        out.add(format!("{n}.writebacks"), self.stats.writebacks);
+        out.add(format!("{n}.isi_races"), self.stats.isi_races);
+        out.add(format!("{n}.deferred_fwds"), self.stats.deferred_fwds);
+        out.add(format!("{n}.mshr_stalls"), self.stats.mshr_stalls);
+        out.add(
+            format!("{n}.protocol_violation"),
+            self.stats.protocol_violation,
+        );
+        for (why, count) in &self.stats.violation_reasons {
+            out.add(format!("{n}.violation[{why}]"), *count);
+        }
+        out.record_coverage(format!("mesi_l1/{n}"), &self.coverage);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+// The config is currently all plumbed through the constructor; keep a
+// reference to silence dead-code warnings if fields go unused on some paths.
+impl MesiL1 {
+    /// The configuration this L1 was built with.
+    pub fn config(&self) -> &MesiL1Config {
+        &self.cfg
+    }
+}

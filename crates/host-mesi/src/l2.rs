@@ -1,0 +1,692 @@
+//! The shared, inclusive MESI L2 with embedded directory and memory.
+//!
+//! Per block the L2 keeps data, a dirty bit, the exact sharer set, and the
+//! owner (an L1 holding E/M). Multi-message flows serialize per block:
+//!
+//! * **Fetch**: miss → memory read (latency via timer) → grant. If the fill
+//!   needs a way, a *recall* of an unpinned victim runs first, pulling the
+//!   block back from every L1 above (inclusivity).
+//! * **FwdGetS**: owner downgrades and supplies data; the L2 stays busy
+//!   until the owner's `OwnerWb` refreshes its copy.
+//! * **GetM with sharers**: the L2 replies `DataM { acks }` and sends each
+//!   sharer an `Inv` naming the requestor; sharers ack the requestor
+//!   directly and the L2 does not block — the requestor-side counting is
+//!   exactly the complexity Crossing Guard shields accelerators from.
+//!
+//! The §3.2.2 host modification ([`MesiL2Config::ack_data_interchange`]):
+//! when an unexpected `OwnerWb` arrives from a node that was just sent an
+//! `Inv` on behalf of requestor `R` (a buggy accelerator answered `Inv`
+//! with data), the modified L2 acks `R` itself so `R`'s ack count still
+//! converges. The unmodified baseline counts a protocol violation instead
+//! (and `R` hangs — which the fuzz ablation demonstrates).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use xg_mem::{BlockAddr, DataBlock, Replacement, SetAssocCache};
+use xg_proto::{Ctx, MesiKind, MesiMsg, Message};
+use xg_sim::{Component, CoverageSet, NodeId, Report};
+
+/// Configuration for a [`MesiL2`].
+#[derive(Debug, Clone)]
+pub struct MesiL2Config {
+    /// Number of cache sets.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Cycles for a memory fetch.
+    pub mem_latency: u64,
+    /// Replacement policy for L2 victims.
+    pub replacement: Replacement,
+    /// Seed for random replacement.
+    pub seed: u64,
+    /// §3.2.2 host modification: treat data and acks as interchangeable
+    /// responses to a forward, acking the requestor on the sender's behalf.
+    pub ack_data_interchange: bool,
+}
+
+impl Default for MesiL2Config {
+    fn default() -> Self {
+        MesiL2Config {
+            sets: 256,
+            ways: 8,
+            mem_latency: 80,
+            replacement: Replacement::Lru,
+            seed: 0,
+            ack_data_interchange: true,
+        }
+    }
+}
+
+/// Directory + data state for one resident block.
+#[derive(Debug, Clone)]
+struct L2Line {
+    data: DataBlock,
+    dirty: bool,
+    sharers: BTreeSet<NodeId>,
+    owner: Option<NodeId>,
+    /// Requestor of the most recent sharer-invalidation round, kept so the
+    /// modified L2 can ack on behalf of a misbehaving responder (§3.2.2).
+    inv_debt: Option<NodeId>,
+}
+
+impl L2Line {
+    fn fresh(data: DataBlock) -> Self {
+        L2Line {
+            data,
+            dirty: false,
+            sharers: BTreeSet::new(),
+            owner: None,
+            inv_debt: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GetKind {
+    S,
+    SOnly,
+    M,
+}
+
+#[derive(Debug)]
+enum Busy {
+    /// Memory fetch in flight for `requestor`.
+    Fetch { requestor: NodeId, kind: GetKind },
+    /// Fetched data waiting for a way to free up (victim recall running).
+    InstallWait {
+        requestor: NodeId,
+        kind: GetKind,
+        data: DataBlock,
+    },
+    /// Waiting for the owner's `OwnerWb` after a FwdGetS.
+    FwdS { owner: NodeId, requestor: NodeId },
+    /// Inclusive eviction: waiting for `pending` recall responses; the line
+    /// has already been removed from the array into here.
+    Recall { pending: u32, line: L2Line },
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    violation_reasons: std::collections::BTreeMap<&'static str, u64>,
+    redundant_getms: u64,
+    gets: u64,
+    getms: u64,
+    puts: u64,
+    put_s: u64,
+    nacks: u64,
+    mem_reads: u64,
+    mem_writes: u64,
+    recalls: u64,
+    fwd_gets: u64,
+    inv_rounds: u64,
+    mod_acks_on_behalf: u64,
+    demoted_puts: u64,
+    install_retries: u64,
+    protocol_violation: u64,
+}
+
+/// The shared inclusive L2 + directory + memory controller.
+pub struct MesiL2 {
+    name: String,
+    cfg: MesiL2Config,
+    array: SetAssocCache<L2Line>,
+    busy: HashMap<BlockAddr, Busy>,
+    queues: HashMap<BlockAddr, VecDeque<(NodeId, MesiKind)>>,
+    memory: HashMap<BlockAddr, DataBlock>,
+    stats: Stats,
+    coverage: CoverageSet,
+}
+
+impl MesiL2 {
+    /// Creates the shared L2.
+    pub fn new(name: impl Into<String>, cfg: MesiL2Config) -> Self {
+        MesiL2 {
+            name: name.into(),
+            array: SetAssocCache::new(cfg.sets, cfg.ways, cfg.replacement, cfg.seed),
+            busy: HashMap::new(),
+            queues: HashMap::new(),
+            memory: HashMap::new(),
+            cfg,
+            stats: Stats::default(),
+            coverage: CoverageSet::new(),
+        }
+    }
+
+    /// Pre-loads memory contents (tests / workload setup).
+    pub fn write_memory(&mut self, addr: BlockAddr, data: DataBlock) {
+        self.memory.insert(addr, data);
+    }
+
+    /// Reads memory contents (zero if never written).
+    pub fn read_memory(&self, addr: BlockAddr) -> DataBlock {
+        self.memory.get(&addr).copied().unwrap_or_default()
+    }
+
+    /// Number of impossible events observed (zero among trusted parts, and
+    /// — with the host modification on — zero even with a buggy
+    /// accelerator behind a Transactional Crossing Guard).
+    pub fn protocol_violations(&self) -> u64 {
+        self.stats.protocol_violation
+    }
+
+    /// Times the modified L2 acked a requestor on a misbehaving responder's
+    /// behalf (the §3.2.2 counter).
+    pub fn acks_on_behalf(&self) -> u64 {
+        self.stats.mod_acks_on_behalf
+    }
+
+    fn state_name(&self, addr: BlockAddr) -> &'static str {
+        if let Some(b) = self.busy.get(&addr) {
+            match b {
+                Busy::Fetch { .. } => "Busy_Fetch",
+                Busy::InstallWait { .. } => "Busy_Install",
+                Busy::FwdS { .. } => "Busy_FwdS",
+                Busy::Recall { .. } => "Busy_Recall",
+            }
+        } else if let Some(line) = self.array.get(addr) {
+            if line.owner.is_some() {
+                "Owned"
+            } else if line.sharers.is_empty() {
+                "Present"
+            } else {
+                "Shared"
+            }
+        } else {
+            "NP"
+        }
+    }
+
+    fn cover(&mut self, addr: BlockAddr, event: &'static str) {
+        let state = self.state_name(addr);
+        self.coverage.visit(state, event);
+    }
+
+    fn violation(&mut self, why: &'static str) {
+        self.stats.protocol_violation += 1;
+        *self.stats.violation_reasons.entry(why).or_insert(0) += 1;
+    }
+
+    fn handle_mesi(&mut self, from: NodeId, addr: BlockAddr, kind: MesiKind, ctx: &mut Ctx<'_>) {
+        if xg_sim::trace_enabled() {
+            eprintln!(
+                "[{}] {} <- {} {:?} @{} (state {})",
+                ctx.now(), self.name, from, kind, addr, self.state_name(addr)
+            );
+        }
+        // Responses to our own recalls bypass the queue.
+        match kind {
+            MesiKind::RecallData { data, dirty } => {
+                self.recall_response(addr, Some((data, dirty)), ctx);
+                return;
+            }
+            MesiKind::InvAck => {
+                self.recall_response(addr, None, ctx);
+                return;
+            }
+            MesiKind::OwnerWb { data, dirty } => {
+                self.handle_owner_wb(from, addr, data, dirty, ctx);
+                return;
+            }
+            _ => {}
+        }
+        if self.busy.contains_key(&addr) {
+            self.queues.entry(addr).or_default().push_back((from, kind));
+            return;
+        }
+        self.process(from, addr, kind, ctx);
+    }
+
+    fn process(&mut self, from: NodeId, addr: BlockAddr, kind: MesiKind, ctx: &mut Ctx<'_>) {
+        match kind {
+            MesiKind::GetS => self.process_get(from, addr, GetKind::S, ctx),
+            MesiKind::GetSOnly => self.process_get(from, addr, GetKind::SOnly, ctx),
+            MesiKind::GetM => self.process_get(from, addr, GetKind::M, ctx),
+            MesiKind::PutS => self.process_put(from, addr, None, false, ctx),
+            MesiKind::PutE { data } => self.process_put(from, addr, Some(data), false, ctx),
+            MesiKind::PutM { data } => self.process_put(from, addr, Some(data), true, ctx),
+            _ => self.violation("unexpected kind at L2"),
+        }
+    }
+
+    fn process_get(&mut self, from: NodeId, addr: BlockAddr, kind: GetKind, ctx: &mut Ctx<'_>) {
+        if kind == GetKind::M {
+            self.stats.getms += 1;
+        } else {
+            self.stats.gets += 1;
+        }
+        let Some(line) = self.array.get_mut(addr) else {
+            // Miss: fetch from memory.
+            self.stats.mem_reads += 1;
+            self.busy.insert(addr, Busy::Fetch {
+                requestor: from,
+                kind,
+            });
+            ctx.wake_in(self.cfg.mem_latency.max(1), addr.as_u64());
+            return;
+        };
+        match kind {
+            GetKind::S | GetKind::SOnly => {
+                if let Some(owner) = line.owner {
+                    self.stats.fwd_gets += 1;
+                    self.busy.insert(addr, Busy::FwdS {
+                        owner,
+                        requestor: from,
+                    });
+                    ctx.send(
+                        owner,
+                        MesiMsg::new(addr, MesiKind::FwdGetS { requestor: from }).into(),
+                    );
+                } else if line.sharers.is_empty() && kind == GetKind::S {
+                    line.owner = Some(from);
+                    let data = line.data;
+                    ctx.send(from, MesiMsg::new(addr, MesiKind::DataE { data }).into());
+                } else {
+                    line.sharers.insert(from);
+                    let data = line.data;
+                    ctx.send(from, MesiMsg::new(addr, MesiKind::DataS { data }).into());
+                }
+            }
+            GetKind::M => {
+                if let Some(owner) = line.owner {
+                    if owner == from {
+                        // Trusted L1s upgrade silently, but a Transactional
+                        // Crossing Guard may forward a redundant GetM on a
+                        // misbehaving accelerator's behalf (Guarantee 1a is
+                        // the host's to tolerate, §3.2.2). Grant it — the
+                        // requestor already owns the block, so this is
+                        // harmless.
+                        let data = line.data;
+                        self.stats.redundant_getms += 1;
+                        ctx.send(
+                            from,
+                            MesiMsg::new(addr, MesiKind::DataM { data, acks: 0 }).into(),
+                        );
+                        return;
+                    }
+                    ctx.send(
+                        owner,
+                        MesiMsg::new(addr, MesiKind::FwdGetM { requestor: from }).into(),
+                    );
+                    line.owner = Some(from);
+                    line.inv_debt = None;
+                } else {
+                    let acks: Vec<NodeId> = line
+                        .sharers
+                        .iter()
+                        .copied()
+                        .filter(|&s| s != from)
+                        .collect();
+                    if !acks.is_empty() {
+                        self.stats.inv_rounds += 1;
+                    }
+                    for &sharer in &acks {
+                        ctx.send(
+                            sharer,
+                            MesiMsg::new(addr, MesiKind::Inv { requestor: from }).into(),
+                        );
+                    }
+                    line.sharers.clear();
+                    line.owner = Some(from);
+                    line.inv_debt = Some(from);
+                    let data = line.data;
+                    ctx.send(
+                        from,
+                        MesiMsg::new(
+                            addr,
+                            MesiKind::DataM {
+                                data,
+                                acks: acks.len() as u32,
+                            },
+                        )
+                        .into(),
+                    );
+                }
+            }
+        }
+    }
+
+    fn process_put(
+        &mut self,
+        from: NodeId,
+        addr: BlockAddr,
+        data: Option<DataBlock>,
+        dirty: bool,
+        ctx: &mut Ctx<'_>,
+    ) {
+        self.stats.puts += 1;
+        let Some(line) = self.array.get_mut(addr) else {
+            // Inclusivity means a put for a non-resident block is a race
+            // with our own recall (or garbage).
+            self.stats.nacks += 1;
+            ctx.send(from, MesiMsg::new(addr, MesiKind::WbNack).into());
+            return;
+        };
+        if line.owner == Some(from) {
+            if let Some(d) = data {
+                line.data = d;
+                line.dirty |= dirty;
+            }
+            line.owner = None;
+            ctx.send(from, MesiMsg::new(addr, MesiKind::WbAck).into());
+        } else if line.sharers.remove(&from) {
+            // PutS, or a PutE/PutM demoted by a racing FwdGetS (§ l1 docs).
+            if data.is_some() {
+                self.stats.demoted_puts += 1;
+            } else {
+                self.stats.put_s += 1;
+            }
+            ctx.send(from, MesiMsg::new(addr, MesiKind::WbAck).into());
+        } else {
+            self.stats.nacks += 1;
+            ctx.send(from, MesiMsg::new(addr, MesiKind::WbNack).into());
+        }
+    }
+
+    fn handle_owner_wb(
+        &mut self,
+        from: NodeId,
+        addr: BlockAddr,
+        data: DataBlock,
+        dirty: bool,
+        ctx: &mut Ctx<'_>,
+    ) {
+        match self.busy.get(&addr) {
+            Some(Busy::FwdS { owner, requestor }) if *owner == from => {
+                let requestor = *requestor;
+                self.busy.remove(&addr);
+                if let Some(line) = self.array.get_mut(addr) {
+                    line.data = data;
+                    line.dirty |= dirty;
+                    line.sharers.insert(from);
+                    line.sharers.insert(requestor);
+                    line.owner = None;
+                } else {
+                    self.violation("FwdS busy without a line");
+                }
+                self.drain(addr, ctx);
+            }
+            _ => {
+                // Unsolicited data: either a WB_P(M/E)+FwdGetS demotion
+                // (trusted, handled by the data refresh below) or a buggy
+                // accelerator answering an Inv with data (§3.2.2).
+                let mut handled = false;
+                if let Some(line) = self.array.get_mut(addr) {
+                    if line.owner.is_none() && line.sharers.contains(&from) {
+                        // Plausible demotion: refresh our copy.
+                        line.data = data;
+                        line.dirty |= dirty;
+                        handled = true;
+                    } else if line.inv_debt.is_some() && line.owner != Some(from) {
+                        let requestor = line.inv_debt.expect("checked");
+                        if self.cfg.ack_data_interchange {
+                            // Host mod: ack the requestor on behalf of the
+                            // sender; discard the untrusted data (it came
+                            // from a cache that was told to *invalidate*).
+                            ctx.send(
+                                requestor,
+                                MesiMsg::new(addr, MesiKind::InvAck).into(),
+                            );
+                            self.stats.mod_acks_on_behalf += 1;
+                            handled = true;
+                        }
+                    }
+                }
+                if !handled {
+                    if xg_sim::trace_enabled() {
+                        eprintln!(
+                            "[{from}] host_l2 UNSOLICITED OwnerWb @{addr} line={:?}",
+                            self.array
+                                .get(addr)
+                                .map(|l| (l.owner, l.sharers.clone(), l.inv_debt))
+                        );
+                    }
+                    self.violation("unsolicited OwnerWb");
+                }
+            }
+        }
+    }
+
+    fn recall_response(
+        &mut self,
+        addr: BlockAddr,
+        data: Option<(DataBlock, bool)>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let Some(Busy::Recall { pending, line }) = self.busy.get_mut(&addr) else {
+            self.violation("recall response without recall");
+            return;
+        };
+        if let Some((d, dirty)) = data {
+            line.data = d;
+            line.dirty |= dirty;
+        }
+        *pending -= 1;
+        if *pending == 0 {
+            let Some(Busy::Recall { line, .. }) = self.busy.remove(&addr) else {
+                unreachable!()
+            };
+            self.finish_eviction(addr, line, ctx);
+        }
+    }
+
+    fn finish_eviction(&mut self, addr: BlockAddr, line: L2Line, ctx: &mut Ctx<'_>) {
+        if line.dirty {
+            self.stats.mem_writes += 1;
+            self.memory.insert(addr, line.data);
+        }
+        // Anything queued behind the eviction restarts from scratch.
+        self.drain(addr, ctx);
+        // Retry any fill that was waiting for this set.
+        let waiting: Vec<BlockAddr> = self
+            .busy
+            .iter()
+            .filter(|(_, b)| matches!(b, Busy::InstallWait { .. }))
+            .map(|(&a, _)| a)
+            .collect();
+        for a in waiting {
+            self.try_install(a, ctx);
+        }
+    }
+
+    /// Memory fetch completion (timer token = block address).
+    fn fetch_done(&mut self, addr: BlockAddr, ctx: &mut Ctx<'_>) {
+        // Check before removing: a mismatched wake must not destroy
+        // whatever transaction now owns this block.
+        if !matches!(self.busy.get(&addr), Some(Busy::Fetch { .. })) {
+            self.violation("fetch completion without fetch");
+            return;
+        }
+        let Some(Busy::Fetch { requestor, kind }) = self.busy.remove(&addr) else {
+            unreachable!("checked above")
+        };
+        let data = self.memory.get(&addr).copied().unwrap_or_default();
+        self.busy.insert(addr, Busy::InstallWait {
+            requestor,
+            kind,
+            data,
+        });
+        self.try_install(addr, ctx);
+    }
+
+    fn try_install(&mut self, addr: BlockAddr, ctx: &mut Ctx<'_>) {
+        let Some(Busy::InstallWait { .. }) = self.busy.get(&addr) else {
+            return;
+        };
+        if self.array.needs_eviction(addr) {
+            let busy = &self.busy;
+            let victim = self
+                .array
+                .take_victim_where(addr, |a, _| !busy.contains_key(&a));
+            match victim {
+                Some((victim_addr, line)) => {
+                    self.start_recall(victim_addr, line, ctx);
+                }
+                None => {
+                    // Every candidate way is mid-transaction; retry soon.
+                    self.stats.install_retries += 1;
+                    ctx.wake_in(4, addr.as_u64() | INSTALL_RETRY_BIT);
+                    return;
+                }
+            }
+            if self.array.needs_eviction(addr) {
+                // Recall is asynchronous; wait for it.
+                return;
+            }
+        }
+        // A zero-pending recall completes synchronously and re-enters this
+        // function via finish_eviction; in that case our install already
+        // happened and the busy entry is gone — or even replaced by a new
+        // transaction the re-entrant install started. Never remove anything
+        // that is not our own InstallWait.
+        if !matches!(self.busy.get(&addr), Some(Busy::InstallWait { .. })) {
+            return;
+        }
+        let Some(Busy::InstallWait {
+            requestor,
+            kind,
+            data,
+        }) = self.busy.remove(&addr)
+        else {
+            unreachable!("checked above")
+        };
+        self.array.insert(addr, L2Line::fresh(data));
+        // Grant through the normal path (line now resident, not busy).
+        let get = match kind {
+            GetKind::S => MesiKind::GetS,
+            GetKind::SOnly => MesiKind::GetSOnly,
+            GetKind::M => MesiKind::GetM,
+        };
+        // Don't double-count the request statistics for the replay.
+        self.stats.gets = self.stats.gets.saturating_sub(u64::from(kind != GetKind::M));
+        self.stats.getms = self.stats.getms.saturating_sub(u64::from(kind == GetKind::M));
+        self.process(requestor, addr, get, ctx);
+        self.drain(addr, ctx);
+    }
+
+    fn start_recall(&mut self, addr: BlockAddr, line: L2Line, ctx: &mut Ctx<'_>) {
+        self.stats.recalls += 1;
+        let mut pending = 0u32;
+        if let Some(owner) = line.owner {
+            ctx.send(owner, MesiMsg::new(addr, MesiKind::Recall).into());
+            pending += 1;
+        }
+        let me = ctx.self_id();
+        for &sharer in &line.sharers {
+            ctx.send(sharer, MesiMsg::new(addr, MesiKind::Inv { requestor: me }).into());
+            pending += 1;
+        }
+        if pending == 0 {
+            self.finish_eviction(addr, line, ctx);
+        } else {
+            self.busy.insert(addr, Busy::Recall { pending, line });
+        }
+    }
+
+    fn drain(&mut self, addr: BlockAddr, ctx: &mut Ctx<'_>) {
+        loop {
+            if self.busy.contains_key(&addr) {
+                return;
+            }
+            let Some(queue) = self.queues.get_mut(&addr) else {
+                return;
+            };
+            let Some((from, kind)) = queue.pop_front() else {
+                self.queues.remove(&addr);
+                return;
+            };
+            self.cover(addr, event_name(&kind));
+            self.process(from, addr, kind, ctx);
+        }
+    }
+}
+
+/// High bit of the wake token distinguishes install retries from fetches.
+const INSTALL_RETRY_BIT: u64 = 1 << 63;
+
+fn event_name(kind: &MesiKind) -> &'static str {
+    match kind {
+        MesiKind::GetS => "GetS",
+        MesiKind::GetSOnly => "GetSOnly",
+        MesiKind::GetM => "GetM",
+        MesiKind::PutS => "PutS",
+        MesiKind::PutE { .. } => "PutE",
+        MesiKind::PutM { .. } => "PutM",
+        MesiKind::DataS { .. } => "DataS",
+        MesiKind::DataE { .. } => "DataE",
+        MesiKind::DataM { .. } => "DataM",
+        MesiKind::WbAck => "WbAck",
+        MesiKind::WbNack => "WbNack",
+        MesiKind::Inv { .. } => "Inv",
+        MesiKind::FwdGetS { .. } => "FwdGetS",
+        MesiKind::FwdGetM { .. } => "FwdGetM",
+        MesiKind::Recall => "Recall",
+        MesiKind::InvAck => "InvAck",
+        MesiKind::FwdData { .. } => "FwdData",
+        MesiKind::OwnerWb { .. } => "OwnerWb",
+        MesiKind::RecallData { .. } => "RecallData",
+    }
+}
+
+impl Component<Message> for MesiL2 {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handle(&mut self, from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        match msg {
+            Message::Mesi(m) => {
+                self.cover(m.addr, event_name(&m.kind));
+                self.handle_mesi(from, m.addr, m.kind, ctx);
+            }
+            _ => self.violation("foreign protocol message"),
+        }
+    }
+
+    fn wake(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        let addr = BlockAddr::new(token & !INSTALL_RETRY_BIT);
+        if xg_sim::trace_enabled() {
+            eprintln!(
+                "[{}] host_l2 WAKE @{} retry={} (state {})",
+                ctx.now(), addr, token & INSTALL_RETRY_BIT != 0, self.state_name(addr)
+            );
+        }
+        if token & INSTALL_RETRY_BIT != 0 {
+            self.try_install(addr, ctx);
+        } else {
+            self.fetch_done(addr, ctx);
+        }
+    }
+
+    fn report(&self, out: &mut Report) {
+        let n = &self.name;
+        out.add(format!("{n}.gets"), self.stats.gets);
+        out.add(format!("{n}.getms"), self.stats.getms);
+        out.add(format!("{n}.puts"), self.stats.puts);
+        out.add(format!("{n}.put_s"), self.stats.put_s);
+        out.add(format!("{n}.nacks"), self.stats.nacks);
+        out.add(format!("{n}.mem_reads"), self.stats.mem_reads);
+        out.add(format!("{n}.mem_writes"), self.stats.mem_writes);
+        out.add(format!("{n}.recalls"), self.stats.recalls);
+        out.add(format!("{n}.fwd_gets"), self.stats.fwd_gets);
+        out.add(format!("{n}.inv_rounds"), self.stats.inv_rounds);
+        out.add(format!("{n}.redundant_getms"), self.stats.redundant_getms);
+        out.add(format!("{n}.acks_on_behalf"), self.stats.mod_acks_on_behalf);
+        out.add(format!("{n}.demoted_puts"), self.stats.demoted_puts);
+        out.add(format!("{n}.install_retries"), self.stats.install_retries);
+        out.add(
+            format!("{n}.protocol_violation"),
+            self.stats.protocol_violation,
+        );
+        for (why, count) in &self.stats.violation_reasons {
+            out.add(format!("{n}.violation[{why}]"), *count);
+        }
+        out.record_coverage(format!("mesi_l2/{n}"), &self.coverage);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

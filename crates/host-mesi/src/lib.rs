@@ -1,0 +1,39 @@
+//! # xg-host-mesi — inclusive two-level MESI host protocol
+//!
+//! The second baseline host protocol of the Crossing Guard paper (§3): an
+//! Intel-style inclusive MESI hierarchy in the style of gem5's
+//! `MESI_Two_Level`. Private per-core L1s sit under a shared L2 that is
+//! inclusive of them and embeds the directory (exact sharer list + owner
+//! per block). Its defining features, all reproduced here:
+//!
+//! * **Exact sharer tracking with requestor-side ack counting.** On a GetM
+//!   the L2 tells the requestor how many invalidation acks to expect and
+//!   sharers ack the requestor *directly* — sibling-to-sibling traffic the
+//!   Crossing Guard interface deliberately hides from accelerators (§2.4).
+//! * **Owner forwarding.** The L2 forwards requests to the current E/M
+//!   owner, which supplies data cache-to-cache.
+//! * **Inclusive L2 evictions** recall blocks from the L1s above.
+//! * **Explicit `PutS`.** Shared evictions are not silent, so the sharer
+//!   list stays exact — which is why Crossing Guard *does* forward
+//!   accelerator `PutS` messages to this host (§2.1).
+//! * **Races galore.** An invalidation can overtake a data grant on the
+//!   unordered network (the classic `ISI` case of Sorin et al., which the
+//!   paper cites as exactly the complexity accelerator designers should not
+//!   have to handle, §2.4); the L1 needs six transient states.
+//!
+//! ## Host modification for Transactional Crossing Guard (paper §3.2.2)
+//!
+//! If a buggy accelerator answers an invalidation with a writeback instead
+//! of an `InvAck`, Transactional Crossing Guard forwards the (type-wrong)
+//! data to the L2; the modified L2 then acks the GetM requestor on the
+//! accelerator's behalf. Toggle with [`MesiL2Config::ack_data_interchange`]
+//! — the ablation benches measure the unmodified baseline failing.
+
+pub mod l1;
+pub mod l2;
+
+#[cfg(test)]
+mod tests;
+
+pub use l1::{MesiL1, MesiL1Config};
+pub use l2::{MesiL2, MesiL2Config};

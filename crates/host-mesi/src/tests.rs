@@ -1,0 +1,337 @@
+//! Directed end-to-end tests of the MESI protocol (L1s + inclusive L2).
+
+use xg_mem::Addr;
+use xg_proto::{CoreKind, CoreMsg, Ctx, Message};
+use xg_sim::{Component, Link, NodeId, SimBuilder};
+
+use crate::{MesiL1, MesiL1Config, MesiL2, MesiL2Config};
+
+/// A passive core recording responses.
+struct TestCore {
+    name: String,
+    responses: Vec<CoreMsg>,
+}
+
+impl Component<Message> for TestCore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn handle(&mut self, _from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        if let Message::Core(c) = msg {
+            self.responses.push(c);
+            ctx.note_progress();
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+struct System {
+    sim: xg_proto::Sim,
+    cores: Vec<NodeId>,
+    l1s: Vec<NodeId>,
+    l2: NodeId,
+    next_id: u64,
+}
+
+impl System {
+    fn new(n: usize, l1cfg: MesiL1Config, l2cfg: MesiL2Config, seed: u64) -> Self {
+        let mut b = SimBuilder::new(seed);
+        let mut cores = Vec::new();
+        let mut l1s = Vec::new();
+        for i in 0..n {
+            cores.push(b.add(Box::new(TestCore {
+                name: format!("core{i}"),
+                responses: Vec::new(),
+            })));
+        }
+        let l2_id = NodeId::from_index(2 * n);
+        for i in 0..n {
+            l1s.push(b.add(Box::new(MesiL1::new(
+                format!("l1_{i}"),
+                l2_id,
+                l1cfg.clone(),
+            ))));
+        }
+        let l2 = b.add(Box::new(MesiL2::new("l2", l2cfg)));
+        assert_eq!(l2, l2_id);
+        b.default_link(Link::unordered(1, 12));
+        for i in 0..n {
+            b.link_bidi(cores[i], l1s[i], Link::ordered(1, 1));
+        }
+        System {
+            sim: b.build(),
+            cores,
+            l1s,
+            l2,
+            next_id: 0,
+        }
+    }
+
+    fn post_store(&mut self, core: usize, addr: u64, value: u64) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sim.post(
+            self.cores[core],
+            self.l1s[core],
+            CoreMsg {
+                id,
+                addr: Addr::new(addr),
+                kind: CoreKind::Store { value },
+            }
+            .into(),
+        );
+    }
+
+    fn store(&mut self, core: usize, addr: u64, value: u64) {
+        self.post_store(core, addr, value);
+        assert!(self.sim.run_to_quiescence(200_000).quiescent);
+    }
+
+    fn load(&mut self, core: usize, addr: u64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sim.post(
+            self.cores[core],
+            self.l1s[core],
+            CoreMsg {
+                id,
+                addr: Addr::new(addr),
+                kind: CoreKind::Load,
+            }
+            .into(),
+        );
+        assert!(self.sim.run_to_quiescence(200_000).quiescent);
+        self.sim.get::<TestCore>(self.cores[core]).unwrap()
+            .responses
+            .iter()
+            .rev()
+            .find_map(|m| match (m.id == id, m.kind) {
+                (true, CoreKind::LoadResp { value }) => Some(value),
+                _ => None,
+            })
+            .expect("load response")
+    }
+
+    fn assert_clean(&self) {
+        let report = self.sim.report();
+        assert_eq!(
+            report.sum_suffix(".protocol_violation"),
+            0,
+            "protocol violations recorded"
+        );
+    }
+}
+
+fn default_sys(n: usize, seed: u64) -> System {
+    System::new(n, MesiL1Config::default(), MesiL2Config::default(), seed)
+}
+
+#[test]
+fn store_then_load_same_core() {
+    let mut sys = default_sys(2, 1);
+    sys.store(0, 0x100, 42);
+    assert_eq!(sys.load(0, 0x100), 42);
+    sys.assert_clean();
+}
+
+#[test]
+fn owner_forwards_dirty_data() {
+    let mut sys = default_sys(2, 2);
+    sys.store(0, 0x200, 7);
+    // Memory is stale; the owner must forward.
+    assert_eq!(sys.load(1, 0x200), 7);
+    let l2 = sys.sim.get::<MesiL2>(sys.l2).unwrap();
+    // The FwdGetS refreshed the L2 copy.
+    assert_eq!(l2.read_memory(Addr::new(0x200).block()).read_u64(0), 0);
+    sys.assert_clean();
+}
+
+#[test]
+fn upgrade_with_ack_counting() {
+    let mut sys = default_sys(4, 3);
+    sys.store(0, 0x300, 1);
+    for c in 0..4 {
+        assert_eq!(sys.load(c, 0x300), 1);
+    }
+    // Core 3 upgrades; three sharers must InvAck it.
+    sys.store(3, 0x300, 2);
+    for c in 0..4 {
+        assert_eq!(sys.load(c, 0x300), 2);
+    }
+    let report = sys.sim.report();
+    assert!(report.get("l2.inv_rounds") >= 1);
+    sys.assert_clean();
+}
+
+#[test]
+fn exclusive_grant_enables_silent_upgrade() {
+    let mut sys = default_sys(2, 4);
+    assert_eq!(sys.load(0, 0x400), 0);
+    sys.store(0, 0x400, 5);
+    let report = sys.sim.report();
+    // E grant means no GetM ever reached the L2.
+    assert_eq!(report.get("l2.getms"), 0);
+    sys.assert_clean();
+}
+
+#[test]
+fn put_s_is_explicit_for_exact_tracking() {
+    let l1cfg = MesiL1Config {
+        sets: 1,
+        ways: 1,
+        ..MesiL1Config::default()
+    };
+    let mut sys = System::new(2, l1cfg, MesiL2Config::default(), 5);
+    // Share 0x100 in both L1s.
+    sys.store(1, 0x100, 3);
+    assert_eq!(sys.load(0, 0x100), 3);
+    // Evict it from L1 0 by touching another block in the same set.
+    let _ = sys.load(0, 0x140);
+    let report = sys.sim.report();
+    assert!(report.get("l2.put_s") >= 1, "PutS must be explicit");
+    sys.assert_clean();
+}
+
+#[test]
+fn dirty_eviction_reaches_l2() {
+    let l1cfg = MesiL1Config {
+        sets: 1,
+        ways: 1,
+        ..MesiL1Config::default()
+    };
+    let mut sys = System::new(1, l1cfg, MesiL2Config::default(), 6);
+    sys.store(0, 0x100, 11);
+    sys.store(0, 0x140, 22); // evicts 0x100 with PutM
+    assert_eq!(sys.load(0, 0x100), 11);
+    assert_eq!(sys.load(0, 0x140), 22);
+    sys.assert_clean();
+}
+
+#[test]
+fn inclusive_l2_eviction_recalls_l1_copies() {
+    let l2cfg = MesiL2Config {
+        sets: 1,
+        ways: 2,
+        ..MesiL2Config::default()
+    };
+    let mut sys = System::new(2, MesiL1Config::default(), l2cfg, 7);
+    sys.store(0, 0x100, 1);
+    sys.store(0, 0x140, 2);
+    // A third block forces an L2 eviction; the victim lives in L1 0 and
+    // must be recalled (dirty data preserved through memory).
+    sys.store(0, 0x180, 3);
+    let report = sys.sim.report();
+    assert!(report.get("l2.recalls") >= 1);
+    assert_eq!(sys.load(1, 0x100), 1);
+    assert_eq!(sys.load(1, 0x140), 2);
+    assert_eq!(sys.load(1, 0x180), 3);
+    sys.assert_clean();
+}
+
+#[test]
+fn many_cores_converge_on_final_value() {
+    let mut sys = default_sys(4, 8);
+    for round in 0..6u64 {
+        let writer = (round % 4) as usize;
+        sys.store(writer, 0x700, round + 1);
+        for reader in 0..4 {
+            assert_eq!(sys.load(reader, 0x700), round + 1, "round {round}");
+        }
+    }
+    sys.assert_clean();
+}
+
+#[test]
+fn concurrent_racing_stores_converge() {
+    let mut sys = default_sys(4, 9);
+    for i in 0..4 {
+        sys.post_store(i, 0x800, 100 + i as u64);
+    }
+    assert!(sys.sim.run_to_quiescence(1_000_000).quiescent);
+    let v = sys.load(0, 0x800);
+    for core in 1..4 {
+        assert_eq!(sys.load(core, 0x800), v);
+    }
+    assert!((100..104).contains(&v));
+    sys.assert_clean();
+}
+
+#[test]
+fn interleaved_sharing_stresses_fwd_paths() {
+    let mut sys = default_sys(3, 10);
+    // Build up a mix of owner-forwards, upgrades, and invalidations
+    // without quiescing between operations.
+    for i in 0..12u64 {
+        let core = (i % 3) as usize;
+        if i % 2 == 0 {
+            sys.post_store(core, 0x900, i);
+        } else {
+            let id = sys.next_id;
+            sys.next_id += 1;
+            sys.sim.post(
+                sys.cores[core],
+                sys.l1s[core],
+                CoreMsg {
+                    id,
+                    addr: Addr::new(0x900),
+                    kind: CoreKind::Load,
+                }
+                .into(),
+            );
+        }
+    }
+    assert!(sys.sim.run_to_quiescence(2_000_000).quiescent);
+    // All cores agree afterwards.
+    let v = sys.load(0, 0x900);
+    assert_eq!(sys.load(1, 0x900), v);
+    assert_eq!(sys.load(2, 0x900), v);
+    sys.assert_clean();
+}
+
+#[test]
+fn small_caches_exercise_recall_and_demotion_races() {
+    let l1cfg = MesiL1Config {
+        sets: 1,
+        ways: 2,
+        ..MesiL1Config::default()
+    };
+    let l2cfg = MesiL2Config {
+        sets: 1,
+        ways: 3,
+        mem_latency: 30,
+        ..MesiL2Config::default()
+    };
+    let mut sys = System::new(3, l1cfg, l2cfg, 11);
+    // Thrash five blocks through a 3-way L2 from three cores at once.
+    for i in 0..30u64 {
+        let core = (i % 3) as usize;
+        let addr = 0x1000 + (i % 5) * 64;
+        sys.post_store(core, addr, i);
+    }
+    assert!(sys.sim.run_to_quiescence(5_000_000).quiescent);
+    // Convergence: all cores read identical values for every block.
+    for blk in 0..5u64 {
+        let addr = 0x1000 + blk * 64;
+        let v = sys.load(0, addr);
+        assert_eq!(sys.load(1, addr), v, "block {blk}");
+        assert_eq!(sys.load(2, addr), v, "block {blk}");
+    }
+    sys.assert_clean();
+}
+
+#[test]
+fn coverage_is_collected() {
+    let mut sys = default_sys(2, 12);
+    sys.store(0, 0xA00, 1);
+    let _ = sys.load(1, 0xA00);
+    sys.store(1, 0xA00, 2);
+    let report = sys.sim.report();
+    let cov = report.coverage("mesi_l1/l1_0").unwrap();
+    assert!(cov.len() > 3);
+    assert!(report.coverage("mesi_l2/l2").unwrap().len() > 3);
+}

@@ -1,0 +1,168 @@
+//! Byte, block, and page addresses.
+
+use std::fmt;
+
+/// Cache block (line) size in bytes. The paper's host systems use 64 B
+/// blocks (§2.5); accelerators may use multiples of this (block-size
+/// translation is handled by Crossing Guard).
+pub const BLOCK_BYTES: u64 = 64;
+
+/// Page size in bytes, the granularity of permission checks (Guarantee 0).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A byte-granularity physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates a byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Raw byte address.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The cache block containing this byte.
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr(self.0 / BLOCK_BYTES)
+    }
+
+    /// The page containing this byte.
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 / PAGE_BYTES)
+    }
+
+    /// Offset of this byte within its cache block.
+    pub const fn block_offset(self) -> usize {
+        (self.0 % BLOCK_BYTES) as usize
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// A cache-block-granularity address (a block *index*, not a byte address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a block index.
+    pub const fn new(index: u64) -> Self {
+        BlockAddr(index)
+    }
+
+    /// The block index.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte in this block.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * BLOCK_BYTES)
+    }
+
+    /// The page containing this block.
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 * BLOCK_BYTES / PAGE_BYTES)
+    }
+
+    /// The `i`-th block after this one.
+    pub const fn offset(self, i: u64) -> BlockAddr {
+        BlockAddr(self.0 + i)
+    }
+
+    /// Rounds this block address down to a multiple of `blocks` — the base
+    /// of the containing *accelerator* block when the accelerator block size
+    /// is `blocks × 64 B` (paper §2.5 block-size translation).
+    ///
+    /// # Panics
+    /// Panics if `blocks` is zero.
+    pub fn align_down(self, blocks: u64) -> BlockAddr {
+        assert!(blocks > 0, "alignment of zero blocks");
+        BlockAddr(self.0 - self.0 % blocks)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    /// Writes the block's byte base address, which is what a hardware
+    /// engineer expects to see in a trace.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.base().as_u64())
+    }
+}
+
+/// A page-granularity address (a page *index*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageAddr(u64);
+
+impl PageAddr {
+    /// Creates a page address from a page index.
+    pub const fn new(index: u64) -> Self {
+        PageAddr(index)
+    }
+
+    /// The page index.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte in this page.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * PAGE_BYTES)
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.base().as_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_to_block_to_page() {
+        let a = Addr::new(PAGE_BYTES + 3 * BLOCK_BYTES + 5);
+        assert_eq!(a.block(), BlockAddr::new(PAGE_BYTES / BLOCK_BYTES + 3));
+        assert_eq!(a.page(), PageAddr::new(1));
+        assert_eq!(a.block_offset(), 5);
+        assert_eq!(a.block().base().as_u64(), PAGE_BYTES + 3 * BLOCK_BYTES);
+        assert_eq!(a.block().page(), PageAddr::new(1));
+        assert_eq!(a.page().base(), Addr::new(PAGE_BYTES));
+    }
+
+    #[test]
+    fn block_alignment() {
+        let b = BlockAddr::new(13);
+        assert_eq!(b.align_down(4), BlockAddr::new(12));
+        assert_eq!(b.align_down(1), b);
+        assert_eq!(b.offset(3), BlockAddr::new(16));
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(Addr::new(0x40).to_string(), "0x40");
+        assert_eq!(BlockAddr::new(1).to_string(), "0x40");
+        assert_eq!(PageAddr::new(1).to_string(), "0x1000");
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment of zero")]
+    fn zero_alignment_panics() {
+        let _ = BlockAddr::new(1).align_down(0);
+    }
+}

@@ -1,0 +1,338 @@
+//! A set-associative tag array with pluggable replacement.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::addr::BlockAddr;
+
+/// Replacement policy for a [`SetAssocCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Replacement {
+    /// Evict the least-recently-used line.
+    Lru,
+    /// Evict the oldest-inserted line.
+    Fifo,
+    /// Evict a uniformly random line (deterministic given the seed passed to
+    /// [`SetAssocCache::new`]).
+    Random,
+}
+
+#[derive(Debug, Clone)]
+struct Line<E> {
+    addr: BlockAddr,
+    entry: E,
+    last_used: u64,
+    inserted: u64,
+}
+
+/// A set-associative cache array mapping [`BlockAddr`]s to entries of type
+/// `E` (protocol state + data, typically).
+///
+/// By convention in this workspace, controllers keep only *stable*-state
+/// lines in the array; in-flight transactions live in an [`crate::Mshr`].
+/// That convention means any line is always a legal eviction victim.
+///
+/// ```rust
+/// use xg_mem::{BlockAddr, Replacement, SetAssocCache};
+/// let mut c: SetAssocCache<u32> = SetAssocCache::new(2, 2, Replacement::Lru, 0);
+/// assert!(c.insert(BlockAddr::new(0), 10).is_none());
+/// assert!(c.insert(BlockAddr::new(2), 20).is_none()); // same set (2 sets)
+/// c.touch(BlockAddr::new(0)); // make block 0 the most recently used
+/// let (victim, entry) = c.insert(BlockAddr::new(4), 30).unwrap();
+/// assert_eq!((victim, entry), (BlockAddr::new(2), 20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<E> {
+    sets: Vec<Vec<Line<E>>>,
+    ways: usize,
+    policy: Replacement,
+    clock: u64,
+    rng: SmallRng,
+}
+
+impl<E> SetAssocCache<E> {
+    /// Creates a cache with `sets × ways` lines. `seed` only matters for
+    /// [`Replacement::Random`].
+    ///
+    /// # Panics
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize, policy: Replacement, seed: u64) -> Self {
+        assert!(sets > 0 && ways > 0, "cache must have at least one line");
+        SetAssocCache {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            policy,
+            clock: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    fn set_index(&self, addr: BlockAddr) -> usize {
+        (addr.as_u64() % self.sets.len() as u64) as usize
+    }
+
+    /// Whether `addr` is resident.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.get(addr).is_some()
+    }
+
+    /// Looks up `addr` without updating recency.
+    pub fn get(&self, addr: BlockAddr) -> Option<&E> {
+        let set = &self.sets[self.set_index(addr)];
+        set.iter().find(|l| l.addr == addr).map(|l| &l.entry)
+    }
+
+    /// Looks up `addr` mutably and marks it most-recently-used.
+    pub fn get_mut(&mut self, addr: BlockAddr) -> Option<&mut E> {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        set.iter_mut().find(|l| l.addr == addr).map(|l| {
+            l.last_used = clock;
+            &mut l.entry
+        })
+    }
+
+    /// Marks `addr` most-recently-used if resident.
+    pub fn touch(&mut self, addr: BlockAddr) {
+        let _ = self.get_mut(addr);
+    }
+
+    /// Whether inserting `addr` (not already resident) would require
+    /// evicting a victim.
+    pub fn needs_eviction(&self, addr: BlockAddr) -> bool {
+        let set = &self.sets[self.set_index(addr)];
+        set.len() >= self.ways && !set.iter().any(|l| l.addr == addr)
+    }
+
+    /// Removes and returns the line that would be evicted to make room for
+    /// `addr`, if the set is full. Controllers call this *before* `insert`
+    /// so they can run the victim's writeback transaction first.
+    pub fn take_victim(&mut self, addr: BlockAddr) -> Option<(BlockAddr, E)> {
+        self.take_victim_where(addr, |_, _| true)
+    }
+
+    /// Like [`take_victim`](Self::take_victim), but only lines for which
+    /// `eligible` returns true may be chosen (e.g. an inclusive L2 must not
+    /// evict a line with a recall already in flight). Returns `None` either
+    /// if no eviction is needed or if no line is eligible.
+    pub fn take_victim_where(
+        &mut self,
+        addr: BlockAddr,
+        mut eligible: impl FnMut(BlockAddr, &E) -> bool,
+    ) -> Option<(BlockAddr, E)> {
+        if !self.needs_eviction(addr) {
+            return None;
+        }
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        let candidates: Vec<usize> = set
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| eligible(l.addr, &l.entry))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let way = match self.policy {
+            Replacement::Lru => candidates
+                .into_iter()
+                .min_by_key(|&i| set[i].last_used)
+                .expect("nonempty"),
+            Replacement::Fifo => candidates
+                .into_iter()
+                .min_by_key(|&i| set[i].inserted)
+                .expect("nonempty"),
+            Replacement::Random => candidates[self.rng.gen_range(0..candidates.len())],
+        };
+        let line = set.swap_remove(way);
+        Some((line.addr, line.entry))
+    }
+
+    /// Inserts (or replaces) the entry for `addr`, evicting and returning a
+    /// victim line if the set was full. Replacing an existing entry never
+    /// evicts.
+    pub fn insert(&mut self, addr: BlockAddr, entry: E) -> Option<(BlockAddr, E)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(addr);
+        if let Some(line) = self.sets[idx].iter_mut().find(|l| l.addr == addr) {
+            line.entry = entry;
+            line.last_used = clock;
+            return None;
+        }
+        let victim = self.take_victim(addr);
+        let idx = self.set_index(addr);
+        self.sets[idx].push(Line {
+            addr,
+            entry,
+            last_used: clock,
+            inserted: clock,
+        });
+        victim
+    }
+
+    /// Removes the line for `addr`, returning its entry.
+    pub fn remove(&mut self, addr: BlockAddr) -> Option<E> {
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        let way = set.iter().position(|l| l.addr == addr)?;
+        Some(set.swap_remove(way).entry)
+    }
+
+    /// Iterates over `(addr, entry)` for every resident line (arbitrary but
+    /// deterministic order).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &E)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|l| (l.addr, &l.entry)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(policy: Replacement) -> SetAssocCache<u64> {
+        SetAssocCache::new(4, 2, policy, 99)
+    }
+
+    /// Addresses 0, 4, 8, ... all map to set 0 of a 4-set cache.
+    fn same_set(i: u64) -> BlockAddr {
+        BlockAddr::new(i * 4)
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = cache(Replacement::Lru);
+        assert!(c.insert(BlockAddr::new(1), 10).is_none());
+        assert_eq!(c.get(BlockAddr::new(1)), Some(&10));
+        assert_eq!(c.get(BlockAddr::new(2)), None);
+        *c.get_mut(BlockAddr::new(1)).unwrap() = 11;
+        assert_eq!(c.get(BlockAddr::new(1)), Some(&11));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.capacity(), 8);
+    }
+
+    #[test]
+    fn replace_in_place_does_not_evict() {
+        let mut c = cache(Replacement::Lru);
+        c.insert(same_set(0), 1);
+        c.insert(same_set(1), 2);
+        assert!(c.insert(same_set(0), 3).is_none());
+        assert_eq!(c.get(same_set(0)), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = cache(Replacement::Lru);
+        c.insert(same_set(0), 1);
+        c.insert(same_set(1), 2);
+        c.touch(same_set(0));
+        let (victim, v) = c.insert(same_set(2), 3).unwrap();
+        assert_eq!((victim, v), (same_set(1), 2));
+        assert!(c.contains(same_set(0)));
+        assert!(c.contains(same_set(2)));
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut c = cache(Replacement::Fifo);
+        c.insert(same_set(0), 1);
+        c.insert(same_set(1), 2);
+        c.touch(same_set(0));
+        let (victim, _) = c.insert(same_set(2), 3).unwrap();
+        assert_eq!(victim, same_set(0));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let run = || {
+            let mut c: SetAssocCache<u64> = SetAssocCache::new(1, 4, Replacement::Random, 7);
+            for i in 0..4 {
+                c.insert(BlockAddr::new(i), i);
+            }
+            let mut victims = Vec::new();
+            for i in 4..20 {
+                if let Some((v, _)) = c.insert(BlockAddr::new(i), i) {
+                    victims.push(v);
+                }
+            }
+            victims
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn take_victim_then_insert() {
+        let mut c = cache(Replacement::Lru);
+        c.insert(same_set(0), 1);
+        c.insert(same_set(1), 2);
+        assert!(c.needs_eviction(same_set(2)));
+        let (victim, _) = c.take_victim(same_set(2)).unwrap();
+        assert_eq!(victim, same_set(0));
+        assert!(!c.needs_eviction(same_set(2)));
+        assert!(c.insert(same_set(2), 3).is_none());
+    }
+
+    #[test]
+    fn take_victim_where_respects_filter() {
+        let mut c = cache(Replacement::Lru);
+        c.insert(same_set(0), 1);
+        c.insert(same_set(1), 2);
+        // LRU victim would be block 0, but the filter pins it.
+        let (victim, _) = c
+            .take_victim_where(same_set(2), |a, _| a != same_set(0))
+            .unwrap();
+        assert_eq!(victim, same_set(1));
+        // Re-fill; nothing eligible → None even though the set is full.
+        c.insert(same_set(1), 2);
+        assert!(c.take_victim_where(same_set(2), |_, _| false).is_none());
+        assert!(c.needs_eviction(same_set(2)));
+    }
+
+    #[test]
+    fn take_victim_when_not_needed_is_none() {
+        let mut c = cache(Replacement::Lru);
+        c.insert(same_set(0), 1);
+        assert!(c.take_victim(same_set(1)).is_none());
+        // Resident address never needs eviction even in a full set.
+        c.insert(same_set(1), 2);
+        assert!(c.take_victim(same_set(0)).is_none());
+    }
+
+    #[test]
+    fn remove_and_iter() {
+        let mut c = cache(Replacement::Lru);
+        c.insert(BlockAddr::new(1), 10);
+        c.insert(BlockAddr::new(2), 20);
+        assert_eq!(c.remove(BlockAddr::new(1)), Some(10));
+        assert_eq!(c.remove(BlockAddr::new(1)), None);
+        let all: Vec<_> = c.iter().collect();
+        assert_eq!(all, vec![(BlockAddr::new(2), &20)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_ways_panics() {
+        let _: SetAssocCache<()> = SetAssocCache::new(4, 0, Replacement::Lru, 0);
+    }
+}

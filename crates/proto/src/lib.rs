@@ -1,0 +1,36 @@
+//! # xg-proto — shared protocol message vocabulary
+//!
+//! Every controller in the Crossing Guard system exchanges values of one
+//! [`Message`] enum. Think of this crate as the set of wire formats:
+//!
+//! * [`CoreMsg`] — a processing core's load/store interface to its cache.
+//! * [`HammerMsg`] — the AMD-Hammer-like exclusive MOESI host protocol
+//!   (implemented in `xg-host-hammer`).
+//! * [`MesiMsg`] — the inclusive two-level MESI host protocol (implemented
+//!   in `xg-host-mesi`).
+//! * [`XgiMsg`] — **the Crossing Guard interface** (paper §2.1): the
+//!   standardized, minimal message set an accelerator uses. Five requests,
+//!   four responses, one host-initiated request, three responses to it.
+//! * [`OsMsg`] — error reports Crossing Guard raises to the OS (paper §2.2).
+//!
+//! Keeping all message types in one enum lets heterogeneous controllers
+//! share one simulator instantiation, and — crucially for the safety story —
+//! lets the fuzzer hand *any* message to *any* controller, so we can test
+//! that Crossing Guard tolerates arbitrary garbage while host controllers
+//! merely count (rather than crash on) impossible events.
+
+mod error;
+mod messages;
+
+pub use error::{XgError, XgErrorKind};
+pub use messages::{
+    CoreKind, CoreMsg, HammerKind, HammerMsg, MesiKind, MesiMsg, Message, OsMsg, XgData, XgiKind,
+    XgiMsg,
+};
+
+/// Simulator specialized to the system message type.
+pub type Sim = xg_sim::Simulator<Message>;
+/// Simulation builder specialized to the system message type.
+pub type SimBuilder = xg_sim::SimBuilder<Message>;
+/// Component context specialized to the system message type.
+pub type Ctx<'a> = xg_sim::Ctx<'a, Message>;

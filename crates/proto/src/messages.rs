@@ -1,0 +1,620 @@
+//! All message types exchanged between simulated controllers.
+
+use std::fmt;
+
+use xg_mem::{Addr, BlockAddr, DataBlock};
+use xg_sim::NodeId;
+
+use crate::error::XgError;
+
+/// The top-level message type carried by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Core ↔ cache frontend traffic.
+    Core(CoreMsg),
+    /// Hammer-like host protocol traffic.
+    Hammer(HammerMsg),
+    /// Inclusive MESI host protocol traffic.
+    Mesi(MesiMsg),
+    /// Crossing Guard interface traffic (accelerator ↔ XG). Also used
+    /// *inside* the two-level accelerator organization: the shared
+    /// accelerator L2 exposes the same standardized interface downward to
+    /// its L1s, demonstrating that the interface composes hierarchically.
+    Xgi(XgiMsg),
+    /// Error reports to the OS.
+    Os(OsMsg),
+}
+
+impl Message {
+    /// The block address this message concerns, if any.
+    pub fn block_addr(&self) -> Option<BlockAddr> {
+        match self {
+            Message::Core(m) => Some(m.addr.block()),
+            Message::Hammer(m) => Some(m.addr),
+            Message::Mesi(m) => Some(m.addr),
+            Message::Xgi(m) => Some(m.addr),
+            Message::Os(_) => None,
+        }
+    }
+}
+
+impl From<CoreMsg> for Message {
+    fn from(m: CoreMsg) -> Self {
+        Message::Core(m)
+    }
+}
+impl From<HammerMsg> for Message {
+    fn from(m: HammerMsg) -> Self {
+        Message::Hammer(m)
+    }
+}
+impl From<MesiMsg> for Message {
+    fn from(m: MesiMsg) -> Self {
+        Message::Mesi(m)
+    }
+}
+impl From<XgiMsg> for Message {
+    fn from(m: XgiMsg) -> Self {
+        Message::Xgi(m)
+    }
+}
+impl From<OsMsg> for Message {
+    fn from(m: OsMsg) -> Self {
+        Message::Os(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core interface
+// ---------------------------------------------------------------------------
+
+/// A load/store request or response between a core and its cache.
+///
+/// Data operations are on the naturally-aligned `u64` containing `addr`,
+/// which is what the value-checking stress tester (paper §4.1) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreMsg {
+    /// Request id, echoed in the response so the core can match them up.
+    pub id: u64,
+    /// Byte address of the access.
+    pub addr: Addr,
+    /// Operation.
+    pub kind: CoreKind,
+}
+
+/// Kinds of core-level operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreKind {
+    /// Read the aligned 64-bit word at `addr`.
+    Load,
+    /// Write the aligned 64-bit word at `addr`.
+    Store {
+        /// Value to write.
+        value: u64,
+    },
+    /// Response to [`CoreKind::Load`].
+    LoadResp {
+        /// Value read.
+        value: u64,
+    },
+    /// Response to [`CoreKind::Store`].
+    StoreResp,
+    /// Write back and locally invalidate the block containing `addr`. In
+    /// hardware-coherent caches this is a hint; in the weak-sharing
+    /// accelerator organization (paper §2.1) it is the synchronization
+    /// primitive that makes one core's writes visible to its siblings.
+    Flush,
+    /// Response to [`CoreKind::Flush`].
+    FlushResp,
+}
+
+// ---------------------------------------------------------------------------
+// Hammer-like host protocol
+// ---------------------------------------------------------------------------
+
+/// A message in the AMD-Hammer-like exclusive MOESI broadcast protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HammerMsg {
+    /// Block this message concerns.
+    pub addr: BlockAddr,
+    /// Message kind and payload.
+    pub kind: HammerKind,
+}
+
+impl HammerMsg {
+    /// Convenience constructor.
+    pub fn new(addr: BlockAddr, kind: HammerKind) -> Self {
+        HammerMsg { addr, kind }
+    }
+}
+
+/// Kinds of Hammer protocol messages.
+///
+/// Requests go cache→directory; the directory *broadcasts* forwards to all
+/// peer caches (it keeps no sharer list); each peer responds directly to the
+/// requestor, which counts responses. Writebacks are two-phase
+/// (`Put` → `WbAck` → `WbData`). `GetSOnly` is the non-upgradable read
+/// request added for Transactional Crossing Guard (paper §3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HammerKind {
+    /// Read request (may be answered with exclusive data).
+    GetS,
+    /// Non-upgradable read request: the requestor will never be made owner.
+    GetSOnly,
+    /// Write (exclusive) request.
+    GetM,
+    /// Writeback request (phase one; data follows after `WbAck`).
+    Put,
+    /// Directory → peers: someone issued GetS. `to_owner` marks the copy
+    /// sent to the cache the directory believes owns the block.
+    FwdGetS {
+        /// Cache to respond to.
+        requestor: NodeId,
+        /// Whether the directory believes the recipient owns the block.
+        to_owner: bool,
+    },
+    /// Directory → peers: someone issued GetSOnly.
+    FwdGetSOnly {
+        /// Cache to respond to.
+        requestor: NodeId,
+        /// Whether the directory believes the recipient owns the block.
+        to_owner: bool,
+    },
+    /// Directory → peers: someone issued GetM; invalidate your copy.
+    FwdGetM {
+        /// Cache to respond to.
+        requestor: NodeId,
+        /// Whether the directory believes the recipient owns the block.
+        to_owner: bool,
+    },
+    /// Directory → requestor: data from memory plus the number of peer
+    /// responses the requestor must collect.
+    MemData {
+        /// Block data as memory has it (possibly stale if a cache owns it).
+        data: DataBlock,
+        /// Number of peer responses (acks or data) to expect.
+        peers: u32,
+    },
+    /// Peer → requestor: data response from the owner.
+    RespData {
+        /// Current block data.
+        data: DataBlock,
+        /// Whether the data is newer than memory.
+        dirty: bool,
+        /// True if the responder keeps a copy (requestor takes S); false if
+        /// ownership transfers (requestor takes E/M by `dirty`).
+        owner_keeps_copy: bool,
+    },
+    /// Peer → requestor: no data; `had_copy` notes whether the peer retains
+    /// a shared copy (so a GetS requestor knows E is not available).
+    RespAck {
+        /// Whether the responder still holds (or held) a shared copy.
+        had_copy: bool,
+    },
+    /// Directory → putter: writeback accepted, send `WbData`.
+    WbAck,
+    /// Directory → putter: writeback rejected (requestor no longer owner —
+    /// either a legal race or, with an accelerator, an error).
+    WbNack,
+    /// Putter → directory: writeback data (phase two).
+    WbData {
+        /// Block data.
+        data: DataBlock,
+        /// Whether the data differs from memory.
+        dirty: bool,
+    },
+    /// Requestor → directory: transaction complete; release the block.
+    Unblock {
+        /// Whether the requestor is now the owner.
+        new_owner: bool,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Inclusive MESI host protocol
+// ---------------------------------------------------------------------------
+
+/// A message in the inclusive two-level MESI protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MesiMsg {
+    /// Block this message concerns.
+    pub addr: BlockAddr,
+    /// Message kind and payload.
+    pub kind: MesiKind,
+}
+
+impl MesiMsg {
+    /// Convenience constructor.
+    pub fn new(addr: BlockAddr, kind: MesiKind) -> Self {
+        MesiMsg { addr, kind }
+    }
+}
+
+/// Kinds of MESI protocol messages.
+///
+/// The shared L2 is inclusive and keeps an exact sharer list plus owner per
+/// block. Requestors are told how many invalidation acks to expect
+/// (`DataM { acks }`), and sharers ack the *requestor directly* — the
+/// sibling-to-sibling communication the Crossing Guard interface
+/// deliberately excludes from the accelerator's view (paper §2.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MesiKind {
+    /// L1 → L2 read request.
+    GetS,
+    /// L1 → L2 non-upgradable read request (never grants E; added for
+    /// Transactional Crossing Guard, mirroring instruction fetches).
+    GetSOnly,
+    /// L1 → L2 write request (also used for S→M upgrades).
+    GetM,
+    /// L1 → L2: evicting a shared copy (no data; L2 sharer list is exact).
+    PutS,
+    /// L1 → L2: evicting a clean-exclusive copy.
+    PutE {
+        /// Block data (clean; lets L2 verify/refresh).
+        data: DataBlock,
+    },
+    /// L1 → L2: evicting a modified copy.
+    PutM {
+        /// Dirty block data.
+        data: DataBlock,
+    },
+    /// L2 → L1: shared read-only data.
+    DataS {
+        /// Block data.
+        data: DataBlock,
+    },
+    /// L2 → L1: clean-exclusive data (no other sharers).
+    DataE {
+        /// Block data.
+        data: DataBlock,
+    },
+    /// L2 → L1: writable data; collect `acks` invalidation acks before
+    /// using it.
+    DataM {
+        /// Block data.
+        data: DataBlock,
+        /// Number of `InvAck`s to expect from invalidated sharers.
+        acks: u32,
+    },
+    /// L2 → putter: writeback accepted.
+    WbAck,
+    /// L2 → putter: writeback rejected (no longer sharer/owner).
+    WbNack,
+    /// L2 → sharer: invalidate; ack `requestor` directly (the requestor may
+    /// be the L2 itself during an inclusive-eviction recall).
+    Inv {
+        /// Node to send `InvAck` to.
+        requestor: NodeId,
+    },
+    /// L2 → owner: forward shared data to `requestor`, downgrade to S, and
+    /// send an `OwnerWb` copy to the L2.
+    FwdGetS {
+        /// Node to send data to.
+        requestor: NodeId,
+    },
+    /// L2 → owner: forward exclusive data to `requestor` and invalidate.
+    FwdGetM {
+        /// Node to send data to.
+        requestor: NodeId,
+    },
+    /// L2 → owner: return the block (inclusive L2 eviction recall).
+    Recall,
+    /// Sharer → requestor: invalidation acknowledged.
+    InvAck,
+    /// Owner → requestor: forwarded data.
+    FwdData {
+        /// Block data.
+        data: DataBlock,
+        /// Whether the data is newer than the L2's copy.
+        dirty: bool,
+        /// True if ownership transfers (M/E); false for a shared copy.
+        exclusive: bool,
+    },
+    /// Owner → L2: data copy accompanying a FwdGetS downgrade.
+    OwnerWb {
+        /// Block data.
+        data: DataBlock,
+        /// Whether the data is newer than the L2's copy.
+        dirty: bool,
+    },
+    /// Owner → L2: data returned for a `Recall`.
+    RecallData {
+        /// Block data.
+        data: DataBlock,
+        /// Whether the data is newer than the L2's copy.
+        dirty: bool,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// The Crossing Guard interface
+// ---------------------------------------------------------------------------
+
+/// Data payload on the Crossing Guard interface: one or more host-sized
+/// blocks, so that an accelerator whose block size is a multiple of the
+/// host's 64 B can move a whole accelerator block per message (paper §2.5).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XgData(Vec<DataBlock>);
+
+impl XgData {
+    /// A payload of exactly one host block (the common case).
+    pub fn single(block: DataBlock) -> Self {
+        XgData(vec![block])
+    }
+
+    /// A payload of `n` zeroed host blocks.
+    pub fn zeroed(n: usize) -> Self {
+        XgData(vec![DataBlock::zeroed(); n])
+    }
+
+    /// A payload from a vector of host blocks.
+    ///
+    /// # Panics
+    /// Panics if `blocks` is empty — every data message carries data.
+    pub fn from_blocks(blocks: Vec<DataBlock>) -> Self {
+        assert!(!blocks.is_empty(), "XgData must carry at least one block");
+        XgData(blocks)
+    }
+
+    /// The constituent host blocks.
+    pub fn blocks(&self) -> &[DataBlock] {
+        &self.0
+    }
+
+    /// Mutable access to the constituent host blocks.
+    pub fn blocks_mut(&mut self) -> &mut [DataBlock] {
+        &mut self.0
+    }
+
+    /// Number of host blocks (the accelerator/host block-size ratio).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty (never true for well-formed messages,
+    /// but the fuzzer can construct it).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The single block of a size-1 payload.
+    ///
+    /// # Panics
+    /// Panics if the payload does not contain exactly one block.
+    pub fn expect_single(&self) -> DataBlock {
+        assert_eq!(self.0.len(), 1, "expected single-block payload");
+        self.0[0]
+    }
+}
+
+impl From<DataBlock> for XgData {
+    fn from(b: DataBlock) -> Self {
+        XgData::single(b)
+    }
+}
+
+/// A message on the standardized Crossing Guard interface (paper §2.1).
+///
+/// `addr` is aligned to the *accelerator* block size (a multiple of the
+/// 64 B host block size; usually equal to it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct XgiMsg {
+    /// Accelerator block address.
+    pub addr: BlockAddr,
+    /// Message kind and payload.
+    pub kind: XgiKind,
+}
+
+impl XgiMsg {
+    /// Convenience constructor.
+    pub fn new(addr: BlockAddr, kind: XgiKind) -> Self {
+        XgiMsg { addr, kind }
+    }
+}
+
+/// Kinds of Crossing Guard interface messages.
+///
+/// The accelerator can make five requests (`GetS`, `GetM`, `PutS`, `PutE`,
+/// `PutM`) and receives exactly one of four responses per request (`DataS`,
+/// `DataE`, `DataM`, `WbAck`). The host (via Crossing Guard) can make one
+/// request (`Inv`) and receives exactly one of three responses (`InvAck`,
+/// `CleanWb`, `DirtyWb`). `Put` messages carry data to avoid a multi-phase
+/// commit. The accel↔XG network must be ordered in both directions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XgiKind {
+    /// Accel → XG: request a shared (read-only) copy.
+    GetS,
+    /// Accel → XG: request an exclusive (read-write) copy.
+    GetM,
+    /// Accel → XG: evict a shared copy.
+    PutS,
+    /// Accel → XG: evict a clean-exclusive copy (data included).
+    PutE {
+        /// Clean block data.
+        data: XgData,
+    },
+    /// Accel → XG: evict a modified copy (data included).
+    PutM {
+        /// Dirty block data.
+        data: XgData,
+    },
+    /// XG → accel: shared, clean data.
+    DataS {
+        /// Block data.
+        data: XgData,
+    },
+    /// XG → accel: exclusive, clean data (may answer a GetS).
+    DataE {
+        /// Block data.
+        data: XgData,
+    },
+    /// XG → accel: exclusive, modified data (may answer a GetS).
+    DataM {
+        /// Block data.
+        data: XgData,
+    },
+    /// XG → accel: a Put completed.
+    WbAck,
+    /// XG → accel: relinquish the block now.
+    Inv,
+    /// Accel → XG: held nothing (or only S); block invalidated.
+    InvAck,
+    /// Accel → XG: held E; here is the clean data.
+    CleanWb {
+        /// Clean block data.
+        data: XgData,
+    },
+    /// Accel → XG: held M; here is the dirty data.
+    DirtyWb {
+        /// Dirty block data.
+        data: XgData,
+    },
+}
+
+impl XgiKind {
+    /// Whether this kind is a legal accelerator→XG *request*.
+    pub fn is_accel_request(&self) -> bool {
+        matches!(
+            self,
+            XgiKind::GetS | XgiKind::GetM | XgiKind::PutS | XgiKind::PutE { .. } | XgiKind::PutM { .. }
+        )
+    }
+
+    /// Whether this kind is a legal accelerator→XG *response* (to `Inv`).
+    pub fn is_accel_response(&self) -> bool {
+        matches!(
+            self,
+            XgiKind::InvAck | XgiKind::CleanWb { .. } | XgiKind::DirtyWb { .. }
+        )
+    }
+
+    /// Short mnemonic for coverage and traces.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            XgiKind::GetS => "GetS",
+            XgiKind::GetM => "GetM",
+            XgiKind::PutS => "PutS",
+            XgiKind::PutE { .. } => "PutE",
+            XgiKind::PutM { .. } => "PutM",
+            XgiKind::DataS { .. } => "DataS",
+            XgiKind::DataE { .. } => "DataE",
+            XgiKind::DataM { .. } => "DataM",
+            XgiKind::WbAck => "WbAck",
+            XgiKind::Inv => "Inv",
+            XgiKind::InvAck => "InvAck",
+            XgiKind::CleanWb { .. } => "CleanWb",
+            XgiKind::DirtyWb { .. } => "DirtyWb",
+        }
+    }
+}
+
+impl fmt::Display for XgiKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OS error reporting
+// ---------------------------------------------------------------------------
+
+/// A message to or from the OS model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsMsg {
+    /// Crossing Guard detected an accelerator protocol violation.
+    Error(XgError),
+    /// OS → Crossing Guard: stop accepting accelerator requests (the
+    /// "disable the accelerator" policy of paper §2.2).
+    DisableAccelerator,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_addr_extraction() {
+        let m: Message = CoreMsg {
+            id: 1,
+            addr: Addr::new(0x1008),
+            kind: CoreKind::Load,
+        }
+        .into();
+        assert_eq!(m.block_addr(), Some(Addr::new(0x1008).block()));
+
+        let m: Message = XgiMsg::new(BlockAddr::new(7), XgiKind::GetS).into();
+        assert_eq!(m.block_addr(), Some(BlockAddr::new(7)));
+
+        let m: Message = OsMsg::Error(XgError::new(
+            NodeId::from_index(0),
+            None,
+            crate::XgErrorKind::ResponseTimeout,
+        ))
+        .into();
+        assert_eq!(m.block_addr(), None);
+    }
+
+    #[test]
+    fn xgi_request_response_partition() {
+        let reqs = [
+            XgiKind::GetS,
+            XgiKind::GetM,
+            XgiKind::PutS,
+            XgiKind::PutE {
+                data: XgData::zeroed(1),
+            },
+            XgiKind::PutM {
+                data: XgData::zeroed(1),
+            },
+        ];
+        for r in &reqs {
+            assert!(r.is_accel_request(), "{r}");
+            assert!(!r.is_accel_response(), "{r}");
+        }
+        let resps = [
+            XgiKind::InvAck,
+            XgiKind::CleanWb {
+                data: XgData::zeroed(1),
+            },
+            XgiKind::DirtyWb {
+                data: XgData::zeroed(1),
+            },
+        ];
+        for r in &resps {
+            assert!(r.is_accel_response(), "{r}");
+            assert!(!r.is_accel_request(), "{r}");
+        }
+        assert!(!XgiKind::Inv.is_accel_request());
+        assert!(!XgiKind::WbAck.is_accel_response());
+    }
+
+    #[test]
+    fn xg_data_payloads() {
+        let d = XgData::single(DataBlock::splat(3));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.expect_single(), DataBlock::splat(3));
+        let d = XgData::zeroed(4);
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        let from: XgData = DataBlock::splat(9).into();
+        assert_eq!(from.blocks()[0], DataBlock::splat(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_payload_panics() {
+        let _ = XgData::from_blocks(Vec::new());
+    }
+
+    #[test]
+    fn mnemonics_are_stable() {
+        assert_eq!(XgiKind::GetS.mnemonic(), "GetS");
+        assert_eq!(
+            XgiKind::DirtyWb {
+                data: XgData::zeroed(1)
+            }
+            .to_string(),
+            "DirtyWb"
+        );
+    }
+}

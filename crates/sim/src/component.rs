@@ -1,0 +1,74 @@
+//! The component trait implemented by every simulated controller.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::report::Report;
+use crate::simulator::Ctx;
+
+/// Identity of a component within a simulation.
+///
+/// `NodeId`s are handed out by [`crate::SimBuilder::add`] in registration
+/// order and are used as message source/destination addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NodeId` from a raw index.
+    ///
+    /// Intended for tests and for tables that are indexed by node; sending to
+    /// a fabricated id that was never registered causes a panic at delivery.
+    pub const fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A simulated hardware component (cache controller, directory, core, ...).
+///
+/// Components are single-threaded state machines: the simulator calls
+/// [`handle`](Component::handle) for every message delivered to the
+/// component and [`wake`](Component::wake) for every timer the component
+/// armed. All outgoing effects (sends, timers) go through the [`Ctx`].
+///
+/// The `as_any` methods exist so that a test harness can downcast a
+/// registered component back to its concrete type after a run to inspect
+/// final state; they are mechanical:
+///
+/// ```rust,ignore
+/// fn as_any(&self) -> &dyn std::any::Any { self }
+/// fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+/// ```
+pub trait Component<M> {
+    /// Short human-readable name used in reports and error messages.
+    fn name(&self) -> &str;
+
+    /// Handles a message delivered from `from`.
+    fn handle(&mut self, from: NodeId, msg: M, ctx: &mut Ctx<'_, M>);
+
+    /// Handles a timer wake-up previously armed with [`Ctx::wake_in`]. The
+    /// `token` is the value the component passed when arming the timer.
+    fn wake(&mut self, token: u64, ctx: &mut Ctx<'_, M>) {
+        let _ = (token, ctx);
+    }
+
+    /// Contributes statistics and coverage data to a post-run report.
+    fn report(&self, out: &mut Report) {
+        let _ = out;
+    }
+
+    /// Upcast for downcasting in harnesses.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast for mutable downcasting in harnesses.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

@@ -1,0 +1,99 @@
+//! Link (network channel) latency and ordering models.
+
+/// Latency and ordering configuration for a directed link between two
+/// components.
+///
+/// * An **unordered** link delivers each message after an independently
+///   chosen random latency in `[min, max]`. Messages can therefore pass one
+///   another in flight — this is the source of the races a realistic host
+///   coherence protocol must tolerate (paper §2.4).
+/// * An **ordered** link also draws a random latency per message, but
+///   guarantees that delivery order matches send order by pushing each
+///   delivery time to at least one cycle after the previous delivery on the
+///   same link. The Crossing Guard ↔ accelerator network is required to be
+///   ordered (paper §2.1), which is exactly what eliminates all but one race
+///   from the accelerator's view.
+///
+/// ```rust
+/// use xg_sim::Link;
+/// let fast = Link::ordered(1, 1);
+/// let noisy = Link::unordered(5, 40);
+/// assert!(noisy.max_latency() >= fast.max_latency());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Link {
+    min: u64,
+    max: u64,
+    ordered: bool,
+}
+
+impl Link {
+    /// An unordered link with latency uniformly drawn from `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `min > max`.
+    pub fn unordered(min: u64, max: u64) -> Self {
+        assert!(min <= max, "link latency range inverted: [{min}, {max}]");
+        Link {
+            min,
+            max,
+            ordered: false,
+        }
+    }
+
+    /// An ordered (FIFO) link with latency uniformly drawn from `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `min > max`.
+    pub fn ordered(min: u64, max: u64) -> Self {
+        assert!(min <= max, "link latency range inverted: [{min}, {max}]");
+        Link {
+            min,
+            max,
+            ordered: true,
+        }
+    }
+
+    /// Minimum one-way latency in cycles.
+    pub const fn min_latency(&self) -> u64 {
+        self.min
+    }
+
+    /// Maximum one-way latency in cycles.
+    pub const fn max_latency(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether the link preserves send order.
+    pub const fn is_ordered(&self) -> bool {
+        self.ordered
+    }
+}
+
+impl Default for Link {
+    /// A one-cycle ordered link (the closest thing to a wire).
+    fn default() -> Self {
+        Link::ordered(1, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let l = Link::unordered(2, 9);
+        assert_eq!(l.min_latency(), 2);
+        assert_eq!(l.max_latency(), 9);
+        assert!(!l.is_ordered());
+        assert!(Link::ordered(1, 1).is_ordered());
+        assert!(Link::default().is_ordered());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        let _ = Link::unordered(5, 1);
+    }
+}

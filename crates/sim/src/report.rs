@@ -1,0 +1,200 @@
+//! Post-run statistics and coverage reporting.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A set of `(state, event)` pairs visited by a protocol controller.
+///
+/// This is the coverage metric of the paper's §4.1 stress test: the random
+/// tester counts the state/event pairs visited at each cache controller and
+/// compares against the set believed possible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageSet {
+    pairs: BTreeSet<(&'static str, &'static str)>,
+}
+
+impl CoverageSet {
+    /// Creates an empty coverage set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `event` was observed while in `state`.
+    pub fn visit(&mut self, state: &'static str, event: &'static str) {
+        self.pairs.insert((state, event));
+    }
+
+    /// Number of distinct `(state, event)` pairs visited.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether nothing has been visited.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Whether a particular pair was visited.
+    pub fn contains(&self, state: &str, event: &str) -> bool {
+        self.pairs.iter().any(|&(s, e)| s == state && e == event)
+    }
+
+    /// Iterates over visited pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &'static str)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Merges another coverage set into this one.
+    pub fn merge(&mut self, other: &CoverageSet) {
+        self.pairs.extend(other.pairs.iter().copied());
+    }
+}
+
+/// Aggregated statistics from a simulation run.
+///
+/// Components contribute to a `Report` via [`crate::Component::report`]:
+/// scalar counters (message counts, hits, errors, ...) and per-controller
+/// coverage sets. Keys are free-form strings, conventionally
+/// `"<component>.<counter>"`.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    scalars: BTreeMap<String, u64>,
+    coverage: BTreeMap<String, CoverageSet>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `value` to the scalar counter `key` (creating it at zero).
+    pub fn add(&mut self, key: impl Into<String>, value: u64) {
+        *self.scalars.entry(key.into()).or_insert(0) += value;
+    }
+
+    /// Sets the scalar counter `key`, replacing any prior value.
+    pub fn set(&mut self, key: impl Into<String>, value: u64) {
+        self.scalars.insert(key.into(), value);
+    }
+
+    /// Reads a scalar counter, returning 0 if absent.
+    pub fn get(&self, key: &str) -> u64 {
+        self.scalars.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sums every scalar counter whose key ends with `suffix`.
+    pub fn sum_suffix(&self, suffix: &str) -> u64 {
+        self.scalars
+            .iter()
+            .filter(|(k, _)| k.ends_with(suffix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Iterates over `(key, value)` scalars in deterministic order.
+    pub fn scalars(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.scalars.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Records (merges) a coverage set under `controller`.
+    pub fn record_coverage(&mut self, controller: impl Into<String>, set: &CoverageSet) {
+        self.coverage
+            .entry(controller.into())
+            .or_default()
+            .merge(set);
+    }
+
+    /// Looks up the coverage set for a controller.
+    pub fn coverage(&self, controller: &str) -> Option<&CoverageSet> {
+        self.coverage.get(controller)
+    }
+
+    /// Iterates over all `(controller, coverage)` entries.
+    pub fn coverages(&self) -> impl Iterator<Item = (&str, &CoverageSet)> + '_ {
+        self.coverage.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another report into this one (scalars are summed, coverage
+    /// sets are unioned).
+    pub fn merge(&mut self, other: &Report) {
+        for (k, v) in other.scalars() {
+            self.add(k, v);
+        }
+        for (k, v) in other.coverages() {
+            self.record_coverage(k, v);
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.scalars {
+            writeln!(f, "{k} = {v}")?;
+        }
+        for (k, v) in &self.coverage {
+            writeln!(f, "{k}: {} state/event pairs", v.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_accumulate() {
+        let mut r = Report::new();
+        r.add("a.hits", 3);
+        r.add("a.hits", 4);
+        r.set("a.misses", 9);
+        r.set("a.misses", 2);
+        assert_eq!(r.get("a.hits"), 7);
+        assert_eq!(r.get("a.misses"), 2);
+        assert_eq!(r.get("absent"), 0);
+    }
+
+    #[test]
+    fn suffix_sum() {
+        let mut r = Report::new();
+        r.add("l1_0.hits", 1);
+        r.add("l1_1.hits", 2);
+        r.add("l1_1.misses", 10);
+        assert_eq!(r.sum_suffix(".hits"), 3);
+    }
+
+    #[test]
+    fn coverage_merges() {
+        let mut c = CoverageSet::new();
+        c.visit("I", "Load");
+        c.visit("I", "Load");
+        c.visit("S", "Inv");
+        assert_eq!(c.len(), 2);
+        assert!(c.contains("S", "Inv"));
+        assert!(!c.contains("M", "Inv"));
+
+        let mut r = Report::new();
+        r.record_coverage("l1", &c);
+        let mut c2 = CoverageSet::new();
+        c2.visit("M", "Store");
+        r.record_coverage("l1", &c2);
+        assert_eq!(r.coverage("l1").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn report_merge_and_display() {
+        let mut a = Report::new();
+        a.add("x", 1);
+        let mut b = Report::new();
+        b.add("x", 2);
+        let mut cov = CoverageSet::new();
+        cov.visit("I", "Load");
+        b.record_coverage("ctrl", &cov);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        let text = a.to_string();
+        assert!(text.contains("x = 3"));
+        assert!(text.contains("ctrl"));
+    }
+}

@@ -1,0 +1,681 @@
+//! The simulator proper: builder, event loop, and component context.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::component::{Component, NodeId};
+use crate::event::{Event, EventKind};
+use crate::link::Link;
+use crate::report::Report;
+use crate::time::Cycle;
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// True if the event queue drained completely (no work left).
+    pub quiescent: bool,
+    /// True if the run was stopped by the progress watchdog: the queue was
+    /// still churning but no component reported forward progress for the
+    /// configured bound. This is how the harness detects protocol deadlock
+    /// and livelock without hanging the host process.
+    pub stalled: bool,
+    /// Simulated time when the run stopped.
+    pub now: Cycle,
+    /// Number of events processed during this call.
+    pub events: u64,
+}
+
+/// Deferred effect produced by a component while handling an event.
+enum Effect<M> {
+    Send {
+        to: NodeId,
+        msg: M,
+        extra_delay: u64,
+    },
+    Wake {
+        delay: u64,
+        token: u64,
+    },
+    Redeliver {
+        from: NodeId,
+        msg: M,
+        delay: u64,
+    },
+}
+
+/// The execution context handed to a component while it handles an event.
+///
+/// All interaction with the outside world — sending messages, arming timers,
+/// drawing random numbers, reporting progress — goes through the context.
+/// Effects are applied after the handler returns, so a component never
+/// observes partially-applied state.
+pub struct Ctx<'a, M> {
+    now: Cycle,
+    self_id: NodeId,
+    effects: &'a mut Vec<Effect<M>>,
+    rng: &'a mut SmallRng,
+    progress: &'a mut u64,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The id of the component being invoked.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `to` over the configured link (latency drawn from the
+    /// link's range when the effect is applied).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            extra_delay: 0,
+        });
+    }
+
+    /// Sends `msg` to `to` with `extra_delay` cycles added on top of the
+    /// link latency (used to model lookup/occupancy latency at the sender,
+    /// e.g. a memory access before the response leaves the controller).
+    pub fn send_after(&mut self, to: NodeId, msg: M, extra_delay: u64) {
+        self.effects.push(Effect::Send {
+            to,
+            msg,
+            extra_delay,
+        });
+    }
+
+    /// Arms a timer: the component's `wake(token)` runs `delay` cycles from
+    /// now (minimum one cycle).
+    pub fn wake_in(&mut self, delay: u64, token: u64) {
+        self.effects.push(Effect::Wake { delay, token });
+    }
+
+    /// Re-delivers `msg` to *this* component after `delay` cycles, preserving
+    /// the original sender. This models a controller stalling/recycling a
+    /// message it cannot process in its current state.
+    pub fn redeliver(&mut self, from: NodeId, msg: M, delay: u64) {
+        self.effects.push(Effect::Redeliver { from, msg, delay });
+    }
+
+    /// Deterministic simulation RNG (shared by the whole simulation).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Records one unit of forward progress (e.g. a completed memory
+    /// operation). The progress watchdog in
+    /// [`Simulator::run_with_watchdog`] uses this to distinguish a busy
+    /// system from a deadlocked or livelocked one.
+    pub fn note_progress(&mut self) {
+        *self.progress += 1;
+    }
+}
+
+/// Builds a [`Simulator`]: register components, configure links, then
+/// [`build`](SimBuilder::build).
+pub struct SimBuilder<M> {
+    components: Vec<Option<Box<dyn Component<M>>>>,
+    links: HashMap<(NodeId, NodeId), Link>,
+    default_link: Link,
+    seed: u64,
+}
+
+impl<M: 'static> SimBuilder<M> {
+    /// Creates a builder whose simulation RNG is seeded with `seed`.
+    /// Identical seeds and identical construction sequences produce
+    /// bit-identical runs.
+    pub fn new(seed: u64) -> Self {
+        SimBuilder {
+            components: Vec::new(),
+            links: HashMap::new(),
+            default_link: Link::default(),
+            seed,
+        }
+    }
+
+    /// Registers a component, returning its [`NodeId`].
+    pub fn add(&mut self, component: Box<dyn Component<M>>) -> NodeId {
+        let id = NodeId(self.components.len() as u32);
+        self.components.push(Some(component));
+        id
+    }
+
+    /// Configures the directed link `from → to`.
+    pub fn link(&mut self, from: NodeId, to: NodeId, link: Link) -> &mut Self {
+        self.links.insert((from, to), link);
+        self
+    }
+
+    /// Configures both directions between `a` and `b` with the same link.
+    pub fn link_bidi(&mut self, a: NodeId, b: NodeId, link: Link) -> &mut Self {
+        self.link(a, b, link);
+        self.link(b, a, link)
+    }
+
+    /// Sets the link used for any pair without an explicit configuration.
+    pub fn default_link(&mut self, link: Link) -> &mut Self {
+        self.default_link = link;
+        self
+    }
+
+    /// Finalizes the builder into a runnable [`Simulator`].
+    pub fn build(self) -> Simulator<M> {
+        Simulator {
+            components: self.components,
+            names: Vec::new(),
+            queue: BinaryHeap::new(),
+            links: self
+                .links
+                .into_iter()
+                .map(|(k, link)| {
+                    (
+                        k,
+                        LinkState {
+                            link,
+                            last_delivery: Cycle::ZERO,
+                        },
+                    )
+                })
+                .collect(),
+            default_link: self.default_link,
+            default_link_state: HashMap::new(),
+            now: Cycle::ZERO,
+            seq: 0,
+            rng: SmallRng::seed_from_u64(self.seed),
+            progress: 0,
+            last_progress_at: Cycle::ZERO,
+            effects: Vec::new(),
+        }
+    }
+}
+
+struct LinkState {
+    link: Link,
+    last_delivery: Cycle,
+}
+
+/// A deterministic discrete-event simulator over message type `M`.
+///
+/// See the [crate docs](crate) for the execution model and an example.
+pub struct Simulator<M> {
+    components: Vec<Option<Box<dyn Component<M>>>>,
+    names: Vec<String>,
+    queue: BinaryHeap<Event<M>>,
+    links: HashMap<(NodeId, NodeId), LinkState>,
+    default_link: Link,
+    /// Lazily-created ordered-state for pairs using the default link.
+    default_link_state: HashMap<(NodeId, NodeId), Cycle>,
+    now: Cycle,
+    seq: u64,
+    rng: SmallRng,
+    progress: u64,
+    last_progress_at: Cycle,
+    effects: Vec<Effect<M>>,
+}
+
+impl<M: 'static> Simulator<M> {
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Total forward-progress units reported by all components so far.
+    pub fn progress(&self) -> u64 {
+        self.progress
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether no components are registered.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Injects a message from outside the simulation, as if `from` had sent
+    /// it to `to` at the current time (link latency applies).
+    pub fn post(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let time = self.delivery_time(from, to, 0);
+        self.push_event(time, to, EventKind::Deliver { from, msg });
+    }
+
+    /// Schedules a wake-up for `target` at `delay` cycles from now.
+    pub fn post_wake(&mut self, target: NodeId, delay: u64, token: u64) {
+        let time = self.now + delay.max(1);
+        self.push_event(time, target, EventKind::Wake { token });
+    }
+
+    /// Runs until the event queue is empty or `max_cycles` of simulated time
+    /// elapse.
+    pub fn run_to_quiescence(&mut self, max_cycles: u64) -> RunOutcome {
+        self.run_inner(self.now + max_cycles, None)
+    }
+
+    /// Runs with a progress watchdog: stops early (with
+    /// [`RunOutcome::stalled`] set) if no component reports progress for
+    /// `stall_bound` consecutive cycles while events remain, or when
+    /// `max_cycles` elapse.
+    pub fn run_with_watchdog(&mut self, max_cycles: u64, stall_bound: u64) -> RunOutcome {
+        self.run_inner(self.now + max_cycles, Some(stall_bound))
+    }
+
+    fn run_inner(&mut self, deadline: Cycle, stall_bound: Option<u64>) -> RunOutcome {
+        let mut events = 0u64;
+        loop {
+            let Some(head_time) = self.queue.peek().map(|e| e.time) else {
+                return RunOutcome {
+                    quiescent: true,
+                    stalled: false,
+                    now: self.now,
+                    events,
+                };
+            };
+            if head_time > deadline {
+                return RunOutcome {
+                    quiescent: false,
+                    stalled: false,
+                    now: deadline,
+                    events,
+                };
+            }
+            if let Some(bound) = stall_bound {
+                if head_time.saturating_since(self.last_progress_at) > bound {
+                    return RunOutcome {
+                        quiescent: false,
+                        stalled: true,
+                        now: self.now,
+                        events,
+                    };
+                }
+            }
+            self.step_one();
+            events += 1;
+        }
+    }
+
+    /// Processes exactly one event if any is pending; returns whether an
+    /// event was processed.
+    pub fn step(&mut self) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        self.step_one();
+        true
+    }
+
+    fn step_one(&mut self) {
+        let ev = self.queue.pop().expect("step_one called on empty queue");
+        debug_assert!(ev.time >= self.now, "event queue went backwards");
+        self.now = ev.time;
+        let idx = ev.target.index();
+        let mut comp = self.components[idx]
+            .take()
+            .unwrap_or_else(|| panic!("message delivered to unregistered node {}", ev.target));
+
+        let progress_before = self.progress;
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: ev.target,
+                effects: &mut self.effects,
+                rng: &mut self.rng,
+                progress: &mut self.progress,
+            };
+            match ev.kind {
+                EventKind::Deliver { from, msg } => comp.handle(from, msg, &mut ctx),
+                EventKind::Wake { token } => comp.wake(token, &mut ctx),
+            }
+        }
+        self.components[idx] = Some(comp);
+        if self.progress > progress_before {
+            self.last_progress_at = self.now;
+        }
+
+        let effects = std::mem::take(&mut self.effects);
+        for effect in effects {
+            match effect {
+                Effect::Send {
+                    to,
+                    msg,
+                    extra_delay,
+                } => {
+                    let time = self.delivery_time(ev.target, to, extra_delay);
+                    self.push_event(
+                        time,
+                        to,
+                        EventKind::Deliver {
+                            from: ev.target,
+                            msg,
+                        },
+                    );
+                }
+                Effect::Wake { delay, token } => {
+                    let time = self.now + delay.max(1);
+                    self.push_event(time, ev.target, EventKind::Wake { token });
+                }
+                Effect::Redeliver { from, msg, delay } => {
+                    let time = self.now + delay.max(1);
+                    self.push_event(time, ev.target, EventKind::Deliver { from, msg });
+                }
+            }
+        }
+    }
+
+    fn delivery_time(&mut self, from: NodeId, to: NodeId, extra: u64) -> Cycle {
+        let key = (from, to);
+        let (link, last) = match self.links.get_mut(&key) {
+            Some(state) => (state.link, Some(&mut state.last_delivery)),
+            None => (
+                self.default_link,
+                if self.default_link.is_ordered() {
+                    Some(self.default_link_state.entry(key).or_insert(Cycle::ZERO))
+                } else {
+                    None
+                },
+            ),
+        };
+        let latency = if link.min_latency() == link.max_latency() {
+            link.min_latency()
+        } else {
+            self.rng.gen_range(link.min_latency()..=link.max_latency())
+        };
+        let mut time = self.now + latency.max(1) + extra;
+        if link.is_ordered() {
+            if let Some(last) = last {
+                if time <= *last {
+                    time = *last + 1;
+                }
+                *last = time;
+            }
+        }
+        time
+    }
+
+    fn push_event(&mut self, time: Cycle, target: NodeId, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event {
+            time,
+            seq,
+            target,
+            kind,
+        });
+    }
+
+    /// Downcasts a registered component to a concrete type for inspection.
+    pub fn get<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.components[id.index()]
+            .as_ref()
+            .and_then(|c| c.as_any().downcast_ref::<T>())
+    }
+
+    /// Downcasts a registered component to a concrete type, mutably.
+    pub fn get_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.components[id.index()]
+            .as_mut()
+            .and_then(|c| c.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Collects a [`Report`] from every registered component.
+    pub fn report(&self) -> Report {
+        let mut out = Report::new();
+        for comp in self.components.iter().flatten() {
+            comp.report(&mut out);
+        }
+        out
+    }
+
+    /// Names of all registered components, for diagnostics.
+    pub fn component_names(&mut self) -> &[String] {
+        if self.names.len() != self.components.len() {
+            self.names = self
+                .components
+                .iter()
+                .map(|c| c.as_ref().map(|c| c.name().to_owned()).unwrap_or_default())
+                .collect();
+        }
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records every delivery (time, from, payload) it sees.
+    struct Recorder {
+        seen: Vec<(u64, NodeId, u64)>,
+        woken: Vec<(u64, u64)>,
+    }
+    impl Recorder {
+        fn new() -> Self {
+            Recorder {
+                seen: Vec::new(),
+                woken: Vec::new(),
+            }
+        }
+    }
+    impl Component<u64> for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+        fn handle(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+            self.seen.push((ctx.now().as_u64(), from, msg));
+            ctx.note_progress();
+        }
+        fn wake(&mut self, token: u64, ctx: &mut Ctx<'_, u64>) {
+            self.woken.push((ctx.now().as_u64(), token));
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Sends `count` messages to a peer when first poked.
+    struct Burst {
+        peer: NodeId,
+        count: u64,
+    }
+    impl Component<u64> for Burst {
+        fn name(&self) -> &str {
+            "burst"
+        }
+        fn handle(&mut self, _from: NodeId, _msg: u64, ctx: &mut Ctx<'_, u64>) {
+            for i in 0..self.count {
+                ctx.send(self.peer, i);
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn two_node_sim(link: Link, count: u64, seed: u64) -> Vec<(u64, NodeId, u64)> {
+        let mut b = SimBuilder::new(seed);
+        let rec = b.add(Box::new(Recorder::new()));
+        let src = b.add(Box::new(Burst { peer: rec, count }));
+        b.link(src, rec, link);
+        let mut sim = b.build();
+        sim.post(rec, src, 0);
+        let out = sim.run_to_quiescence(100_000);
+        assert!(out.quiescent);
+        sim.get::<Recorder>(rec).unwrap().seen.clone()
+    }
+
+    #[test]
+    fn ordered_link_preserves_send_order() {
+        for seed in 0..20 {
+            let seen = two_node_sim(Link::ordered(1, 50), 32, seed);
+            let payloads: Vec<u64> = seen.iter().map(|&(_, _, p)| p).collect();
+            assert_eq!(payloads, (0..32).collect::<Vec<_>>(), "seed {seed}");
+            // Delivery times strictly increase on an ordered link.
+            for w in seen.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn unordered_link_reorders_eventually() {
+        let mut reordered = false;
+        for seed in 0..50 {
+            let seen = two_node_sim(Link::unordered(1, 50), 32, seed);
+            let payloads: Vec<u64> = seen.iter().map(|&(_, _, p)| p).collect();
+            if payloads != (0..32).collect::<Vec<_>>() {
+                reordered = true;
+                break;
+            }
+        }
+        assert!(reordered, "unordered link never reordered in 50 seeds");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = two_node_sim(Link::unordered(1, 50), 64, 7);
+        let b = two_node_sim(Link::unordered(1, 50), 64, 7);
+        assert_eq!(a, b);
+        let c = two_node_sim(Link::unordered(1, 50), 64, 8);
+        assert_ne!(a, c, "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    fn wake_tokens_fire_in_time_order() {
+        let mut b = SimBuilder::new(1);
+        let rec = b.add(Box::new(Recorder::new()));
+        let mut sim = b.build();
+        sim.post_wake(rec, 10, 100);
+        sim.post_wake(rec, 5, 200);
+        sim.post_wake(rec, 20, 300);
+        let out = sim.run_to_quiescence(1_000);
+        assert!(out.quiescent);
+        let woken = &sim.get::<Recorder>(rec).unwrap().woken;
+        assert_eq!(
+            woken.iter().map(|&(_, t)| t).collect::<Vec<_>>(),
+            vec![200, 100, 300]
+        );
+    }
+
+    #[test]
+    fn watchdog_detects_livelock() {
+        /// Two components that ping-pong forever without progress.
+        struct Pong {
+            peer: Option<NodeId>,
+        }
+        impl Component<u64> for Pong {
+            fn name(&self) -> &str {
+                "pong"
+            }
+            fn handle(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+                let to = self.peer.unwrap_or(from);
+                ctx.send(to, msg);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut b = SimBuilder::new(3);
+        let a = b.add(Box::new(Pong { peer: None }));
+        let c = b.add(Box::new(Pong { peer: Some(a) }));
+        let mut sim = b.build();
+        sim.post(a, c, 1);
+        let out = sim.run_with_watchdog(1_000_000, 500);
+        assert!(out.stalled);
+        assert!(!out.quiescent);
+    }
+
+    #[test]
+    fn run_stops_at_deadline() {
+        let mut b = SimBuilder::new(1);
+        let rec = b.add(Box::new(Recorder::new()));
+        let mut sim = b.build();
+        sim.post_wake(rec, 5_000, 0);
+        let out = sim.run_to_quiescence(100);
+        assert!(!out.quiescent);
+        assert!(sim.get::<Recorder>(rec).unwrap().woken.is_empty());
+        let out = sim.run_to_quiescence(10_000);
+        assert!(out.quiescent);
+        assert_eq!(sim.get::<Recorder>(rec).unwrap().woken.len(), 1);
+    }
+
+    #[test]
+    fn report_collects_from_components() {
+        struct Stat;
+        impl Component<u64> for Stat {
+            fn name(&self) -> &str {
+                "stat"
+            }
+            fn handle(&mut self, _f: NodeId, _m: u64, _c: &mut Ctx<'_, u64>) {}
+            fn report(&self, out: &mut Report) {
+                out.add("stat.value", 11);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut b = SimBuilder::new(1);
+        b.add(Box::new(Stat));
+        b.add(Box::new(Stat));
+        let sim = b.build();
+        assert_eq!(sim.report().get("stat.value"), 22);
+    }
+
+    #[test]
+    fn redeliver_requeues_to_self() {
+        struct Stubborn {
+            attempts: u32,
+            done_at: Option<u64>,
+        }
+        impl Component<u64> for Stubborn {
+            fn name(&self) -> &str {
+                "stubborn"
+            }
+            fn handle(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+                if self.attempts < 3 {
+                    self.attempts += 1;
+                    ctx.redeliver(from, msg, 10);
+                } else {
+                    self.done_at = Some(ctx.now().as_u64());
+                    ctx.note_progress();
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut b = SimBuilder::new(1);
+        let s = b.add(Box::new(Stubborn {
+            attempts: 0,
+            done_at: None,
+        }));
+        let mut sim = b.build();
+        sim.post(s, s, 9);
+        assert!(sim.run_to_quiescence(1_000).quiescent);
+        let comp = sim.get::<Stubborn>(s).unwrap();
+        assert_eq!(comp.attempts, 3);
+        assert!(comp.done_at.unwrap() >= 30);
+    }
+}
