@@ -20,7 +20,7 @@ use std::collections::HashMap;
 
 use xg_mem::{BlockAddr, DataBlock, Replacement, SetAssocCache};
 use xg_proto::{CoreKind, CoreMsg, Ctx, Message, XgData, XgiKind, XgiMsg};
-use xg_sim::{Component, CoverageSet, NodeId, Report};
+use xg_sim::{Component, CoverageSet, Cycle, Histogram, NodeId, Report};
 
 /// Coherence sophistication of an [`AccelL1`] (paper §2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -117,6 +117,7 @@ struct Pending {
     is_put: bool,
     is_prefetch: bool,
     waiting: Vec<(NodeId, CoreMsg)>,
+    started: Cycle,
 }
 
 #[derive(Debug, Default)]
@@ -131,6 +132,10 @@ struct Stats {
     prefetches_issued: u64,
     prefetch_hits: u64,
     protocol_violation: u64,
+    /// Cycles from issuing a Get below to its grant arriving.
+    lat_miss: Histogram,
+    /// Outstanding-miss (MSHR) population, sampled at each new allocation.
+    mshr_occupancy: Histogram,
 }
 
 /// The Table 1 accelerator cache. `below` is its Crossing Guard — or, in
@@ -333,21 +338,17 @@ impl AccelL1 {
         }
     }
 
-    fn start_get(
-        &mut self,
-        la: BlockAddr,
-        req: XgiKind,
-        op: (NodeId, CoreMsg),
-        ctx: &mut Ctx<'_>,
-    ) {
+    fn start_get(&mut self, la: BlockAddr, req: XgiKind, op: (NodeId, CoreMsg), ctx: &mut Ctx<'_>) {
         self.pending.insert(
             la,
             Pending {
                 is_put: false,
                 is_prefetch: false,
                 waiting: vec![op],
+                started: ctx.now(),
             },
         );
+        self.stats.mshr_occupancy.record(self.pending.len() as u64);
         self.send_below(la, req.clone(), ctx);
         // A demand miss trains the next-line prefetcher.
         if let Prefetch::NextLine { degree } = self.cfg.prefetch {
@@ -362,6 +363,7 @@ impl AccelL1 {
                         is_put: false,
                         is_prefetch: true,
                         waiting: Vec::new(),
+                        started: ctx.now(),
                     },
                 );
                 self.stats.prefetches_issued += 1;
@@ -374,12 +376,9 @@ impl AccelL1 {
 
     fn handle_xgi(&mut self, msg: XgiMsg, ctx: &mut Ctx<'_>) {
         let la = msg.addr;
-        if xg_sim::trace_enabled() {
-            eprintln!(
-                "[{}] {} <- xg {} @{} (state {})",
-                ctx.now(), self.name, msg.kind, la, self.state_of(la)
-            );
-        }
+        ctx.trace(la.as_u64(), "accel-l1", "RecvXg", || {
+            format!("{} (state {})", msg.kind, self.state_of(la))
+        });
         match msg.kind {
             XgiKind::DataS { data } => {
                 self.cover(la, "DataS");
@@ -431,6 +430,9 @@ impl AccelL1 {
         }
         match self.pending.remove(&la) {
             Some(p) if !p.is_put => {
+                self.stats
+                    .lat_miss
+                    .record(ctx.now().saturating_since(p.started));
                 let is_prefetch = p.is_prefetch;
                 self.install(
                     la,
@@ -506,8 +508,10 @@ impl AccelL1 {
                 is_put: true,
                 is_prefetch: false,
                 waiting: Vec::new(),
+                started: ctx.now(),
             },
         );
+        self.stats.mshr_occupancy.record(self.pending.len() as u64);
         self.send_below(la, req, ctx);
     }
 
@@ -546,13 +550,18 @@ impl Component<Message> for AccelL1 {
         out.add(format!("{n}.writebacks"), self.stats.writebacks);
         out.add(format!("{n}.invalidations"), self.stats.invalidations);
         out.add(format!("{n}.stalls"), self.stats.stalls);
-        out.add(format!("{n}.prefetches_issued"), self.stats.prefetches_issued);
+        out.add(
+            format!("{n}.prefetches_issued"),
+            self.stats.prefetches_issued,
+        );
         out.add(format!("{n}.prefetch_hits"), self.stats.prefetch_hits);
         out.add(
             format!("{n}.protocol_violation"),
             self.stats.protocol_violation,
         );
         out.record_coverage(format!("accel_l1/{n}"), &self.coverage);
+        out.record_hist(format!("{n}.lat.miss"), &self.stats.lat_miss);
+        out.record_hist(format!("{n}.mshr_occupancy"), &self.stats.mshr_occupancy);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

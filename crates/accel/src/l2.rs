@@ -19,7 +19,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use xg_mem::{BlockAddr, DataBlock, Replacement, SetAssocCache};
 use xg_proto::{Ctx, Message, XgData, XgiKind, XgiMsg};
-use xg_sim::{Component, CoverageSet, NodeId, Report};
+use xg_sim::{Component, CoverageSet, Cycle, Histogram, NodeId, Report};
 
 /// Configuration for an [`AccelL2`].
 #[derive(Debug, Clone)]
@@ -109,6 +109,10 @@ struct Stats {
     host_invs: u64,
     install_retries: u64,
     protocol_violation: u64,
+    /// Cycles from issuing an upward Get to its grant arriving.
+    lat_up_get: Histogram,
+    /// Busy-table (MSHR) population, sampled at each new allocation.
+    mshr_occupancy: Histogram,
 }
 
 /// The shared inclusive accelerator L2.
@@ -118,6 +122,8 @@ pub struct AccelL2 {
     cfg: AccelL2Config,
     array: SetAssocCache<L2Line>,
     busy: HashMap<BlockAddr, Busy>,
+    /// Issue times of in-flight upward Gets, for the `lat.up_get` histogram.
+    fetch_started: HashMap<BlockAddr, Cycle>,
     queues: HashMap<BlockAddr, VecDeque<(NodeId, XgiKind)>>,
     stats: Stats,
     coverage: CoverageSet,
@@ -135,6 +141,7 @@ impl AccelL2 {
             below,
             array: SetAssocCache::new(cfg.sets, cfg.ways, cfg.replacement, cfg.seed),
             busy: HashMap::new(),
+            fetch_started: HashMap::new(),
             queues: HashMap::new(),
             cfg,
             stats: Stats::default(),
@@ -192,6 +199,14 @@ impl AccelL2 {
 
     fn handle_xgi(&mut self, from: NodeId, msg: XgiMsg, ctx: &mut Ctx<'_>) {
         let addr = msg.addr;
+        ctx.trace(addr.as_u64(), "accel-l2", "Recv", || {
+            let side = if from == self.below { "xg" } else { "l1" };
+            format!(
+                "{} from {side} (busy={})",
+                msg.kind,
+                self.busy.contains_key(&addr)
+            )
+        });
         self.cover(addr, kind_event(&msg.kind));
         if from == self.below {
             self.handle_from_xg(addr, msg.kind, ctx);
@@ -291,7 +306,9 @@ impl AccelL2 {
                         };
                         ctx.send(self.below, XgiMsg::new(addr, resp).into());
                         self.stats.up_gets += 1;
+                        self.fetch_started.insert(addr, ctx.now());
                         self.busy.insert(addr, Busy::Fetch { requestor, want_m });
+                        self.stats.mshr_occupancy.record(self.busy.len() as u64);
                         let req = if want_m { XgiKind::GetM } else { XgiKind::GetS };
                         ctx.send(self.below, XgiMsg::new(addr, req).into());
                     }
@@ -319,10 +336,15 @@ impl AccelL2 {
         }
         let Some(line) = self.array.get(addr) else {
             self.stats.up_gets += 1;
-            self.busy.insert(addr, Busy::Fetch {
-                requestor: from,
-                want_m,
-            });
+            self.fetch_started.insert(addr, ctx.now());
+            self.busy.insert(
+                addr,
+                Busy::Fetch {
+                    requestor: from,
+                    want_m,
+                },
+            );
+            self.stats.mshr_occupancy.record(self.busy.len() as u64);
             let req = if want_m { XgiKind::GetM } else { XgiKind::GetS };
             ctx.send(self.below, XgiMsg::new(addr, req).into());
             return;
@@ -351,11 +373,14 @@ impl AccelL2 {
             for l1 in recall {
                 ctx.send(l1, XgiMsg::new(addr, XgiKind::Inv).into());
             }
-            self.busy.insert(addr, Busy::RecallForGrant {
-                requestor: from,
-                want_m,
-                pending,
-            });
+            self.busy.insert(
+                addr,
+                Busy::RecallForGrant {
+                    requestor: from,
+                    want_m,
+                    pending,
+                },
+            );
             return;
         }
         self.grant_l1(from, addr, want_m, false, ctx);
@@ -381,10 +406,15 @@ impl AccelL2 {
         if want_m && line.host == Host::S {
             // Upgrade needed from the host before we can grant M.
             self.stats.up_gets += 1;
-            self.busy.insert(addr, Busy::Fetch {
-                requestor: from,
-                want_m: true,
-            });
+            self.fetch_started.insert(addr, ctx.now());
+            self.busy.insert(
+                addr,
+                Busy::Fetch {
+                    requestor: from,
+                    want_m: true,
+                },
+            );
+            self.stats.mshr_occupancy.record(self.busy.len() as u64);
             ctx.send(below, XgiMsg::new(addr, XgiKind::GetM).into());
             return;
         }
@@ -519,6 +549,11 @@ impl AccelL2 {
         let Some(Busy::Fetch { requestor, want_m }) = self.busy.remove(&addr) else {
             unreachable!("checked above")
         };
+        if let Some(started) = self.fetch_started.remove(&addr) {
+            self.stats
+                .lat_up_get
+                .record(ctx.now().saturating_since(started));
+        }
         if let Some(line) = self.array.get_mut(addr) {
             // Upgrade completion for a resident S line.
             line.host = host.max(Host::E);
@@ -527,12 +562,15 @@ impl AccelL2 {
             self.drain(addr, ctx);
             return;
         }
-        self.busy.insert(addr, Busy::InstallWait {
-            requestor,
-            want_m,
-            data,
-            host,
-        });
+        self.busy.insert(
+            addr,
+            Busy::InstallWait {
+                requestor,
+                want_m,
+                data,
+                host,
+            },
+        );
         self.try_install(addr, ctx);
     }
 
@@ -598,9 +636,12 @@ impl AccelL2 {
             return;
         }
         self.stats.recalls += 1;
-        self.busy.insert(addr, Busy::HostInv {
-            pending: holders.len() as u32,
-        });
+        self.busy.insert(
+            addr,
+            Busy::HostInv {
+                pending: holders.len() as u32,
+            },
+        );
         for l1 in holders {
             ctx.send(l1, XgiMsg::new(addr, XgiKind::Inv).into());
         }
@@ -638,10 +679,13 @@ impl AccelL2 {
         for &l1 in &holders {
             ctx.send(l1, XgiMsg::new(addr, XgiKind::Inv).into());
         }
-        self.busy.insert(addr, Busy::EvictRecall {
-            pending: holders.len() as u32,
-            line,
-        });
+        self.busy.insert(
+            addr,
+            Busy::EvictRecall {
+                pending: holders.len() as u32,
+                line,
+            },
+        );
     }
 
     fn start_evict_put(&mut self, addr: BlockAddr, line: L2Line, ctx: &mut Ctx<'_>) {
@@ -732,6 +776,8 @@ impl Component<Message> for AccelL2 {
             self.stats.protocol_violation,
         );
         out.record_coverage(format!("accel_l2/{n}"), &self.coverage);
+        out.record_hist(format!("{n}.lat.up_get"), &self.stats.lat_up_get);
+        out.record_hist(format!("{n}.mshr_occupancy"), &self.stats.mshr_occupancy);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -178,7 +178,7 @@ impl Rig {
     }
 
     /// Send an interface message from the mock guard to the L1.
-    fn from_xg(&mut self, addr: u64, kind: XgiKind) {
+    fn xg_send(&mut self, addr: u64, kind: XgiKind) {
         self.sim.post(
             self.xg,
             self.l1,
@@ -225,7 +225,7 @@ fn table1_row_i() {
 
     // I + Invalidate → send InvAck (stay I)
     let mut rig = Rig::new(AccelL1Config::default(), false, false);
-    rig.from_xg(0x100, XgiKind::Inv);
+    rig.xg_send(0x100, XgiKind::Inv);
     rig.run();
     assert_eq!(rig.xg_kinds(), vec!["InvAck"]);
     assert_eq!(rig.state(0x100), "I");
@@ -246,18 +246,18 @@ fn table1_row_b() {
     assert_eq!(rig.state(0x100), "B");
 
     // B + Invalidate → send InvAck, remain B
-    rig.from_xg(0x100, XgiKind::Inv);
+    rig.xg_send(0x100, XgiKind::Inv);
     rig.run();
     assert_eq!(rig.xg_kinds(), vec!["GetS", "InvAck"]);
     assert_eq!(rig.state(0x100), "B");
 
     // B + DataS → S (queued load served; queued store then upgrades)
-    rig.from_xg(0x100, XgiKind::DataS { data: one_block() });
+    rig.xg_send(0x100, XgiKind::DataS { data: one_block() });
     rig.run();
     // The queued store found S and issued a GetM, so we are B again.
     assert_eq!(rig.xg_kinds(), vec!["GetS", "InvAck", "GetM"]);
     assert_eq!(rig.state(0x100), "B");
-    rig.from_xg(0x100, XgiKind::DataM { data: one_block() });
+    rig.xg_send(0x100, XgiKind::DataM { data: one_block() });
     rig.run();
     assert_eq!(rig.state(0x100), "M");
 }
@@ -272,7 +272,7 @@ fn table1_grants_set_states() {
         let mut rig = Rig::new(AccelL1Config::default(), false, false);
         rig.op(CoreKind::Load, 0x100);
         rig.run();
-        rig.from_xg(0x100, kind);
+        rig.xg_send(0x100, kind);
         rig.run();
         assert_eq!(rig.state(0x100), expect);
     }
@@ -284,7 +284,7 @@ fn table1_row_s() {
         let mut rig = Rig::new(AccelL1Config::default(), false, false);
         rig.op(CoreKind::Load, 0x100);
         rig.run();
-        rig.from_xg(0x100, XgiKind::DataS { data: one_block() });
+        rig.xg_send(0x100, XgiKind::DataS { data: one_block() });
         rig.run();
         assert_eq!(rig.state(0x100), "S");
         rig
@@ -313,18 +313,18 @@ fn table1_row_s() {
     let mut rig = Rig::new(cfg, false, false);
     rig.op(CoreKind::Load, 0x100);
     rig.run();
-    rig.from_xg(0x100, XgiKind::DataS { data: one_block() });
+    rig.xg_send(0x100, XgiKind::DataS { data: one_block() });
     rig.run();
     rig.op(CoreKind::Load, 0x140);
     rig.run();
-    rig.from_xg(0x140, XgiKind::DataS { data: one_block() });
+    rig.xg_send(0x140, XgiKind::DataS { data: one_block() });
     rig.run();
     assert_eq!(rig.xg_kinds(), vec!["GetS", "GetS", "PutS"]);
     assert_eq!(rig.state(0x100), "B");
 
     // S + Invalidate → send InvAck / I
     let mut rig = fresh_s();
-    rig.from_xg(0x100, XgiKind::Inv);
+    rig.xg_send(0x100, XgiKind::Inv);
     rig.run();
     assert_eq!(rig.xg_kinds(), vec!["GetS", "InvAck"]);
     assert_eq!(rig.state(0x100), "I");
@@ -336,7 +336,7 @@ fn table1_row_e() {
         let mut rig = Rig::new(AccelL1Config::default(), false, false);
         rig.op(CoreKind::Load, 0x100);
         rig.run();
-        rig.from_xg(0x100, XgiKind::DataE { data: one_block() });
+        rig.xg_send(0x100, XgiKind::DataE { data: one_block() });
         rig.run();
         assert_eq!(rig.state(0x100), "E");
         rig
@@ -351,7 +351,7 @@ fn table1_row_e() {
 
     // E + Invalidate → send Clean Writeback / I
     let mut rig = fresh_e();
-    rig.from_xg(0x100, XgiKind::Inv);
+    rig.xg_send(0x100, XgiKind::Inv);
     rig.run();
     assert_eq!(rig.xg_kinds(), vec!["GetS", "CleanWb"]);
     assert_eq!(rig.state(0x100), "I");
@@ -365,11 +365,11 @@ fn table1_row_e() {
     let mut rig = Rig::new(cfg, false, false);
     rig.op(CoreKind::Load, 0x100);
     rig.run();
-    rig.from_xg(0x100, XgiKind::DataE { data: one_block() });
+    rig.xg_send(0x100, XgiKind::DataE { data: one_block() });
     rig.run();
     rig.op(CoreKind::Load, 0x140);
     rig.run();
-    rig.from_xg(0x140, XgiKind::DataS { data: one_block() });
+    rig.xg_send(0x140, XgiKind::DataS { data: one_block() });
     rig.run();
     assert_eq!(rig.xg_kinds(), vec!["GetS", "GetS", "PutE"]);
     assert_eq!(rig.state(0x100), "B");
@@ -381,7 +381,7 @@ fn table1_row_m() {
         let mut rig = Rig::new(AccelL1Config::default(), false, false);
         rig.op(CoreKind::Store { value: 5 }, 0x100);
         rig.run();
-        rig.from_xg(0x100, XgiKind::DataM { data: one_block() });
+        rig.xg_send(0x100, XgiKind::DataM { data: one_block() });
         rig.run();
         assert_eq!(rig.state(0x100), "M");
         rig
@@ -397,7 +397,7 @@ fn table1_row_m() {
 
     // M + Invalidate → send Dirty Writeback / I
     let mut rig = fresh_m();
-    rig.from_xg(0x100, XgiKind::Inv);
+    rig.xg_send(0x100, XgiKind::Inv);
     rig.run();
     assert_eq!(rig.xg_kinds(), vec!["GetM", "DirtyWb"]);
     assert_eq!(rig.state(0x100), "I");
@@ -411,15 +411,15 @@ fn table1_row_m() {
     let mut rig = Rig::new(cfg, false, false);
     rig.op(CoreKind::Store { value: 7 }, 0x100);
     rig.run();
-    rig.from_xg(0x100, XgiKind::DataM { data: one_block() });
+    rig.xg_send(0x100, XgiKind::DataM { data: one_block() });
     rig.run();
     rig.op(CoreKind::Load, 0x140);
     rig.run();
-    rig.from_xg(0x140, XgiKind::DataS { data: one_block() });
+    rig.xg_send(0x140, XgiKind::DataS { data: one_block() });
     rig.run();
     assert_eq!(rig.xg_kinds(), vec!["GetM", "GetS", "PutM"]);
     assert_eq!(rig.state(0x100), "B");
-    rig.from_xg(0x100, XgiKind::WbAck);
+    rig.xg_send(0x100, XgiKind::WbAck);
     rig.run();
     assert_eq!(rig.state(0x100), "I");
 }
@@ -470,7 +470,7 @@ fn msi_mode_treats_e_as_m() {
     // DataE was mapped to M locally.
     assert_eq!(rig.state(0x300), "M");
     // Inv must produce a *dirty* writeback (MSI never claims clean).
-    rig.from_xg(0x300, XgiKind::Inv);
+    rig.xg_send(0x300, XgiKind::Inv);
     rig.run();
     assert!(rig.xg_kinds().contains(&"DirtyWb"));
 }
@@ -663,7 +663,11 @@ fn two_level_shares_without_host_traffic() {
     assert_eq!(tl.load(1, 0x500), 77);
     // Data moved L1→L2→L1; the guard saw only the original fill.
     let guard = tl.sim.get::<MockGuard>(tl.xg).unwrap();
-    let gets = guard.kinds().iter().filter(|k| k.starts_with("Get")).count();
+    let gets = guard
+        .kinds()
+        .iter()
+        .filter(|k| k.starts_with("Get"))
+        .count();
     assert_eq!(gets, 1, "sharing must not cross the interface again");
     tl.assert_clean();
 }
@@ -725,12 +729,14 @@ fn flush_writes_back_and_invalidates_locally() {
     rig.op(CoreKind::Flush, 0x900);
     rig.run();
     let probe = rig.sim.get::<Probe>(rig.core).unwrap();
-    assert!(probe
-        .responses
-        .iter()
-        .filter(|m| matches!(m.kind, CoreKind::FlushResp))
-        .count()
-        >= 2);
+    assert!(
+        probe
+            .responses
+            .iter()
+            .filter(|m| matches!(m.kind, CoreKind::FlushResp))
+            .count()
+            >= 2
+    );
 }
 
 /// Weak sharing (§2.1): a writer does not invalidate its siblings; their

@@ -1,21 +1,32 @@
 //! Regenerates every table and figure of the Crossing Guard evaluation.
 //!
 //! ```text
-//! cargo run --release -p xg-bench --bin xg-report            # full scale
-//! cargo run --release -p xg-bench --bin xg-report -- quick   # CI scale
+//! cargo run --release -p xg-bench --bin xg-report                      # full scale
+//! cargo run --release -p xg-bench --bin xg-report -- quick             # CI scale
+//! cargo run --release -p xg-bench --bin xg-report -- quick --json out.json
 //! ```
 //!
-//! Output feeds `EXPERIMENTS.md`.
+//! Output feeds `EXPERIMENTS.md`. With `--json <path>`, a machine-readable
+//! run report (scalars, coverage, latency histograms) is also written.
 
 use xg_bench::experiments::*;
 use xg_bench::Scale;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "quick") {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "quick") {
         Scale::Quick
     } else {
         Scale::Full
     };
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--json requires a path argument");
+                std::process::exit(2);
+            })
+            .clone()
+    });
     println!("Crossing Guard evaluation report (scale: {scale:?})");
     println!("====================================================\n");
 
@@ -45,4 +56,13 @@ fn main() {
 
     let rows = e11_prefetch::run(scale, 5);
     println!("{}", e11_prefetch::table(&rows));
+
+    if let Some(path) = json_path {
+        let report = xg_bench::collect_report(scale);
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("machine-readable report written to {path}");
+    }
 }

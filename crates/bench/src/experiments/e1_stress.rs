@@ -40,7 +40,10 @@ pub fn run(scale: Scale, seeds: &[u64]) -> Vec<Row> {
         let mut deadlocked = false;
         let mut cycles = 0;
         for &seed in seeds {
-            let cfg = SystemConfig { seed, ..base.clone() };
+            let cfg = SystemConfig {
+                seed,
+                ..base.clone()
+            };
             let out = run_stress(
                 &cfg,
                 &StressOpts {

@@ -83,7 +83,12 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
                 seed,
                 ..SystemConfig::default()
             };
-            rows.push(one(&cfg, &fuzz, cpu_ops, format!("{} (strict host)", cfg.name())));
+            rows.push(one(
+                &cfg,
+                &fuzz,
+                cpu_ops,
+                format!("{} (strict host)", cfg.name()),
+            ));
         }
     }
     // Group 3: unprotected strict hosts.
@@ -95,7 +100,12 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
             seed,
             ..SystemConfig::default()
         };
-        rows.push(one(&cfg, &fuzz, cpu_ops, format!("{} (no guard)", cfg.name())));
+        rows.push(one(
+            &cfg,
+            &fuzz,
+            cpu_ops,
+            format!("{} (no guard)", cfg.name()),
+        ));
     }
     rows
 }

@@ -78,7 +78,11 @@ impl Series {
 /// Which patterns to sweep at each scale.
 pub fn patterns(scale: Scale) -> Vec<Pattern> {
     match scale {
-        Scale::Quick => vec![Pattern::Streaming, Pattern::Blocked, Pattern::ProducerConsumer],
+        Scale::Quick => vec![
+            Pattern::Streaming,
+            Pattern::Blocked,
+            Pattern::ProducerConsumer,
+        ],
         Scale::Full => Pattern::ALL.to_vec(),
     }
 }
@@ -91,7 +95,13 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Series> {
         for pattern in patterns(scale) {
             let mut runtimes = Vec::new();
             for (name, accel) in organizations() {
-                let two_level = matches!(accel, AccelOrg::Xg { two_level: true, .. });
+                let two_level = matches!(
+                    accel,
+                    AccelOrg::Xg {
+                        two_level: true,
+                        ..
+                    }
+                );
                 let cfg = SystemConfig {
                     host,
                     accel,

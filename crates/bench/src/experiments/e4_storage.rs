@@ -116,7 +116,12 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> String {
     let mut t = Table::new(
         "E4 (§2.3) + E7 (§2.3.1): Crossing Guard storage, Full State vs. Transactional",
-        &["configuration", "accel blocks", "peak XG storage", "model (tags+state)"],
+        &[
+            "configuration",
+            "accel blocks",
+            "peak XG storage",
+            "model (tags+state)",
+        ],
     );
     for r in rows {
         t.row(&[
@@ -155,8 +160,14 @@ mod tests {
         assert!(fs[2].peak_bytes > fs[0].peak_bytes);
         assert!(fs[2].peak_bytes > 4 * tx[2].peak_bytes);
         // Shadow ablation: shadows cost strictly more storage.
-        let gets_only = rows.iter().find(|r| r.label.contains("GetSOnly (no")).unwrap();
-        let shadows = rows.iter().find(|r| r.label.contains("shadow-store")).unwrap();
+        let gets_only = rows
+            .iter()
+            .find(|r| r.label.contains("GetSOnly (no"))
+            .unwrap();
+        let shadows = rows
+            .iter()
+            .find(|r| r.label.contains("shadow-store"))
+            .unwrap();
         assert!(shadows.peak_bytes > gets_only.peak_bytes);
     }
 }

@@ -67,7 +67,9 @@ fn measure(
             CoreSlot::Cpu(i) => format!("wl_cpu{i}"),
             CoreSlot::Accel(i) => format!("wl_acc{i}"),
         };
-        Box::new(WorkloadCore::new(name, cache, pattern, BASE, FOOTPRINT, ops))
+        Box::new(WorkloadCore::new(
+            name, cache, pattern, BASE, FOOTPRINT, ops,
+        ))
     });
     system.start_cores();
     let out = system.sim.run_with_watchdog(100_000_000, 500_000);

@@ -5,6 +5,7 @@
 //! token-bucket limiter at the guard throttles the flood and restores CPU
 //! performance, at configurable sustained rates.
 
+use xg_core::OsPolicy;
 use xg_core::{RateLimit, XgConfig, XgVariant};
 use xg_harness::system::CoreSlot;
 use xg_harness::tester::word_pool;
@@ -12,7 +13,6 @@ use xg_harness::{
     build_system, AccelOrg, HostProtocol, Pattern, SystemConfig, TesterCfg, TesterCore,
     TesterShared, WorkloadCore,
 };
-use xg_core::OsPolicy;
 
 use crate::table::Table;
 use crate::Scale;
@@ -75,8 +75,7 @@ fn flood_once(limit: Option<RateLimit>, cpu_ops: u64, seed: u64, label: &str) ->
     let out = system.sim.run_with_watchdog(80_000_000, 500_000);
     assert!(shared.borrow().done(), "{label}: CPUs starved entirely");
     let report = system.sim.report();
-    let cpu_completed = report.sum_suffix(".ops_completed")
-        - report.get("flooder.ops_completed");
+    let cpu_completed = report.sum_suffix(".ops_completed") - report.get("flooder.ops_completed");
     let latency_sum = report.get("tester_cpu0.latency_sum") + report.get("tester_cpu1.latency_sum");
     Row {
         label: label.to_string(),

@@ -104,18 +104,23 @@ fn one(timeout: u64, host: HostProtocol, seed: u64) -> Row {
         messages: 0,
         ..xg_harness::FuzzOpts::default()
     };
-    let mut system = build_system(&raw_cfg, OsPolicy::ReportOnly, Some(fuzz), |slot, cache, _| {
-        match slot {
-            CoreSlot::Cpu(_) => Box::new(OneStore {
-                cache,
-                addr: BLOCK,
-                delay: 400, // let the silent owner take M first
-                issued_at: None,
-                latency: None,
-            }),
-            CoreSlot::Accel(_) => unreachable!("fuzz orgs have no accel cores"),
-        }
-    });
+    let mut system = build_system(
+        &raw_cfg,
+        OsPolicy::ReportOnly,
+        Some(fuzz),
+        |slot, cache, _| {
+            match slot {
+                CoreSlot::Cpu(_) => Box::new(OneStore {
+                    cache,
+                    addr: BLOCK,
+                    delay: 400, // let the silent owner take M first
+                    issued_at: None,
+                    latency: None,
+                }),
+                CoreSlot::Accel(_) => unreachable!("fuzz orgs have no accel cores"),
+            }
+        },
+    );
     // The raw peer takes M on the block, then goes silent forever.
     let fuzzer = system.fuzzer.expect("fuzz org has a raw peer");
     let xg = system.xg.expect("guarded org");
@@ -125,7 +130,9 @@ fn one(timeout: u64, host: HostProtocol, seed: u64) -> Row {
         XgiMsg::new(Addr::new(BLOCK).block(), XgiKind::GetM).into(),
     );
     system.start_cores();
-    let out = system.sim.run_with_watchdog(10_000_000, timeout * 4 + 100_000);
+    let out = system
+        .sim
+        .run_with_watchdog(10_000_000, timeout * 4 + 100_000);
     let report = system.sim.report();
     let store = system
         .sim

@@ -1,5 +1,6 @@
 //! The experiment index (see `DESIGN.md` §4): one module per table/figure.
 
+pub mod e11_prefetch;
 pub mod e1_stress;
 pub mod e2_fuzz;
 pub mod e3_performance;
@@ -8,4 +9,3 @@ pub mod e5_puts;
 pub mod e6_rate_limit;
 pub mod e8_timeout;
 pub mod e9_blocksize;
-pub mod e11_prefetch;

@@ -16,6 +16,33 @@
 pub mod experiments;
 pub mod table;
 
+/// Runs one representative stress configuration per host protocol and
+/// merges the full per-component statistics into a single machine-readable
+/// [`xg_sim::Report`] — scalars, coverage, and the latency histograms from
+/// the guard, the host controllers, and the accelerator hierarchy. This is
+/// what `xg-report --json` serializes.
+pub fn collect_report(scale: Scale) -> xg_sim::Report {
+    use xg_harness::{run_stress, HostProtocol, StressOpts, SystemConfig};
+    let ops = scale.ops(800, 10_000);
+    let mut merged = xg_sim::Report::new();
+    for (host, seed) in [(HostProtocol::Hammer, 11), (HostProtocol::Mesi, 12)] {
+        let cfg = SystemConfig {
+            host,
+            seed,
+            ..SystemConfig::default()
+        };
+        let out = run_stress(
+            &cfg,
+            &StressOpts {
+                ops,
+                ..StressOpts::default()
+            },
+        );
+        merged.merge(&out.report);
+    }
+    merged
+}
+
 /// How much work to spend per experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

@@ -24,10 +24,8 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use xg_mem::{BlockAddr, DataBlock, PagePerm};
-use xg_proto::{
-    Ctx, HammerKind, Message, OsMsg, XgData, XgError, XgErrorKind, XgiKind, XgiMsg,
-};
-use xg_sim::{Component, NodeId, Report};
+use xg_proto::{Ctx, HammerKind, Message, OsMsg, XgData, XgError, XgErrorKind, XgiKind, XgiMsg};
+use xg_sim::{Component, Cycle, Histogram, NodeId, Report};
 
 use crate::config::{XgConfig, XgVariant};
 use crate::hammer_side::HammerPersona;
@@ -97,9 +95,11 @@ enum AccelReq {
         /// refetched.
         poisoned: bool,
         grants: BTreeMap<u64, (GrantState, DataBlock, bool)>,
+        started: Cycle,
     },
     Put {
         pending: u32,
+        started: Cycle,
     },
 }
 
@@ -111,6 +111,7 @@ struct InvPending {
     /// InvAck it sends from state B is absorbed silently.
     race_consumed: bool,
     epoch: u64,
+    started: Cycle,
 }
 
 #[derive(Debug, Default)]
@@ -128,6 +129,13 @@ struct Stats {
     dropped_disabled: u64,
     fabricated_responses: u64,
     poisoned_refetches: u64,
+    /// Cycles from admitting an accelerator Get to the last grant sent.
+    lat_grant: Histogram,
+    /// Cycles from admitting an accelerator Put to its final ack.
+    lat_wback: Histogram,
+    /// Cycles each forwarded Inv stayed open at the accelerator (timeout
+    /// terminations included, so the tail shows Guarantee 2c firing).
+    lat_inv_resp: Histogram,
 }
 
 /// The Crossing Guard component. See the [crate docs](crate) and the
@@ -165,7 +173,13 @@ impl CrossingGuard {
         os: NodeId,
         cfg: XgConfig,
     ) -> Self {
-        Self::new(name, accel, os, Persona::Hammer(HammerPersona::new(dir)), cfg)
+        Self::new(
+            name,
+            accel,
+            os,
+            Persona::Hammer(HammerPersona::new(dir)),
+            cfg,
+        )
     }
 
     /// Creates a guard for an inclusive-MESI host; `l2` is the shared host
@@ -235,8 +249,8 @@ impl CrossingGuard {
             .map(|t| t.len() as u64 * 10)
             .unwrap_or(0);
         let shadows = self.shadow_blocks * xg_mem::BLOCK_BYTES;
-        let txns = (self.reqs.len() + self.inv_pending.len() + self.persona.open_txns()) as u64
-            * 24;
+        let txns =
+            (self.reqs.len() + self.inv_pending.len() + self.persona.open_txns()) as u64 * 24;
         table + shadows + txns
     }
 
@@ -261,18 +275,20 @@ impl CrossingGuard {
     }
 
     fn report_error(&mut self, addr: Option<BlockAddr>, kind: XgErrorKind, ctx: &mut Ctx<'_>) {
-        if xg_sim::trace_enabled() {
-            eprintln!("[{}] guard ERROR {kind} @{addr:?}", ctx.now());
-        }
+        let raw = addr.map_or(u64::MAX, |a| a.as_u64());
+        ctx.trace(raw, "guard", "Error", || format!("{kind}"));
         *self.errors.entry(kind).or_insert(0) += 1;
+        if self.errors_total() == 1 {
+            // Flag only the first error: later ones are usually cascade
+            // noise, and the post-mortem dump stays focused.
+            ctx.flag_post_mortem(raw, format!("guard error: {kind}"));
+        }
         let err = XgError::new(ctx.self_id(), addr, kind);
         ctx.send(self.os, OsMsg::Error(err).into());
     }
 
     fn send_accel(&mut self, addr: BlockAddr, kind: XgiKind, ctx: &mut Ctx<'_>) {
-        if xg_sim::trace_enabled() {
-            eprintln!("[{}] guard -> accel {} @{}", ctx.now(), kind, addr);
-        }
+        ctx.trace(addr.as_u64(), "guard", "SendAccel", || format!("{kind}"));
         self.stats.accel_sent += 1;
         ctx.send(self.accel, XgiMsg::new(addr, kind).into());
     }
@@ -290,14 +306,14 @@ impl CrossingGuard {
     // =======================================================================
 
     fn handle_accel(&mut self, msg: XgiMsg, ctx: &mut Ctx<'_>) {
-        if xg_sim::trace_enabled() {
-            eprintln!(
-                "[{}] guard <- accel {} @{} (req={} inv={})",
-                ctx.now(), msg.kind, msg.addr,
+        ctx.trace(msg.addr.as_u64(), "guard", "RecvAccel", || {
+            format!(
+                "{} (req={} inv={})",
+                msg.kind,
                 self.reqs.contains_key(&self.align(msg.addr)),
                 self.inv_pending.contains_key(&self.align(msg.addr)),
-            );
-        }
+            )
+        });
         self.stats.accel_received += 1;
         let a = msg.addr;
         if msg.kind.is_accel_response() {
@@ -318,6 +334,9 @@ impl CrossingGuard {
             if !rate.try_take(ctx.now()) {
                 let wait = rate.cycles_until_token(ctx.now()).clamp(1, 10_000);
                 self.stats.throttled += 1;
+                ctx.trace(a.as_u64(), "guard", "Throttle", || {
+                    format!("{} redelivered in {wait} cycles", msg.kind)
+                });
                 ctx.redeliver(self.accel, msg.into(), wait);
                 self.stats.accel_received -= 1;
                 return;
@@ -328,7 +347,7 @@ impl CrossingGuard {
 
     fn admit_request(&mut self, a: BlockAddr, kind: XgiKind, ctx: &mut Ctx<'_>) {
         // Well-formedness: accelerator-block alignment and payload size.
-        if a.as_u64() % self.k != 0 {
+        if !a.as_u64().is_multiple_of(self.k) {
             self.report_error(Some(a), XgErrorKind::Malformed, ctx);
             return;
         }
@@ -368,7 +387,10 @@ impl CrossingGuard {
             self.report_error(Some(a), XgErrorKind::PermissionRead, ctx);
             return;
         }
-        let wants_ownership = matches!(kind, XgiKind::GetM | XgiKind::PutE { .. } | XgiKind::PutM { .. });
+        let wants_ownership = matches!(
+            kind,
+            XgiKind::GetM | XgiKind::PutE { .. } | XgiKind::PutM { .. }
+        );
         if wants_ownership && !perm.allows_write() {
             self.report_error(Some(a), XgErrorKind::PermissionWrite, ctx);
             return;
@@ -379,16 +401,18 @@ impl CrossingGuard {
             let consistent = match &kind {
                 XgiKind::GetS => entry.is_none(),
                 // GetM from S is the legal upgrade; GetM while owned is not.
-                XgiKind::GetM => entry.map(|e| !e.owned || e.shadow.is_some()).unwrap_or(true),
+                XgiKind::GetM => entry
+                    .map(|e| !e.owned || e.shadow.is_some())
+                    .unwrap_or(true),
                 XgiKind::PutS => entry
                     .map(|e| !e.owned || e.shadow.is_some())
                     .unwrap_or(false),
                 XgiKind::PutE { .. } => entry
                     .map(|e| e.owned && !e.dirty && e.shadow.is_none())
                     .unwrap_or(false),
-                XgiKind::PutM { .. } => {
-                    entry.map(|e| e.owned && e.shadow.is_none()).unwrap_or(false)
-                }
+                XgiKind::PutM { .. } => entry
+                    .map(|e| e.owned && e.shadow.is_none())
+                    .unwrap_or(false),
                 _ => true,
             };
             if !consistent {
@@ -406,9 +430,7 @@ impl CrossingGuard {
                 let req = if self.k > 1 {
                     // Uniform S grants keep merged ownership simple.
                     GetReq::SOnly
-                } else if read_only
-                    && (self.cfg.use_gets_only || self.table.is_none())
-                {
+                } else if read_only && (self.cfg.use_gets_only || self.table.is_none()) {
                     GetReq::SOnly
                 } else {
                     GetReq::S
@@ -421,6 +443,7 @@ impl CrossingGuard {
                         req_kind: req,
                         poisoned: false,
                         grants: BTreeMap::new(),
+                        started: ctx.now(),
                     },
                 );
                 for i in 0..self.k {
@@ -438,14 +461,9 @@ impl CrossingGuard {
                         // us ownership exclusively for a read-only page and
                         // the write permission has since been granted; the
                         // simplest correct course is a fresh GetM.
-                        if e.shadow.is_some() {
+                        if let Some(shadow) = &e.shadow {
                             for i in 0..self.k {
-                                self.internal_put(
-                                    a.offset(i),
-                                    e.shadow.as_ref().expect("checked")[i as usize],
-                                    e.dirty,
-                                    ctx,
-                                );
+                                self.internal_put(a.offset(i), shadow[i as usize], e.dirty, ctx);
                             }
                         }
                     }
@@ -458,6 +476,7 @@ impl CrossingGuard {
                         req_kind: GetReq::M,
                         poisoned: false,
                         grants: BTreeMap::new(),
+                        started: ctx.now(),
                     },
                 );
                 for i in 0..self.k {
@@ -470,7 +489,13 @@ impl CrossingGuard {
                 if let Some(table) = self.table.as_mut() {
                     table.remove(&a);
                 }
-                self.reqs.insert(a, AccelReq::Put { pending: self.k as u32 });
+                self.reqs.insert(
+                    a,
+                    AccelReq::Put {
+                        pending: self.k as u32,
+                        started: ctx.now(),
+                    },
+                );
                 for i in 0..self.k {
                     self.persona.issue_put(
                         a.offset(i),
@@ -489,10 +514,14 @@ impl CrossingGuard {
     fn execute_put_s(&mut self, a: BlockAddr, ctx: &mut Ctx<'_>) {
         // Shadowed blocks: the accelerator held S but the host granted us
         // ownership; relinquish it with the trusted shadow data.
-        let shadow = self.table.as_mut().and_then(|t| t.remove(&a)).and_then(|e| {
-            self.shadow_blocks -= e.shadow.as_ref().map(|s| s.len() as u64).unwrap_or(0);
-            e.shadow.map(|s| (s, e.dirty))
-        });
+        let shadow = self
+            .table
+            .as_mut()
+            .and_then(|t| t.remove(&a))
+            .and_then(|e| {
+                self.shadow_blocks -= e.shadow.as_ref().map(|s| s.len() as u64).unwrap_or(0);
+                e.shadow.map(|s| (s, e.dirty))
+            });
         if let Some((shadow, dirty)) = shadow {
             for i in 0..self.k {
                 self.internal_put(a.offset(i), shadow[i as usize], dirty, ctx);
@@ -511,7 +540,13 @@ impl CrossingGuard {
             self.send_accel(a, XgiKind::WbAck, ctx);
             return;
         }
-        self.reqs.insert(a, AccelReq::Put { pending: self.k as u32 });
+        self.reqs.insert(
+            a,
+            AccelReq::Put {
+                pending: self.k as u32,
+                started: ctx.now(),
+            },
+        );
         for i in 0..self.k {
             self.persona.issue_put(a.offset(i), PutReq::S, ctx);
         }
@@ -519,7 +554,8 @@ impl CrossingGuard {
 
     fn internal_put(&mut self, h: BlockAddr, data: DataBlock, dirty: bool, ctx: &mut Ctx<'_>) {
         self.internal_puts.insert(h);
-        self.persona.issue_put(h, PutReq::Owned { data, dirty }, ctx);
+        self.persona
+            .issue_put(h, PutReq::Owned { data, dirty }, ctx);
     }
 
     // -----------------------------------------------------------------------
@@ -707,9 +743,9 @@ impl CrossingGuard {
                 }
                 Resolution::Shared => {
                     if kind.expects_data() {
-                        if xg_sim::trace_enabled() {
-                            eprintln!("[{}] FABRICATE shared-resolution @{h} kind={kind:?}", ctx.now());
-                        }
+                        ctx.trace(h.as_u64(), "guard", "Fabricate", || {
+                            format!("shared-resolution kind={kind:?}")
+                        });
                         self.stats.fabricated_responses += 1;
                         DemandResponse::Data {
                             data: DataBlock::zeroed(),
@@ -722,9 +758,9 @@ impl CrossingGuard {
                 }
                 Resolution::None => {
                     if kind.expects_data() {
-                        if xg_sim::trace_enabled() {
-                            eprintln!("[{}] FABRICATE none-resolution @{h} kind={kind:?}", ctx.now());
-                        }
+                        ctx.trace(h.as_u64(), "guard", "Fabricate", || {
+                            format!("none-resolution kind={kind:?}")
+                        });
                         self.stats.fabricated_responses += 1;
                         DemandResponse::Data {
                             data: DataBlock::zeroed(),
@@ -766,6 +802,9 @@ impl CrossingGuard {
     fn close_inv(&mut self, a: BlockAddr, ctx: &mut Ctx<'_>) {
         if let Some(ip) = self.inv_pending.remove(&a) {
             self.wake_epochs.remove(&ip.epoch);
+            self.stats
+                .lat_inv_resp
+                .record(ctx.now().saturating_since(ip.started));
         }
         self.drain_queue(a, ctx);
     }
@@ -782,7 +821,9 @@ impl CrossingGuard {
             {
                 return;
             }
-            let Some(q) = self.queued.get_mut(&a) else { return };
+            let Some(q) = self.queued.get_mut(&a) else {
+                return;
+            };
             let Some(kind) = q.pop_front() else {
                 self.queued.remove(&a);
                 return;
@@ -866,11 +907,15 @@ impl CrossingGuard {
             m,
             read_only,
             grants,
+            started,
             ..
         }) = self.reqs.remove(&a)
         else {
             unreachable!("checked by caller")
         };
+        self.stats
+            .lat_grant
+            .record(ctx.now().saturating_since(started));
         let mut blocks = Vec::with_capacity(self.k as usize);
         let mut all_owned = true;
         let mut any_m = false;
@@ -934,7 +979,7 @@ impl CrossingGuard {
         }
         let a = self.align(h);
         let complete = match self.reqs.get_mut(&a) {
-            Some(AccelReq::Put { pending }) => {
+            Some(AccelReq::Put { pending, .. }) => {
                 *pending -= 1;
                 *pending == 0
             }
@@ -944,7 +989,11 @@ impl CrossingGuard {
             }
         };
         if complete {
-            self.reqs.remove(&a);
+            if let Some(AccelReq::Put { started, .. }) = self.reqs.remove(&a) {
+                self.stats
+                    .lat_wback
+                    .record(ctx.now().saturating_since(started));
+            }
             self.stats.wbacks += 1;
             self.send_accel(a, XgiKind::WbAck, ctx);
             ctx.note_progress();
@@ -977,9 +1026,9 @@ impl CrossingGuard {
             let resp = if kind.expects_data() {
                 // The host believing we own while our own Get is open means
                 // desync; keep the host safe anyway.
-                if xg_sim::trace_enabled() {
-                    eprintln!("[{}] FABRICATE open-get @{h} kind={kind:?}", ctx.now());
-                }
+                ctx.trace(h.as_u64(), "guard", "Fabricate", || {
+                    format!("open-get kind={kind:?}")
+                });
                 self.stats.fabricated_responses += 1;
                 DemandResponse::Data {
                     data: DataBlock::zeroed(),
@@ -1080,6 +1129,7 @@ impl CrossingGuard {
                 reasons: vec![(h, kind)],
                 race_consumed: false,
                 epoch,
+                started: ctx.now(),
             },
         );
         self.stats.invs_forwarded += 1;
@@ -1155,6 +1205,7 @@ impl Component<Message> for CrossingGuard {
                 }
             }
             Message::Os(OsMsg::DisableAccelerator) => {
+                ctx.flag_post_mortem(u64::MAX, format!("{} disabled by OS", self.name));
                 self.disabled = true;
             }
             Message::Hammer(h) => {
@@ -1234,6 +1285,14 @@ impl Component<Message> for CrossingGuard {
         out.add(format!("{n}.host_puts_sent"), puts_sent);
         out.add(format!("{n}.host_received"), received);
         out.add(format!("{n}.persona_violations"), violations);
+        out.record_hist(format!("{n}.lat.grant"), &self.stats.lat_grant);
+        out.record_hist(format!("{n}.lat.wback"), &self.stats.lat_wback);
+        out.record_hist(format!("{n}.lat.inv_resp"), &self.stats.lat_inv_resp);
+        let host_rtt = match &self.persona {
+            Persona::Hammer(p) => &p.stats.host_rtt,
+            Persona::Mesi(p) => &p.stats.host_rtt,
+        };
+        out.record_hist(format!("{n}.lat.host_rtt"), host_rtt);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use xg_mem::{BlockAddr, DataBlock};
 use xg_proto::{Ctx, HammerKind, HammerMsg};
-use xg_sim::NodeId;
+use xg_sim::{Cycle, NodeId};
 
 use crate::persona::{
     DemandKind, DemandResponse, GetReq, GrantState, PersonaEvent, PersonaStats, PutReq, Requestor,
@@ -27,11 +27,13 @@ enum Txn {
         mem: Option<DataBlock>,
         peer: Option<(DataBlock, bool, bool)>, // (data, dirty, owner_keeps_copy)
         had_copy: bool,
+        started: Cycle,
     },
     Put {
         data: DataBlock,
         dirty: bool,
         invalidated: bool,
+        started: Cycle,
     },
 }
 
@@ -59,6 +61,9 @@ impl HammerPersona {
     }
 
     fn send(&mut self, to: NodeId, addr: BlockAddr, kind: HammerKind, ctx: &mut Ctx<'_>) {
+        ctx.trace(addr.as_u64(), "hammer-persona", "Send", || {
+            format!("{kind:?} -> {to}")
+        });
         self.stats.sent += 1;
         if matches!(kind, HammerKind::Put | HammerKind::WbData { .. }) {
             self.stats.puts_sent += 1;
@@ -82,6 +87,7 @@ impl HammerPersona {
                 mem: None,
                 peer: None,
                 had_copy: false,
+                started: ctx.now(),
             },
         );
         let req = match kind {
@@ -106,6 +112,7 @@ impl HammerPersona {
                         data,
                         dirty,
                         invalidated: false,
+                        started: ctx.now(),
                     },
                 );
                 self.send(self.dir, h, HammerKind::Put, ctx);
@@ -113,12 +120,7 @@ impl HammerPersona {
         }
     }
 
-    pub(crate) fn respond_demand(
-        &mut self,
-        h: BlockAddr,
-        resp: DemandResponse,
-        ctx: &mut Ctx<'_>,
-    ) {
+    pub(crate) fn respond_demand(&mut self, h: BlockAddr, resp: DemandResponse, ctx: &mut Ctx<'_>) {
         let Some(DemandCtx { requestor, .. }) = self.demands.remove(&h) else {
             self.stats.violations += 1;
             return;
@@ -149,6 +151,9 @@ impl HammerPersona {
     ) {
         self.stats.received += 1;
         let h = msg.addr;
+        ctx.trace(h.as_u64(), "hammer-persona", "Recv", || {
+            format!("{:?}", msg.kind)
+        });
         match msg.kind {
             HammerKind::FwdGetS {
                 requestor,
@@ -205,7 +210,9 @@ impl HammerPersona {
             HammerKind::RespAck { had_copy } => {
                 match self.txns.get_mut(&h) {
                     Some(Txn::Get {
-                        resps, had_copy: hc, ..
+                        resps,
+                        had_copy: hc,
+                        ..
                     }) => {
                         *resps += 1;
                         *hc |= had_copy;
@@ -218,8 +225,16 @@ impl HammerPersona {
                 self.try_complete(h, events, ctx);
             }
             HammerKind::WbAck => match self.txns.remove(&h) {
-                Some(Txn::Put { data, dirty, .. }) => {
+                Some(Txn::Put {
+                    data,
+                    dirty,
+                    started,
+                    ..
+                }) => {
                     self.send(self.dir, h, HammerKind::WbData { data, dirty }, ctx);
+                    self.stats
+                        .host_rtt
+                        .record(ctx.now().saturating_since(started));
                     events.push(PersonaEvent::PutDone { h });
                 }
                 other => {
@@ -228,10 +243,17 @@ impl HammerPersona {
                 }
             },
             HammerKind::WbNack => match self.txns.remove(&h) {
-                Some(Txn::Put { invalidated, .. }) => {
+                Some(Txn::Put {
+                    invalidated,
+                    started,
+                    ..
+                }) => {
                     if !invalidated {
                         self.stats.violations += 1;
                     }
+                    self.stats
+                        .host_rtt
+                        .record(ctx.now().saturating_since(started));
                     events.push(PersonaEvent::PutDone { h });
                 }
                 other => {
@@ -263,6 +285,7 @@ impl HammerPersona {
             data,
             dirty,
             invalidated,
+            ..
         }) = self.txns.get(&h)
         {
             let (data, dirty, was_invalidated) = (*data, *dirty, *invalidated);
@@ -317,11 +340,15 @@ impl HammerPersona {
             mem,
             peer,
             had_copy,
+            started,
             ..
         }) = self.txns.remove(&h)
         else {
             unreachable!("checked above")
         };
+        self.stats
+            .host_rtt
+            .record(ctx.now().saturating_since(started));
         let mem = mem.expect("checked above");
         let (state, dirty, data) = match kind {
             GetReq::M => {
@@ -354,4 +381,3 @@ impl HammerPersona {
         });
     }
 }
-

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use xg_mem::{BlockAddr, DataBlock};
 use xg_proto::{Ctx, MesiKind, MesiMsg};
-use xg_sim::NodeId;
+use xg_sim::{Cycle, NodeId};
 
 use crate::persona::{
     DemandKind, DemandResponse, GetReq, GrantState, PersonaEvent, PersonaStats, PutReq, Requestor,
@@ -23,6 +23,7 @@ enum Txn {
         acks_got: u32,
         /// Owner-demands that raced ahead of our own grant.
         deferred: Vec<(Option<Requestor>, DemandKind)>,
+        started: Cycle,
     },
     Put {
         is_s: bool,
@@ -31,6 +32,7 @@ enum Txn {
         invalidated: bool,
         /// A WbNack overtook its explaining demand; hold until it lands.
         nacked: bool,
+        started: Cycle,
     },
 }
 
@@ -61,9 +63,9 @@ impl MesiPersona {
     }
 
     fn send(&mut self, to: NodeId, addr: BlockAddr, kind: MesiKind, ctx: &mut Ctx<'_>) {
-        if xg_sim::trace_enabled() {
-            eprintln!("[{}] xg-persona -> {} {:?} @{}", ctx.now(), to, kind, addr);
-        }
+        ctx.trace(addr.as_u64(), "mesi-persona", "Send", || {
+            format!("{kind:?} -> {to}")
+        });
         self.stats.sent += 1;
         if matches!(
             kind,
@@ -88,6 +90,7 @@ impl MesiPersona {
                 acks_expected: None,
                 acks_got: 0,
                 deferred: Vec::new(),
+                started: ctx.now(),
             },
         );
         let req = match kind {
@@ -100,12 +103,7 @@ impl MesiPersona {
 
     pub(crate) fn issue_put(&mut self, h: BlockAddr, put: PutReq, ctx: &mut Ctx<'_>) {
         let (is_s, data, dirty, req) = match put {
-            PutReq::S => (
-                true,
-                DataBlock::zeroed(),
-                false,
-                MesiKind::PutS,
-            ),
+            PutReq::S => (true, DataBlock::zeroed(), false, MesiKind::PutS),
             PutReq::Owned { data, dirty } => {
                 let req = if dirty {
                     MesiKind::PutM { data }
@@ -123,17 +121,13 @@ impl MesiPersona {
                 dirty,
                 invalidated: false,
                 nacked: false,
+                started: ctx.now(),
             },
         );
         self.send(self.l2, h, req, ctx);
     }
 
-    pub(crate) fn respond_demand(
-        &mut self,
-        h: BlockAddr,
-        resp: DemandResponse,
-        ctx: &mut Ctx<'_>,
-    ) {
+    pub(crate) fn respond_demand(&mut self, h: BlockAddr, resp: DemandResponse, ctx: &mut Ctx<'_>) {
         let Some(DemandCtx { requestor, kind }) = self.demands.remove(&h) else {
             self.stats.violations += 1;
             return;
@@ -223,9 +217,9 @@ impl MesiPersona {
     ) {
         self.stats.received += 1;
         let h = msg.addr;
-        if xg_sim::trace_enabled() {
-            eprintln!("[{}] xg-persona <- {:?} @{} (txn {:?})", ctx.now(), msg.kind, h, self.txns.get(&h));
-        }
+        ctx.trace(h.as_u64(), "mesi-persona", "Recv", || {
+            format!("{:?} (txn {:?})", msg.kind, self.txns.get(&h))
+        });
         match msg.kind {
             MesiKind::DataS { data } => self.grant(h, GrantState::S, data, false, 0, events, ctx),
             MesiKind::DataE { data } => self.grant(h, GrantState::E, data, false, 0, events, ctx),
@@ -237,7 +231,11 @@ impl MesiPersona {
                 dirty,
                 exclusive,
             } => {
-                let state = if exclusive { GrantState::M } else { GrantState::S };
+                let state = if exclusive {
+                    GrantState::M
+                } else {
+                    GrantState::S
+                };
                 self.grant(h, state, data, dirty, 0, events, ctx);
             }
             MesiKind::InvAck => {
@@ -265,11 +263,14 @@ impl MesiPersona {
                 events,
                 ctx,
             ),
-            MesiKind::Recall => {
-                self.handle_owner_demand(h, None, DemandKind::Recall, events, ctx)
-            }
+            MesiKind::Recall => self.handle_owner_demand(h, None, DemandKind::Recall, events, ctx),
             MesiKind::WbAck => match self.txns.remove(&h) {
-                Some(Txn::Put { .. }) => events.push(PersonaEvent::PutDone { h }),
+                Some(Txn::Put { started, .. }) => {
+                    self.stats
+                        .host_rtt
+                        .record(ctx.now().saturating_since(started));
+                    events.push(PersonaEvent::PutDone { h });
+                }
                 other => {
                     self.restore(h, other);
                     self.stats.violations += 1;
@@ -277,12 +278,21 @@ impl MesiPersona {
             },
             MesiKind::WbNack => match self.txns.remove(&h) {
                 Some(Txn::Put {
-                    invalidated: true, ..
+                    invalidated: true,
+                    started,
+                    ..
                 }) => {
+                    self.stats
+                        .host_rtt
+                        .record(ctx.now().saturating_since(started));
                     events.push(PersonaEvent::PutDone { h });
                 }
                 Some(Txn::Put {
-                    is_s, data, dirty, ..
+                    is_s,
+                    data,
+                    dirty,
+                    started,
+                    ..
                 }) => {
                     // Nack overtook its explaining demand; wait for it.
                     self.txns.insert(
@@ -293,6 +303,7 @@ impl MesiPersona {
                             dirty,
                             invalidated: false,
                             nacked: true,
+                            started,
                         },
                     );
                 }
@@ -311,6 +322,7 @@ impl MesiPersona {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn grant(
         &mut self,
         h: BlockAddr,
@@ -347,7 +359,10 @@ impl MesiPersona {
     ) {
         match self.txns.get_mut(&h) {
             Some(Txn::Put {
-                is_s, invalidated, nacked, ..
+                is_s,
+                invalidated,
+                nacked,
+                ..
             }) if *is_s => {
                 // Our PutS raced the invalidation: ack, then either await
                 // the Nack or (if it already overtook us) finish now.
@@ -355,7 +370,11 @@ impl MesiPersona {
                 *invalidated = true;
                 self.send(requestor, h, MesiKind::InvAck, ctx);
                 if finished {
-                    self.txns.remove(&h);
+                    if let Some(Txn::Put { started, .. }) = self.txns.remove(&h) {
+                        self.stats
+                            .host_rtt
+                            .record(ctx.now().saturating_since(started));
+                    }
                     events.push(PersonaEvent::PutDone { h });
                 }
             }
@@ -402,6 +421,7 @@ impl MesiPersona {
                 invalidated,
                 is_s,
                 nacked,
+                ..
             }) if !*is_s => {
                 let (data, dirty, was_invalidated, was_nacked) =
                     (*data, *dirty, *invalidated, *nacked);
@@ -455,7 +475,11 @@ impl MesiPersona {
                 }
                 if was_nacked && surrendered {
                     // The demand explains the earlier Nack; all done.
-                    self.txns.remove(&h);
+                    if let Some(Txn::Put { started, .. }) = self.txns.remove(&h) {
+                        self.stats
+                            .host_rtt
+                            .record(ctx.now().saturating_since(started));
+                    }
                     events.push(PersonaEvent::PutDone { h });
                 } else if surrendered || demoted {
                     if let Some(Txn::Put {
@@ -504,11 +528,17 @@ impl MesiPersona {
             return;
         }
         let Some(Txn::Get {
-            grant, deferred, ..
+            grant,
+            deferred,
+            started,
+            ..
         }) = self.txns.remove(&h)
         else {
             unreachable!("checked above")
         };
+        self.stats
+            .host_rtt
+            .record(ctx.now().saturating_since(started));
         let (state, data, dirty) = grant.expect("checked above");
         events.push(PersonaEvent::Granted {
             h,
@@ -526,6 +556,5 @@ impl MesiPersona {
             self.demands.insert(h, DemandCtx { requestor, kind });
             events.push(PersonaEvent::Demand { h, kind });
         }
-        let _ = ctx;
     }
 }

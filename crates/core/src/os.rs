@@ -67,8 +67,11 @@ impl Component<Message> for Os {
             return;
         };
         *self.by_kind.entry(err.kind).or_insert(0) += 1;
+        let addr = err.addr.map_or(u64::MAX, |a| a.as_u64());
+        ctx.trace(addr, "os", "Error", || format!("{} from {from}", err.kind));
         self.errors.push(err);
         if self.policy == OsPolicy::DisableAccelerator && !self.disabled.contains(&from) {
+            ctx.flag_post_mortem(addr, format!("OS disabling guard {from}"));
             self.disabled.push(from);
             ctx.send(from, OsMsg::DisableAccelerator.into());
         }

@@ -9,7 +9,7 @@
 //! writebacks, and every race along the way.
 
 use xg_mem::{BlockAddr, DataBlock};
-use xg_sim::NodeId;
+use xg_sim::{Histogram, NodeId};
 
 /// What a completed host Get granted us.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +112,9 @@ pub(crate) struct PersonaStats {
     /// Impossible events (desync with a trusted host = bug; nonzero only
     /// under deliberately broken configurations).
     pub violations: u64,
+    /// Host-transaction round-trip times: cycles from issuing a Get/Put on
+    /// the host network to its completion at the persona.
+    pub host_rtt: Histogram,
 }
 
 /// Node id placeholder used in demand contexts that answer to the host

@@ -43,9 +43,8 @@ impl TokenBucket {
         let elapsed = now.saturating_since(self.last);
         self.last = self.last.max(now);
         let cap = self.limit.burst * 1000;
-        self.milli_tokens = (self.milli_tokens
-            + elapsed.saturating_mul(self.limit.tokens_per_kilocycle))
-        .min(cap);
+        self.milli_tokens =
+            (self.milli_tokens + elapsed.saturating_mul(self.limit.tokens_per_kilocycle)).min(cap);
     }
 
     /// Takes one token if available.

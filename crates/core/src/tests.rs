@@ -169,10 +169,18 @@ fn build(
     assert_eq!(os, os_id);
     let guard = match host {
         HostKind::Hammer => Box::new(CrossingGuard::new_hammer(
-            "xg", accel_top, home, os_id, cfg.clone(),
+            "xg",
+            accel_top,
+            home,
+            os_id,
+            cfg.clone(),
         )),
         HostKind::Mesi => Box::new(CrossingGuard::new_mesi(
-            "xg", accel_top, home, os_id, cfg.clone(),
+            "xg",
+            accel_top,
+            home,
+            os_id,
+            cfg.clone(),
         )),
     };
     let xg = b.add(guard);
@@ -254,7 +262,10 @@ impl Rig {
             }
             .into(),
         );
-        assert!(self.sim.run_to_quiescence(500_000).quiescent, "cpu store hung");
+        assert!(
+            self.sim.run_to_quiescence(500_000).quiescent,
+            "cpu store hung"
+        );
     }
 
     fn cpu_load(&mut self, core: usize, addr: u64) -> u64 {
@@ -270,7 +281,10 @@ impl Rig {
             }
             .into(),
         );
-        assert!(self.sim.run_to_quiescence(500_000).quiescent, "cpu load hung");
+        assert!(
+            self.sim.run_to_quiescence(500_000).quiescent,
+            "cpu load hung"
+        );
         self.find_load(self.cores[core], id)
     }
 
@@ -702,8 +716,12 @@ fn guarantee_2c_timeout_recovery() {
         );
         rig.raw_send(0x400, XgiKind::GetM); // accel owns, then goes silent
         rig.cpu_store(0, 0x400, 9); // must not hang the host
-        assert_eq!(rig.os_count(XgErrorKind::ResponseTimeout), 1, "host={:?}",
-            matches!(host, HostKind::Hammer));
+        assert_eq!(
+            rig.os_count(XgErrorKind::ResponseTimeout),
+            1,
+            "host={:?}",
+            matches!(host, HostKind::Hammer)
+        );
         assert_eq!(rig.cpu_load(0, 0x400), 9);
         rig.assert_host_clean();
     }
@@ -962,10 +980,7 @@ fn read_only_shadow_serves_host_reads_without_accel() {
             .iter()
             .any(|m| matches!(m.kind, XgiKind::DataS { .. })));
         let guard = rig.sim.get::<CrossingGuard>(rig.xg).unwrap();
-        assert!(
-            guard.storage_bytes() >= 64,
-            "shadow data must be accounted"
-        );
+        assert!(guard.storage_bytes() >= 64, "shadow data must be accounted");
     }
     // A CPU read is served from the shadow, never consulting the accel.
     let invs_before = rig.sim.report().get("xg.invs_forwarded");

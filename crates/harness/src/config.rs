@@ -181,7 +181,13 @@ impl SystemConfig {
                     two_level: true,
                 },
             ] {
-                let two_level = matches!(accel, AccelOrg::Xg { two_level: true, .. });
+                let two_level = matches!(
+                    accel,
+                    AccelOrg::Xg {
+                        two_level: true,
+                        ..
+                    }
+                );
                 out.push(SystemConfig {
                     host,
                     accel,

@@ -126,7 +126,7 @@ impl Component<Message> for FuzzAccel {
         match m.kind {
             XgiKind::Inv => {
                 self.invs_seen += 1;
-                if ctx.rng().gen_range(0..100) < self.opts.respond_percent {
+                if ctx.rng().gen_range(0u32..100) < self.opts.respond_percent {
                     // Respond with a random (often wrong) response kind.
                     let kind = match ctx.rng().gen_range(0..4) {
                         0 => XgiKind::InvAck,
@@ -157,10 +157,7 @@ impl Component<Message> for FuzzAccel {
         }
         let block = ctx.rng().gen_range(0..self.opts.pool_blocks);
         let kind = random_xgi_kind(ctx);
-        ctx.send(
-            self.xg,
-            XgiMsg::new(BlockAddr::new(block), kind).into(),
-        );
+        ctx.send(self.xg, XgiMsg::new(BlockAddr::new(block), kind).into());
         self.sent += 1;
         let delay = ctx.rng().gen_range(self.opts.gap.0..=self.opts.gap.1);
         ctx.wake_in(delay, 0);
@@ -219,11 +216,13 @@ impl FuzzHostCache {
             0 => (HammerKind::GetS, true),
             1 => (HammerKind::GetM, true),
             2 => (HammerKind::Put, true),
-            3 => (
-                HammerKind::WbData { data, dirty: true },
+            3 => (HammerKind::WbData { data, dirty: true }, true),
+            4 => (
+                HammerKind::Unblock {
+                    new_owner: ctx.rng().gen(),
+                },
                 true,
             ),
-            4 => (HammerKind::Unblock { new_owner: ctx.rng().gen() }, true),
             5 => (
                 HammerKind::RespData {
                     data,

@@ -5,7 +5,7 @@
 //! *detected*, never hung on), and returns a structured outcome.
 
 use xg_core::OsPolicy;
-use xg_sim::Report;
+use xg_sim::{Report, TraceConfig};
 
 use crate::config::SystemConfig;
 use crate::fuzz::FuzzOpts;
@@ -59,15 +59,59 @@ pub struct StressOutcome {
     pub deadlocked: bool,
     /// Distinct (state, event) pairs visited across all controllers.
     pub transitions: usize,
+    /// Post-mortem trace dump from a deterministic replay of a failed run
+    /// (None when the run passed).
+    pub post_mortem: Option<String>,
     /// Full statistics.
     pub report: Report,
 }
 
+/// Flags every operation still outstanding at a watchdog stop, so the
+/// post-mortem dump of a deadlocked run names the stuck addresses.
+fn flag_outstanding(system: &mut crate::system::BuiltSystem, cores: &[xg_sim::NodeId], now: u64) {
+    let mut stuck = Vec::new();
+    for &core in cores {
+        let Some(t) = system.sim.get::<TesterCore>(core) else {
+            continue;
+        };
+        let name = xg_sim::Component::name(t).to_owned();
+        for (word_addr, is_store) in t.outstanding_ops() {
+            stuck.push((name.clone(), word_addr, is_store));
+        }
+    }
+    for (name, word_addr, is_store) in stuck {
+        let op = if is_store { "store" } else { "load" };
+        system.sim.tracer_mut().flag(
+            now,
+            xg_mem::Addr::new(word_addr).block().as_u64(),
+            format!("{name}: {op} at word {word_addr:#x} outstanding at deadlock"),
+        );
+    }
+}
+
 /// Runs the §4.1 random coherence stress test on `cfg`.
+///
+/// On failure (data errors or deadlock), the identical seed is replayed with
+/// ring tracing enabled and the resulting per-address post-mortem dump is
+/// attached to the outcome — the fast run costs nothing, the slow run only
+/// happens when there is something to explain.
 pub fn run_stress(cfg: &SystemConfig, opts: &StressOpts) -> StressOutcome {
+    let mut out = run_stress_traced(cfg, opts, TraceConfig::off());
+    if out.data_errors > 0 || out.deadlocked {
+        let replay = run_stress_traced(cfg, opts, TraceConfig::ring());
+        out.post_mortem = replay.post_mortem;
+    } else {
+        out.post_mortem = None;
+    }
+    out
+}
+
+fn run_stress_traced(cfg: &SystemConfig, opts: &StressOpts, trace: TraceConfig) -> StressOutcome {
     let cfg = cfg.clone().shrink_caches();
     let accel_cores = match &cfg.accel {
-        crate::AccelOrg::Xg { two_level: true, .. } => cfg.accel_cores,
+        crate::AccelOrg::Xg {
+            two_level: true, ..
+        } => cfg.accel_cores,
         _ => 1,
     };
     let total_cores = cfg.cpu_cores + accel_cores;
@@ -87,11 +131,22 @@ pub fn run_stress(cfg: &SystemConfig, opts: &StressOpts) -> StressOutcome {
             opts.tester.clone(),
         ))
     });
+    system.sim.tracer_mut().set_config(trace);
     system.start_cores();
     let out = system
         .sim
         .run_with_watchdog(opts.max_cycles, opts.stall_bound);
+    if out.stalled {
+        let cores: Vec<_> = system
+            .cpu_cores
+            .iter()
+            .chain(&system.accel_cores)
+            .copied()
+            .collect();
+        flag_outstanding(&mut system, &cores, out.now.as_u64());
+    }
     let report = system.sim.report();
+    let post_mortem = system.sim.post_mortem();
     let shared = shared.borrow();
     let hung_ops = report.sum_suffix(".outstanding") > 0;
     let transitions: usize = report.coverages().map(|(_, c)| c.len()).sum();
@@ -102,6 +157,7 @@ pub fn run_stress(cfg: &SystemConfig, opts: &StressOpts) -> StressOutcome {
         error_log: shared.error_log().to_vec(),
         deadlocked: out.stalled || (!shared.done() && !out.quiescent) || hung_ops,
         transitions,
+        post_mortem,
         report,
     }
 }
@@ -126,13 +182,38 @@ pub struct FuzzOutcome {
     pub cpu_ops_completed: u64,
     /// CPU-side value-check failures.
     pub cpu_data_errors: u64,
+    /// Post-mortem trace dump from a deterministic replay of a run that
+    /// flagged anything (corruption, host violations, guard errors, or
+    /// deadlock): the last events touching each offending address, across
+    /// the guard and every host controller. None when nothing was flagged.
+    pub post_mortem: Option<String>,
     /// Full statistics.
     pub report: Report,
 }
 
 /// Runs a fuzz attack (`FuzzXg` or `FuzzAccelSide` organization) while CPU
 /// testers measure whether the host stays correct and alive.
+///
+/// If the attack corrupts host data or wedges the host, the identical seed
+/// is replayed with ring tracing enabled and the post-mortem dump naming the
+/// offending addresses is attached to the outcome.
 pub fn run_fuzz(cfg: &SystemConfig, fuzz: &FuzzOpts, cpu_ops: u64) -> FuzzOutcome {
+    let mut out = run_fuzz_traced(cfg, fuzz, cpu_ops, TraceConfig::off());
+    if out.cpu_data_errors > 0 || out.host_violations > 0 || out.os_errors > 0 || out.deadlocked {
+        let replay = run_fuzz_traced(cfg, fuzz, cpu_ops, TraceConfig::ring());
+        out.post_mortem = replay.post_mortem;
+    } else {
+        out.post_mortem = None;
+    }
+    out
+}
+
+fn run_fuzz_traced(
+    cfg: &SystemConfig,
+    fuzz: &FuzzOpts,
+    cpu_ops: u64,
+    trace: TraceConfig,
+) -> FuzzOutcome {
     assert!(
         matches!(
             cfg.accel,
@@ -179,9 +260,15 @@ pub fn run_fuzz(cfg: &SystemConfig, fuzz: &FuzzOpts, cpu_ops: u64) -> FuzzOutcom
             ))
         },
     );
+    system.sim.tracer_mut().set_config(trace);
     system.start_cores();
     let out = system.sim.run_with_watchdog(50_000_000, 200_000);
+    if out.stalled {
+        let cores = system.cpu_cores.clone();
+        flag_outstanding(&mut system, &cores, out.now.as_u64());
+    }
     let report = system.sim.report();
+    let post_mortem = system.sim.post_mortem();
     let shared = shared.borrow();
     let hung_ops = report.sum_suffix(".outstanding") > 0;
     FuzzOutcome {
@@ -192,6 +279,7 @@ pub fn run_fuzz(cfg: &SystemConfig, fuzz: &FuzzOpts, cpu_ops: u64) -> FuzzOutcom
         deadlocked: out.stalled || !shared.done() || hung_ops,
         cpu_ops_completed: shared.completed(),
         cpu_data_errors: shared.data_errors(),
+        post_mortem,
         report,
     }
 }
@@ -221,8 +309,11 @@ pub fn run_workload(cfg: &SystemConfig, pattern: Pattern, accel_ops: u64) -> Per
     // producer-consumer overlap with CPU cores.
     const BASE: u64 = 0x10_0000;
     const FOOTPRINT: u64 = 2048;
-    let mut system = build_system(cfg, OsPolicy::ReportOnly, None, |slot, cache, _index| {
-        match slot {
+    let mut system = build_system(
+        cfg,
+        OsPolicy::ReportOnly,
+        None,
+        |slot, cache, _index| match slot {
             CoreSlot::Cpu(i) => Box::new(WorkloadCore::new(
                 format!("wl_cpu{i}"),
                 cache,
@@ -239,8 +330,8 @@ pub fn run_workload(cfg: &SystemConfig, pattern: Pattern, accel_ops: u64) -> Per
                 FOOTPRINT,
                 accel_ops,
             )),
-        }
-    });
+        },
+    );
     system.start_cores();
     let out = system.sim.run_with_watchdog(200_000_000, 1_000_000);
     let mut accel_runtime = 0u64;

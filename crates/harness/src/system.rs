@@ -339,15 +339,17 @@ pub fn build_system(
 
     // ---- cores, added last so every frontend id is known ----
     let mut cpu_cores = Vec::new();
-    for i in 0..n {
-        let core = b.add(make_core(CoreSlot::Cpu(i), cpu_caches[i], i));
-        b.link_bidi(core, cpu_caches[i], Link::ordered(1, 1));
+    for (i, &cache) in cpu_caches.iter().enumerate() {
+        let core = b.add(make_core(CoreSlot::Cpu(i), cache, i));
+        b.link_bidi(core, cache, Link::ordered(1, 1));
         cpu_cores.push(core);
     }
     let mut accel_cores = Vec::new();
     let accel_core_count = match &cfg.accel {
         AccelOrg::FuzzXg { .. } | AccelOrg::FuzzAccelSide => 0,
-        AccelOrg::Xg { two_level: true, .. } => cfg.accel_cores,
+        AccelOrg::Xg {
+            two_level: true, ..
+        } => cfg.accel_cores,
         _ => 1,
     };
     for i in 0..accel_core_count {
@@ -380,9 +382,22 @@ pub fn build_system(
 
 /// Internal: node layout per accelerator organization.
 enum AccelInfra {
-    AccelSide { cache: NodeId },
-    HostSide { cache: NodeId },
-    Xg { xg: NodeId, top: NodeId, two_level: bool },
-    FuzzXg { xg: NodeId, fuzzer: NodeId },
-    FuzzHost { fuzzer: NodeId },
+    AccelSide {
+        cache: NodeId,
+    },
+    HostSide {
+        cache: NodeId,
+    },
+    Xg {
+        xg: NodeId,
+        top: NodeId,
+        two_level: bool,
+    },
+    FuzzXg {
+        xg: NodeId,
+        fuzzer: NodeId,
+    },
+    FuzzHost {
+        fuzzer: NodeId,
+    },
 }

@@ -34,6 +34,8 @@ pub struct TesterShared {
     completed: u64,
     data_errors: u64,
     error_log: Vec<String>,
+    /// Word addresses whose value checks failed, in detection order.
+    corrupted: Vec<u64>,
     issued: HashMap<u64, u64>,
     last_seen: HashMap<(usize, u64), u64>,
 }
@@ -48,6 +50,7 @@ impl TesterShared {
             completed: 0,
             data_errors: 0,
             error_log: Vec::new(),
+            corrupted: Vec::new(),
             issued: HashMap::new(),
             last_seen: HashMap::new(),
         }))
@@ -81,26 +84,40 @@ impl TesterShared {
         &self.error_log
     }
 
-    fn record_error(&mut self, msg: String) {
+    /// Word addresses whose value checks failed, in detection order.
+    pub fn corrupted_addrs(&self) -> &[u64] {
+        &self.corrupted
+    }
+
+    fn record_error(&mut self, word_addr: u64, msg: String) {
         self.data_errors += 1;
         if self.error_log.len() < 16 {
             self.error_log.push(msg);
+        }
+        if self.corrupted.len() < 16 {
+            self.corrupted.push(word_addr);
         }
     }
 
     fn check_load(&mut self, core: usize, word_addr: u64, value: u64) {
         let issued = self.issued.get(&word_addr).copied().unwrap_or(0);
         if value > issued {
-            self.record_error(format!(
-                "core {core} read {value} at {word_addr:#x} but only {issued} were written"
-            ));
+            self.record_error(
+                word_addr,
+                format!(
+                    "core {core} read {value} at {word_addr:#x} but only {issued} were written"
+                ),
+            );
         }
         let key = (core, word_addr);
         let prev = self.last_seen.get(&key).copied().unwrap_or(0);
         if value < prev {
-            self.record_error(format!(
-                "core {core} read {value} at {word_addr:#x} after having read {prev} (went backwards)"
-            ));
+            self.record_error(
+                word_addr,
+                format!(
+                    "core {core} read {value} at {word_addr:#x} after having read {prev} (went backwards)"
+                ),
+            );
         }
         self.last_seen.insert(key, value.max(prev));
     }
@@ -186,9 +203,12 @@ impl TesterCore {
     }
 
     /// Addresses (and store-ness) of outstanding operations, for debugging
-    /// liveness failures.
+    /// liveness failures. Sorted by issue id so post-mortem flags are
+    /// deterministic despite the `HashMap` underneath.
     pub fn outstanding_ops(&self) -> Vec<(u64, bool)> {
-        self.in_flight.values().copied().collect()
+        let mut ops: Vec<_> = self.in_flight.iter().map(|(&id, &op)| (id, op)).collect();
+        ops.sort_unstable_by_key(|&(id, _)| id);
+        ops.into_iter().map(|(_, op)| op).collect()
     }
 
     fn issue_one(&mut self, ctx: &mut Ctx<'_>) {
@@ -196,7 +216,7 @@ impl TesterCore {
         let word_addr = self.pool[pick];
         let mut shared = self.shared.borrow_mut();
         let is_writer = shared.writer_of(word_addr) == self.core_index;
-        let store = is_writer && ctx.rng().gen_range(0..100) < self.cfg.store_percent;
+        let store = is_writer && ctx.rng().gen_range(0u32..100) < self.cfg.store_percent;
         let id = self.next_id;
         self.next_id += 1;
         let kind = if store {
@@ -238,9 +258,20 @@ impl Component<Message> for TesterCore {
         match c.kind {
             CoreKind::LoadResp { value } => {
                 debug_assert!(!was_store);
-                self.shared
-                    .borrow_mut()
-                    .check_load(self.core_index, word_addr, value);
+                let mut shared = self.shared.borrow_mut();
+                let before = shared.data_errors();
+                shared.check_load(self.core_index, word_addr, value);
+                let corrupted = shared.data_errors() > before;
+                drop(shared);
+                if corrupted {
+                    ctx.flag_post_mortem(
+                        Addr::new(word_addr).block().as_u64(),
+                        format!(
+                            "{}: value check failed at word {word_addr:#x} (read {value})",
+                            self.name
+                        ),
+                    );
+                }
             }
             CoreKind::StoreResp => {
                 debug_assert!(was_store);
@@ -327,7 +358,9 @@ mod tests {
         assert_eq!(s.data_errors(), 1);
         s.check_load(0, 0x100, 2); // went backwards (saw 3 before)
         assert_eq!(s.data_errors(), 2);
-        assert!(s.error_log()[1].contains("went backwards") || s.error_log()[0].contains("written"));
+        assert!(
+            s.error_log()[1].contains("went backwards") || s.error_log()[0].contains("written")
+        );
     }
 
     #[test]

@@ -106,10 +106,10 @@ impl Pattern {
             Pattern::ProducerConsumer => {
                 // Even accesses: private half; odd: shared half (offset so
                 // all cores collide there), writes on every 3rd access.
-                if n % 2 == 0 {
-                    (n % (fp / 2), n % 3 == 0)
+                if n.is_multiple_of(2) {
+                    (n % (fp / 2), n.is_multiple_of(3))
                 } else {
-                    (fp / 2 + scramble(n) % (fp / 2).min(32), n % 3 == 0)
+                    (fp / 2 + scramble(n) % (fp / 2).min(32), n.is_multiple_of(3))
                 }
             }
         }
@@ -181,17 +181,11 @@ impl WorkloadCore {
 
     /// Average access latency in cycles (0 before any completion).
     pub fn avg_latency(&self) -> u64 {
-        if self.completed == 0 {
-            0
-        } else {
-            self.latency_sum / self.completed
-        }
+        self.latency_sum.checked_div(self.completed).unwrap_or(0)
     }
 
     fn issue(&mut self, ctx: &mut Ctx<'_>) {
-        while self.issued < self.ops_target
-            && self.in_flight.len() < self.pattern.max_in_flight()
-        {
+        while self.issued < self.ops_target && self.in_flight.len() < self.pattern.max_in_flight() {
             let (word, store) = self.pattern.access(self.issued, self.footprint_words);
             let addr = self.base + word * 8;
             let id = self.next_id;
@@ -285,9 +279,13 @@ mod tests {
 
     #[test]
     fn streaming_is_unit_stride_and_graph_is_not() {
-        let a: Vec<u64> = (0..8).map(|n| Pattern::Streaming.access(n, 256).0).collect();
+        let a: Vec<u64> = (0..8)
+            .map(|n| Pattern::Streaming.access(n, 256).0)
+            .collect();
         assert_eq!(a, vec![0, 1, 2, 3, 4, 5, 6, 7]);
-        let g: Vec<u64> = (0..8).map(|n| Pattern::GraphWalk.access(n, 256).0).collect();
+        let g: Vec<u64> = (0..8)
+            .map(|n| Pattern::GraphWalk.access(n, 256).0)
+            .collect();
         let sorted = {
             let mut s = g.clone();
             s.sort_unstable();
@@ -307,8 +305,7 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let names: std::collections::HashSet<_> =
-            Pattern::ALL.iter().map(|p| p.name()).collect();
+        let names: std::collections::HashSet<_> = Pattern::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), Pattern::ALL.len());
     }
 }

@@ -19,7 +19,11 @@ fn stress_all_twelve_configurations() {
     for cfg in SystemConfig::matrix(7) {
         let name = cfg.name();
         let out = run_stress(&cfg, &stress_opts(600));
-        assert!(!out.deadlocked, "{name}: deadlocked after {} ops", out.completed);
+        assert!(
+            !out.deadlocked,
+            "{name}: deadlocked after {} ops",
+            out.completed
+        );
         assert_eq!(
             out.data_errors, 0,
             "{name}: data errors: {:?}",
@@ -177,7 +181,13 @@ fn weak_sharing_accelerator_is_still_host_safe() {
         };
         let out = run_stress(&cfg, &stress_opts(800));
         assert!(!out.deadlocked, "{} weak", cfg.name());
-        assert_eq!(out.data_errors, 0, "{} weak: {:?}", cfg.name(), out.error_log);
+        assert_eq!(
+            out.data_errors,
+            0,
+            "{} weak: {:?}",
+            cfg.name(),
+            out.error_log
+        );
         assert_eq!(out.report.sum_suffix(".protocol_violation"), 0);
         assert_eq!(out.report.get("os.errors_total"), 0);
     }

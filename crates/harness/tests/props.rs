@@ -27,10 +27,7 @@ fn accel_strategy() -> impl Strategy<Value = AccelOrg> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        .. ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 12 })]
 
     /// Any configuration, any seed, any contention knobs: the stress test
     /// must complete with zero data errors and zero protocol violations.

@@ -33,9 +33,11 @@
 //! bookkeeping with dirty bits and response counters — against which the
 //! five-state accelerator cache of Table 1 is compared.
 
+use std::collections::HashMap;
+
 use xg_mem::{BlockAddr, DataBlock, Mshr, Replacement, SetAssocCache};
 use xg_proto::{CoreKind, CoreMsg, Ctx, HammerKind, HammerMsg, Message};
-use xg_sim::{Component, CoverageSet, NodeId, Report};
+use xg_sim::{Component, CoverageSet, Cycle, Histogram, NodeId, Report};
 
 /// Configuration for a [`HammerCache`].
 #[derive(Debug, Clone)]
@@ -159,9 +161,7 @@ impl Txn {
                 GetKind::SOnly => "ISO",
                 GetKind::M => "IM",
             },
-            Txn::Get {
-                local: Some(l), ..
-            } => {
+            Txn::Get { local: Some(l), .. } => {
                 if l.state.is_owner() {
                     "OM"
                 } else {
@@ -191,6 +191,10 @@ struct Stats {
     unexpected_nack: u64,
     protocol_violation: u64,
     multi_data: u64,
+    /// Cycles a Get transaction stayed open in the MSHR.
+    lat_miss: Histogram,
+    /// MSHR population, sampled at each new allocation.
+    mshr_occupancy: Histogram,
 }
 
 /// A private Hammer-protocol cache serving one core's loads and stores.
@@ -204,6 +208,8 @@ pub struct HammerCache {
     cfg: HammerConfig,
     cache: SetAssocCache<Line>,
     mshr: Mshr<Txn>,
+    /// Open times of in-flight MSHR transactions, for latency histograms.
+    txn_started: HashMap<BlockAddr, Cycle>,
     stats: Stats,
     coverage: CoverageSet,
 }
@@ -216,6 +222,7 @@ impl HammerCache {
             dir,
             cache: SetAssocCache::new(cfg.sets, cfg.ways, cfg.replacement, cfg.seed),
             mshr: Mshr::new(cfg.mshr_entries),
+            txn_started: HashMap::new(),
             cfg,
             stats: Stats::default(),
             coverage: CoverageSet::new(),
@@ -390,9 +397,9 @@ impl HammerCache {
             lost_local: false,
             waiting: vec![op],
         };
-        self.mshr
-            .alloc(addr, txn)
-            .expect("capacity checked above");
+        self.mshr.alloc(addr, txn).expect("capacity checked above");
+        self.txn_started.insert(addr, ctx.now());
+        self.stats.mshr_occupancy.record(self.mshr.len() as u64);
         let req = match kind {
             GetKind::S => HammerKind::GetS,
             GetKind::SOnly => HammerKind::GetSOnly,
@@ -486,7 +493,9 @@ impl HammerCache {
                 self.cover(addr, "RespAck");
                 let mut ok = false;
                 if let Some(Txn::Get {
-                    resps, had_copy: hc, ..
+                    resps,
+                    had_copy: hc,
+                    ..
                 }) = self.mshr.get_mut(addr)
                 {
                     *resps += 1;
@@ -564,9 +573,7 @@ impl HammerCache {
 
     fn restore_txn(&mut self, addr: BlockAddr, txn: Option<Txn>) {
         if let Some(txn) = txn {
-            self.mshr
-                .alloc(addr, txn)
-                .expect("slot was just freed");
+            self.mshr.alloc(addr, txn).expect("slot was just freed");
         }
     }
 
@@ -717,6 +724,11 @@ impl HammerCache {
         else {
             unreachable!("checked above");
         };
+        if let Some(started) = self.txn_started.remove(&addr) {
+            self.stats
+                .lat_miss
+                .record(ctx.now().saturating_since(started));
+        }
 
         let mem = mem_data.expect("checked above");
         let (state, dirty, data) = match kind {
@@ -783,6 +795,8 @@ impl HammerCache {
                     waiting: Vec::new(),
                 };
                 if self.mshr.alloc(addr, txn).is_ok() {
+                    self.txn_started.insert(addr, ctx.now());
+                    self.stats.mshr_occupancy.record(self.mshr.len() as u64);
                     ctx.send(self.dir, HammerMsg::new(addr, HammerKind::Put).into());
                 } else {
                     // No MSHR for the victim: reinstall it and evict nothing.
@@ -814,10 +828,20 @@ impl Component<Message> for HammerCache {
     }
 
     fn handle(&mut self, from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        let violations_before = self.stats.protocol_violation;
+        let addr = match &msg {
+            Message::Hammer(h) => h.addr.as_u64(),
+            _ => u64::MAX,
+        };
         match msg {
             Message::Core(c) => self.handle_core(from, c, ctx),
             Message::Hammer(h) => self.handle_hammer(from, h, ctx),
             _ => self.violation("foreign protocol message"),
+        }
+        // The first impossible event is the symptom worth dissecting; flag
+        // it so a traced replay dumps this block's history.
+        if violations_before == 0 && self.stats.protocol_violation > 0 {
+            ctx.flag_post_mortem(addr, format!("{}: first protocol violation", self.name));
         }
     }
 
@@ -840,6 +864,8 @@ impl Component<Message> for HammerCache {
         }
         out.add(format!("{n}.multi_data"), self.stats.multi_data);
         out.record_coverage(format!("hammer_cache/{n}"), &self.coverage);
+        out.record_hist(format!("{n}.lat.miss"), &self.stats.lat_miss);
+        out.record_hist(format!("{n}.mshr_occupancy"), &self.stats.mshr_occupancy);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -10,13 +10,14 @@ use std::collections::{HashMap, VecDeque};
 
 use xg_mem::{BlockAddr, DataBlock};
 use xg_proto::{Ctx, HammerKind, HammerMsg, Message};
-use xg_sim::{Component, CoverageSet, NodeId, Report};
+use xg_sim::{Component, CoverageSet, Cycle, Histogram, NodeId, Report};
 
 /// Per-block directory state.
 #[derive(Debug, Default)]
 struct DirBlock {
     owner: Option<NodeId>,
     busy: Option<Busy>,
+    busy_since: Option<Cycle>,
     queue: VecDeque<(NodeId, HammerKind)>,
 }
 
@@ -37,6 +38,8 @@ struct Stats {
     mem_reads: u64,
     mem_writes: u64,
     protocol_violation: u64,
+    /// Cycles each directory transaction held its block busy.
+    lat_busy: Histogram,
 }
 
 /// The directory/memory controller of the Hammer-like protocol.
@@ -104,14 +107,25 @@ impl HammerDirectory {
         self.coverage.visit(state, event);
     }
 
-    fn handle_request(&mut self, from: NodeId, addr: BlockAddr, kind: HammerKind, ctx: &mut Ctx<'_>) {
+    fn handle_request(
+        &mut self,
+        from: NodeId,
+        addr: BlockAddr,
+        kind: HammerKind,
+        ctx: &mut Ctx<'_>,
+    ) {
         let block = self.blocks.entry(addr).or_default();
-        if xg_sim::trace_enabled() {
-            eprintln!(
-                "[{}] dir <- {} {:?} @{} (owner={:?} busy={:?} qlen={})",
-                ctx.now(), from, kind, addr, block.owner, block.busy, block.queue.len()
+        if ctx.trace_active() {
+            let detail = format!(
+                "{:?} (owner={:?} busy={:?} qlen={})",
+                kind,
+                block.owner,
+                block.busy,
+                block.queue.len()
             );
+            ctx.trace(addr.as_u64(), "hammer-dir", "Recv", || detail);
         }
+        let block = self.blocks.entry(addr).or_default();
         match kind {
             HammerKind::GetS | HammerKind::GetSOnly | HammerKind::GetM => {
                 if block.busy.is_some() {
@@ -119,6 +133,7 @@ impl HammerDirectory {
                     return;
                 }
                 block.busy = Some(Busy::Get { requestor: from });
+                block.busy_since = Some(ctx.now());
                 let owner = block.owner;
                 if matches!(kind, HammerKind::GetM) {
                     self.stats.getms += 1;
@@ -127,12 +142,8 @@ impl HammerDirectory {
                 }
                 self.stats.mem_reads += 1;
                 // Broadcast to every peer cache except the requestor.
-                let peers: Vec<NodeId> = self
-                    .caches
-                    .iter()
-                    .copied()
-                    .filter(|&c| c != from)
-                    .collect();
+                let peers: Vec<NodeId> =
+                    self.caches.iter().copied().filter(|&c| c != from).collect();
                 for &peer in &peers {
                     let to_owner = owner == Some(peer);
                     let fwd = match kind {
@@ -174,35 +185,40 @@ impl HammerDirectory {
                 self.stats.puts += 1;
                 if block.owner == Some(from) {
                     block.busy = Some(Busy::Wb { putter: from });
+                    block.busy_since = Some(ctx.now());
                     ctx.send(from, HammerMsg::new(addr, HammerKind::WbAck).into());
                 } else {
                     self.stats.nacks += 1;
                     ctx.send(from, HammerMsg::new(addr, HammerKind::WbNack).into());
                 }
             }
-            HammerKind::WbData { data, dirty } => {
-                if block.busy == Some(Busy::Wb { putter: from }) {
-                    if dirty {
-                        self.stats.mem_writes += 1;
-                        self.memory.insert(addr, data);
-                    }
-                    block.owner = None;
-                    block.busy = None;
-                    self.drain_queue(addr, ctx);
-                } else {
-                    self.stats.protocol_violation += 1;
+            HammerKind::WbData { data, dirty } if block.busy == Some(Busy::Wb { putter: from }) => {
+                if dirty {
+                    self.stats.mem_writes += 1;
+                    self.memory.insert(addr, data);
                 }
+                block.owner = None;
+                block.busy = None;
+                if let Some(since) = block.busy_since.take() {
+                    self.stats
+                        .lat_busy
+                        .record(ctx.now().saturating_since(since));
+                }
+                self.drain_queue(addr, ctx);
             }
-            HammerKind::Unblock { new_owner } => {
-                if block.busy == Some(Busy::Get { requestor: from }) {
-                    if new_owner {
-                        block.owner = Some(from);
-                    }
-                    block.busy = None;
-                    self.drain_queue(addr, ctx);
-                } else {
-                    self.stats.protocol_violation += 1;
+            HammerKind::Unblock { new_owner }
+                if block.busy == Some(Busy::Get { requestor: from }) =>
+            {
+                if new_owner {
+                    block.owner = Some(from);
                 }
+                block.busy = None;
+                if let Some(since) = block.busy_since.take() {
+                    self.stats
+                        .lat_busy
+                        .record(ctx.now().saturating_since(since));
+                }
+                self.drain_queue(addr, ctx);
             }
             _ => {
                 self.stats.protocol_violation += 1;
@@ -254,6 +270,11 @@ impl Component<Message> for HammerDirectory {
     }
 
     fn handle(&mut self, from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        let violations_before = self.stats.protocol_violation;
+        let addr = match &msg {
+            Message::Hammer(h) => h.addr.as_u64(),
+            _ => u64::MAX,
+        };
         match msg {
             Message::Hammer(h) => {
                 self.cover(h.addr, event_name(&h.kind));
@@ -262,6 +283,9 @@ impl Component<Message> for HammerDirectory {
             _ => {
                 self.stats.protocol_violation += 1;
             }
+        }
+        if violations_before == 0 && self.stats.protocol_violation > 0 {
+            ctx.flag_post_mortem(addr, format!("{}: first protocol violation", self.name));
         }
     }
 
@@ -278,6 +302,7 @@ impl Component<Message> for HammerDirectory {
             self.stats.protocol_violation,
         );
         out.record_coverage(format!("hammer_dir/{n}"), &self.coverage);
+        out.record_hist(format!("{n}.lat.busy"), &self.stats.lat_busy);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -72,11 +72,7 @@ impl System {
                 cfg.clone(),
             ))));
         }
-        let dir = b.add(Box::new(HammerDirectory::new(
-            "dir",
-            caches.clone(),
-            20,
-        )));
+        let dir = b.add(Box::new(HammerDirectory::new("dir", caches.clone(), 20)));
         assert_eq!(dir, dir_id);
         b.default_link(Link::unordered(1, 12));
         for i in 0..n {
@@ -227,7 +223,11 @@ fn silent_shared_eviction_produces_no_put() {
     // Evict the shared block from cache 0 by loading another block.
     let _ = sys.load(0, 0x140);
     let report = sys.sim.report();
-    assert_eq!(report.get("dir.puts"), puts_before, "S eviction must be silent");
+    assert_eq!(
+        report.get("dir.puts"),
+        puts_before,
+        "S eviction must be silent"
+    );
     assert!(report.sum_suffix(".silent_drops") >= 1);
     sys.assert_clean();
 }

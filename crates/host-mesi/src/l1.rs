@@ -29,9 +29,11 @@
 //! textbook MESI race that the accelerator protocols behind Crossing Guard
 //! never see.
 
+use std::collections::HashMap;
+
 use xg_mem::{BlockAddr, DataBlock, Mshr, Replacement, SetAssocCache};
 use xg_proto::{CoreKind, CoreMsg, Ctx, MesiKind, MesiMsg, Message};
-use xg_sim::{Component, CoverageSet, NodeId, Report};
+use xg_sim::{Component, CoverageSet, Cycle, Histogram, NodeId, Report};
 
 /// Configuration for a [`MesiL1`].
 #[derive(Debug, Clone)]
@@ -145,9 +147,7 @@ impl Txn {
             Txn::Get {
                 kind: GetKind::S, ..
             } => "IS_D",
-            Txn::Get {
-                local: Some(_), ..
-            } => "SM_AD",
+            Txn::Get { local: Some(_), .. } => "SM_AD",
             Txn::Get { grant: None, .. } => "IM_AD",
             Txn::Get { .. } => "IM_A",
             Txn::Wb { nacked: true, .. } => "WB_N",
@@ -173,6 +173,10 @@ struct Stats {
     deferred_fwds: u64,
     mshr_stalls: u64,
     protocol_violation: u64,
+    /// Cycles a Get transaction stayed open in the MSHR.
+    lat_miss: Histogram,
+    /// MSHR population, sampled at each new allocation.
+    mshr_occupancy: Histogram,
 }
 
 /// A private MESI L1 cache serving one core.
@@ -182,6 +186,8 @@ pub struct MesiL1 {
     cfg: MesiL1Config,
     cache: SetAssocCache<Line>,
     mshr: Mshr<Txn>,
+    /// Open times of in-flight MSHR transactions, for latency histograms.
+    txn_started: HashMap<BlockAddr, Cycle>,
     stats: Stats,
     coverage: CoverageSet,
 }
@@ -194,6 +200,7 @@ impl MesiL1 {
             l2,
             cache: SetAssocCache::new(cfg.sets, cfg.ways, cfg.replacement, cfg.seed),
             mshr: Mshr::new(cfg.mshr_entries),
+            txn_started: HashMap::new(),
             cfg,
             stats: Stats::default(),
             coverage: CoverageSet::new(),
@@ -373,6 +380,8 @@ impl MesiL1 {
                 },
             )
             .expect("capacity checked");
+        self.txn_started.insert(addr, ctx.now());
+        self.stats.mshr_occupancy.record(self.mshr.len() as u64);
         let req = match kind {
             GetKind::S => MesiKind::GetS,
             GetKind::M => MesiKind::GetM,
@@ -384,12 +393,13 @@ impl MesiL1 {
 
     fn handle_mesi(&mut self, from: NodeId, msg: MesiMsg, ctx: &mut Ctx<'_>) {
         let addr = msg.addr;
-        if xg_sim::trace_enabled() {
-            eprintln!(
-                "[{}] {} <- {} {:?} @{} (state {})",
-                ctx.now(), self.name, from, msg.kind, addr, self.state_name(addr)
-            );
-        }
+        ctx.trace(addr.as_u64(), "mesi-l1", "Recv", || {
+            format!(
+                "{:?} from {from} (state {})",
+                msg.kind,
+                self.state_name(addr)
+            )
+        });
         match msg.kind {
             MesiKind::DataS { data } => {
                 self.cover(addr, "DataS");
@@ -470,7 +480,11 @@ impl MesiL1 {
                         // the unordered network). Hold the data in WB_N and
                         // serve that demand when it lands.
                         let Txn::Wb {
-                            kind, data, dirty, waiting, ..
+                            kind,
+                            data,
+                            dirty,
+                            waiting,
+                            ..
                         } = txn
                         else {
                             unreachable!()
@@ -553,11 +567,10 @@ impl MesiL1 {
                 *poisoned = true;
                 self.stats.isi_races += 1;
             }
-            Some(Txn::Get { local, .. }) => {
+            Some(Txn::Get { local, .. }) if local.is_some() => {
                 // SM_AD loses its shared copy → IM_AD.
-                if local.take().is_some() {
-                    self.stats.isi_races += 1;
-                }
+                *local = None;
+                self.stats.isi_races += 1;
             }
             Some(Txn::Wb {
                 kind: PutKind::S,
@@ -750,6 +763,11 @@ impl MesiL1 {
         else {
             unreachable!("checked above")
         };
+        if let Some(started) = self.txn_started.remove(&addr) {
+            self.stats
+                .lat_miss
+                .record(ctx.now().saturating_since(started));
+        }
         let (data, state, dirty) = grant.expect("checked above");
 
         if poisoned {
@@ -813,6 +831,8 @@ impl MesiL1 {
             waiting: Vec::new(),
         };
         if self.mshr.alloc(addr, txn).is_ok() {
+            self.txn_started.insert(addr, ctx.now());
+            self.stats.mshr_occupancy.record(self.mshr.len() as u64);
             ctx.send(self.l2, MesiMsg::new(addr, req).into());
         } else {
             self.stats.mshr_stalls += 1;
@@ -833,10 +853,18 @@ impl Component<Message> for MesiL1 {
     }
 
     fn handle(&mut self, from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        let violations_before = self.stats.protocol_violation;
+        let addr = match &msg {
+            Message::Mesi(m) => m.addr.as_u64(),
+            _ => u64::MAX,
+        };
         match msg {
             Message::Core(c) => self.handle_core(from, c, ctx),
             Message::Mesi(m) => self.handle_mesi(from, m, ctx),
             _ => self.violation("foreign protocol message"),
+        }
+        if violations_before == 0 && self.stats.protocol_violation > 0 {
+            ctx.flag_post_mortem(addr, format!("{}: first protocol violation", self.name));
         }
     }
 
@@ -858,6 +886,8 @@ impl Component<Message> for MesiL1 {
             out.add(format!("{n}.violation[{why}]"), *count);
         }
         out.record_coverage(format!("mesi_l1/{n}"), &self.coverage);
+        out.record_hist(format!("{n}.lat.miss"), &self.stats.lat_miss);
+        out.record_hist(format!("{n}.mshr_occupancy"), &self.stats.mshr_occupancy);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -24,7 +24,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use xg_mem::{BlockAddr, DataBlock, Replacement, SetAssocCache};
 use xg_proto::{Ctx, MesiKind, MesiMsg, Message};
-use xg_sim::{Component, CoverageSet, NodeId, Report};
+use xg_sim::{Component, CoverageSet, Cycle, Histogram, NodeId, Report};
 
 /// Configuration for a [`MesiL2`].
 #[derive(Debug, Clone)]
@@ -123,6 +123,10 @@ struct Stats {
     demoted_puts: u64,
     install_retries: u64,
     protocol_violation: u64,
+    /// Cycles each busy (transient) entry stayed open.
+    lat_busy: Histogram,
+    /// Busy-table population, sampled at each new allocation.
+    mshr_occupancy: Histogram,
 }
 
 /// The shared inclusive L2 + directory + memory controller.
@@ -131,6 +135,8 @@ pub struct MesiL2 {
     cfg: MesiL2Config,
     array: SetAssocCache<L2Line>,
     busy: HashMap<BlockAddr, Busy>,
+    /// Open times of busy entries, for the `lat.busy` histogram.
+    busy_since: HashMap<BlockAddr, Cycle>,
     queues: HashMap<BlockAddr, VecDeque<(NodeId, MesiKind)>>,
     memory: HashMap<BlockAddr, DataBlock>,
     stats: Stats,
@@ -144,6 +150,7 @@ impl MesiL2 {
             name: name.into(),
             array: SetAssocCache::new(cfg.sets, cfg.ways, cfg.replacement, cfg.seed),
             busy: HashMap::new(),
+            busy_since: HashMap::new(),
             queues: HashMap::new(),
             memory: HashMap::new(),
             cfg,
@@ -206,13 +213,23 @@ impl MesiL2 {
         *self.stats.violation_reasons.entry(why).or_insert(0) += 1;
     }
 
-    fn handle_mesi(&mut self, from: NodeId, addr: BlockAddr, kind: MesiKind, ctx: &mut Ctx<'_>) {
-        if xg_sim::trace_enabled() {
-            eprintln!(
-                "[{}] {} <- {} {:?} @{} (state {})",
-                ctx.now(), self.name, from, kind, addr, self.state_name(addr)
-            );
+    /// Marks the start of a transient (busy) episode for `addr`.
+    fn busy_opened(&mut self, addr: BlockAddr, now: Cycle) {
+        self.busy_since.entry(addr).or_insert(now);
+        self.stats.mshr_occupancy.record(self.busy.len() as u64);
+    }
+
+    /// Marks the end of a transient episode, recording its duration.
+    fn busy_closed(&mut self, addr: BlockAddr, now: Cycle) {
+        if let Some(since) = self.busy_since.remove(&addr) {
+            self.stats.lat_busy.record(now.saturating_since(since));
         }
+    }
+
+    fn handle_mesi(&mut self, from: NodeId, addr: BlockAddr, kind: MesiKind, ctx: &mut Ctx<'_>) {
+        ctx.trace(addr.as_u64(), "mesi-l2", "Recv", || {
+            format!("{kind:?} from {from} (state {})", self.state_name(addr))
+        });
         // Responses to our own recalls bypass the queue.
         match kind {
             MesiKind::RecallData { data, dirty } => {
@@ -257,10 +274,14 @@ impl MesiL2 {
         let Some(line) = self.array.get_mut(addr) else {
             // Miss: fetch from memory.
             self.stats.mem_reads += 1;
-            self.busy.insert(addr, Busy::Fetch {
-                requestor: from,
-                kind,
-            });
+            self.busy.insert(
+                addr,
+                Busy::Fetch {
+                    requestor: from,
+                    kind,
+                },
+            );
+            self.busy_opened(addr, ctx.now());
             ctx.wake_in(self.cfg.mem_latency.max(1), addr.as_u64());
             return;
         };
@@ -268,10 +289,14 @@ impl MesiL2 {
             GetKind::S | GetKind::SOnly => {
                 if let Some(owner) = line.owner {
                     self.stats.fwd_gets += 1;
-                    self.busy.insert(addr, Busy::FwdS {
-                        owner,
-                        requestor: from,
-                    });
+                    self.busy.insert(
+                        addr,
+                        Busy::FwdS {
+                            owner,
+                            requestor: from,
+                        },
+                    );
+                    self.busy_opened(addr, ctx.now());
                     ctx.send(
                         owner,
                         MesiMsg::new(addr, MesiKind::FwdGetS { requestor: from }).into(),
@@ -394,6 +419,7 @@ impl MesiL2 {
             Some(Busy::FwdS { owner, requestor }) if *owner == from => {
                 let requestor = *requestor;
                 self.busy.remove(&addr);
+                self.busy_closed(addr, ctx.now());
                 if let Some(line) = self.array.get_mut(addr) {
                     line.data = data;
                     line.dirty |= dirty;
@@ -422,24 +448,21 @@ impl MesiL2 {
                             // Host mod: ack the requestor on behalf of the
                             // sender; discard the untrusted data (it came
                             // from a cache that was told to *invalidate*).
-                            ctx.send(
-                                requestor,
-                                MesiMsg::new(addr, MesiKind::InvAck).into(),
-                            );
+                            ctx.send(requestor, MesiMsg::new(addr, MesiKind::InvAck).into());
                             self.stats.mod_acks_on_behalf += 1;
                             handled = true;
                         }
                     }
                 }
                 if !handled {
-                    if xg_sim::trace_enabled() {
-                        eprintln!(
-                            "[{from}] host_l2 UNSOLICITED OwnerWb @{addr} line={:?}",
+                    ctx.trace(addr.as_u64(), "mesi-l2", "UnsolicitedOwnerWb", || {
+                        format!(
+                            "from {from} line={:?}",
                             self.array
                                 .get(addr)
                                 .map(|l| (l.owner, l.sharers.clone(), l.inv_debt))
-                        );
-                    }
+                        )
+                    });
                     self.violation("unsolicited OwnerWb");
                 }
             }
@@ -465,6 +488,7 @@ impl MesiL2 {
             let Some(Busy::Recall { line, .. }) = self.busy.remove(&addr) else {
                 unreachable!()
             };
+            self.busy_closed(addr, ctx.now());
             self.finish_eviction(addr, line, ctx);
         }
     }
@@ -500,11 +524,14 @@ impl MesiL2 {
             unreachable!("checked above")
         };
         let data = self.memory.get(&addr).copied().unwrap_or_default();
-        self.busy.insert(addr, Busy::InstallWait {
-            requestor,
-            kind,
-            data,
-        });
+        self.busy.insert(
+            addr,
+            Busy::InstallWait {
+                requestor,
+                kind,
+                data,
+            },
+        );
         self.try_install(addr, ctx);
     }
 
@@ -549,6 +576,7 @@ impl MesiL2 {
         else {
             unreachable!("checked above")
         };
+        self.busy_closed(addr, ctx.now());
         self.array.insert(addr, L2Line::fresh(data));
         // Grant through the normal path (line now resident, not busy).
         let get = match kind {
@@ -557,8 +585,14 @@ impl MesiL2 {
             GetKind::M => MesiKind::GetM,
         };
         // Don't double-count the request statistics for the replay.
-        self.stats.gets = self.stats.gets.saturating_sub(u64::from(kind != GetKind::M));
-        self.stats.getms = self.stats.getms.saturating_sub(u64::from(kind == GetKind::M));
+        self.stats.gets = self
+            .stats
+            .gets
+            .saturating_sub(u64::from(kind != GetKind::M));
+        self.stats.getms = self
+            .stats
+            .getms
+            .saturating_sub(u64::from(kind == GetKind::M));
         self.process(requestor, addr, get, ctx);
         self.drain(addr, ctx);
     }
@@ -572,13 +606,17 @@ impl MesiL2 {
         }
         let me = ctx.self_id();
         for &sharer in &line.sharers {
-            ctx.send(sharer, MesiMsg::new(addr, MesiKind::Inv { requestor: me }).into());
+            ctx.send(
+                sharer,
+                MesiMsg::new(addr, MesiKind::Inv { requestor: me }).into(),
+            );
             pending += 1;
         }
         if pending == 0 {
             self.finish_eviction(addr, line, ctx);
         } else {
             self.busy.insert(addr, Busy::Recall { pending, line });
+            self.busy_opened(addr, ctx.now());
         }
     }
 
@@ -633,6 +671,11 @@ impl Component<Message> for MesiL2 {
     }
 
     fn handle(&mut self, from: NodeId, msg: Message, ctx: &mut Ctx<'_>) {
+        let violations_before = self.stats.protocol_violation;
+        let addr = match &msg {
+            Message::Mesi(m) => m.addr.as_u64(),
+            _ => u64::MAX,
+        };
         match msg {
             Message::Mesi(m) => {
                 self.cover(m.addr, event_name(&m.kind));
@@ -640,16 +683,20 @@ impl Component<Message> for MesiL2 {
             }
             _ => self.violation("foreign protocol message"),
         }
+        if violations_before == 0 && self.stats.protocol_violation > 0 {
+            ctx.flag_post_mortem(addr, format!("{}: first protocol violation", self.name));
+        }
     }
 
     fn wake(&mut self, token: u64, ctx: &mut Ctx<'_>) {
         let addr = BlockAddr::new(token & !INSTALL_RETRY_BIT);
-        if xg_sim::trace_enabled() {
-            eprintln!(
-                "[{}] host_l2 WAKE @{} retry={} (state {})",
-                ctx.now(), addr, token & INSTALL_RETRY_BIT != 0, self.state_name(addr)
-            );
-        }
+        ctx.trace(addr.as_u64(), "mesi-l2", "Wake", || {
+            format!(
+                "retry={} (state {})",
+                token & INSTALL_RETRY_BIT != 0,
+                self.state_name(addr)
+            )
+        });
         if token & INSTALL_RETRY_BIT != 0 {
             self.try_install(addr, ctx);
         } else {
@@ -673,6 +720,8 @@ impl Component<Message> for MesiL2 {
         out.add(format!("{n}.acks_on_behalf"), self.stats.mod_acks_on_behalf);
         out.add(format!("{n}.demoted_puts"), self.stats.demoted_puts);
         out.add(format!("{n}.install_retries"), self.stats.install_retries);
+        out.record_hist(format!("{n}.lat.busy"), &self.stats.lat_busy);
+        out.record_hist(format!("{n}.mshr_occupancy"), &self.stats.mshr_occupancy);
         out.add(
             format!("{n}.protocol_violation"),
             self.stats.protocol_violation,

@@ -106,7 +106,9 @@ impl System {
             .into(),
         );
         assert!(self.sim.run_to_quiescence(200_000).quiescent);
-        self.sim.get::<TestCore>(self.cores[core]).unwrap()
+        self.sim
+            .get::<TestCore>(self.cores[core])
+            .unwrap()
             .responses
             .iter()
             .rev()

@@ -1,0 +1,433 @@
+//! # xg-proptest — vendored subset of the `proptest` API
+//!
+//! The workspace builds in fully offline environments and cannot pull
+//! `proptest` from crates.io, so this crate re-implements the slice of its
+//! surface our property tests use: the [`proptest!`] macro (both
+//! `name in strategy` and `name: Type` argument forms, plus
+//! `#![proptest_config(..)]`), [`Strategy`] with `prop_map`/`boxed`,
+//! [`prop_oneof!`], [`Just`], `any::<T>()`, `collection::vec`, and the
+//! `prop_assert*` family.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (`Debug`) and the
+//!   deterministic seed, which is enough to reproduce: every run uses a
+//!   fixed per-test seed, so failures are stable across runs.
+//! * **No persistence files.** Regression files are ignored.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+
+/// Test-case failure carried out of a property body by `prop_assert*`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+/// Result type property bodies produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runtime knobs (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values (subset of `proptest::strategy::Strategy`).
+///
+/// Object-safe so [`prop_oneof!`] can mix heterogeneous strategies.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy for heterogeneous collections.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut SmallRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of one value (re-export of proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (what [`prop_oneof!`] builds).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union over `arms`.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut SmallRng) -> V {
+        use rand::Rng;
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:ident),+)),+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($n,)+) = self;
+                ($($n.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// `any::<T>()` support (subset of `proptest::arbitrary`).
+pub mod arbitrary {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut SmallRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for an unconstrained value of `T`.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy of all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for vectors with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — a vector of `element` draws.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.len.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The glob import used by property tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Picks uniformly among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts inside a property body, failing the case (not panicking) so the
+/// harness can report the generating inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{} ({:?} != {:?})", format!($($fmt)*), a, b);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{} ({:?} == {:?})", format!($($fmt)*), a, b);
+    }};
+}
+
+/// Declares property tests (subset of proptest's `proptest!` macro).
+///
+/// Supports multiple `#[test]` functions per invocation, both
+/// `name in strategy` and `name: Type` parameters, and an optional leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__prop_fns! { [$config] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__prop_fns! { [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+/// Splits a `proptest!` body into individual test functions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_fns {
+    ([$config:expr]) => {};
+    (
+        [$config:expr]
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::__prop_args! { [$config] [$(#[$meta])*] $name $body [] $($args)* }
+        $crate::__prop_fns! { [$config] $($rest)* }
+    };
+}
+
+/// Munches one test's argument list, normalizing both `name in strategy` and
+/// `name: Type` forms into `(name (strategy))` pairs, then emits the test fn.
+/// (A muncher is required: `expr` fragments may not be followed by `:`, so a
+/// single pattern cannot express "either form" with optional groups.)
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_args {
+    // All args normalized — emit the test function.
+    ([$config:expr] [$($meta:tt)*] $name:ident $body:tt [$(($arg:ident $strat:expr))+]) => {
+        $($meta)*
+        fn $name() {
+            $crate::__run_property(
+                stringify!($name),
+                &$config,
+                |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&$strat, __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let __result: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                    (__inputs, __result)
+                },
+            );
+        }
+    };
+    // `name in strategy` — final argument (optional trailing comma).
+    ([$config:expr] $meta:tt $name:ident $body:tt [$($acc:tt)*] $arg:ident in $strat:expr $(,)?) => {
+        $crate::__prop_args! { [$config] $meta $name $body [$($acc)* ($arg ($strat))] }
+    };
+    // `name in strategy`, more arguments follow.
+    ([$config:expr] $meta:tt $name:ident $body:tt [$($acc:tt)*] $arg:ident in $strat:expr, $($rest:tt)+) => {
+        $crate::__prop_args! { [$config] $meta $name $body [$($acc)* ($arg ($strat))] $($rest)+ }
+    };
+    // `name: Type` — final argument (optional trailing comma).
+    ([$config:expr] $meta:tt $name:ident $body:tt [$($acc:tt)*] $arg:ident : $ty:ty $(,)?) => {
+        $crate::__prop_args! {
+            [$config] $meta $name $body [$($acc)* ($arg ($crate::arbitrary::any::<$ty>()))]
+        }
+    };
+    // `name: Type`, more arguments follow.
+    ([$config:expr] $meta:tt $name:ident $body:tt [$($acc:tt)*] $arg:ident : $ty:ty, $($rest:tt)+) => {
+        $crate::__prop_args! {
+            [$config] $meta $name $body [$($acc)* ($arg ($crate::arbitrary::any::<$ty>()))] $($rest)+
+        }
+    };
+}
+
+#[doc(hidden)]
+pub fn __run_property(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut SmallRng) -> (String, TestCaseResult),
+) {
+    use rand::SeedableRng;
+    // Deterministic per-test seed: failures reproduce on every run.
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
+    for case_index in 0..config.cases {
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (case_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let (inputs, result) = case(&mut rng);
+        if let Err(TestCaseError(msg)) = result {
+            panic!(
+                "property `{name}` failed at case {case_index}/{}: {msg}\n  inputs: {inputs}",
+                config.cases
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn halves() -> impl Strategy<Value = u64> {
+        prop_oneof![Just(1u64), (2u64..10).prop_map(|v| v * 2)]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_any(x in 0u64..100, flip: bool, v in collection::vec(0u32..5, 1..20)) {
+            prop_assert!(x < 100);
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            let _ = flip;
+        }
+
+        #[test]
+        fn oneof_and_map(h in halves(), pair in (0u8..4, 10usize..12)) {
+            prop_assert!(h == 1 || (h % 2 == 0 && h < 20));
+            prop_assert_eq!(pair.1 / 10, 1);
+            prop_assert_ne!(pair.1, 9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3 })]
+        #[test]
+        fn config_is_respected(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed")]
+    fn failures_report_inputs() {
+        crate::__run_property("failing", &ProptestConfig { cases: 5 }, |_rng| {
+            ("x = 1".to_owned(), Err(TestCaseError("boom".into())))
+        });
+    }
+}

@@ -92,7 +92,11 @@ impl fmt::Display for XgError {
                 "accelerator violation {} at {} (guard {})",
                 self.kind, addr, self.guard
             ),
-            None => write!(f, "accelerator violation {} (guard {})", self.kind, self.guard),
+            None => write!(
+                f,
+                "accelerator violation {} (guard {})",
+                self.kind, self.guard
+            ),
         }
     }
 }

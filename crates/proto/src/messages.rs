@@ -476,7 +476,11 @@ impl XgiKind {
     pub fn is_accel_request(&self) -> bool {
         matches!(
             self,
-            XgiKind::GetS | XgiKind::GetM | XgiKind::PutS | XgiKind::PutE { .. } | XgiKind::PutM { .. }
+            XgiKind::GetS
+                | XgiKind::GetM
+                | XgiKind::PutS
+                | XgiKind::PutE { .. }
+                | XgiKind::PutM { .. }
         )
     }
 

@@ -52,23 +52,30 @@
 
 mod component;
 mod event;
+mod hist;
+mod json;
 mod link;
 mod report;
 mod simulator;
 mod time;
+mod trace;
 
 pub use component::{Component, NodeId};
 
 /// Whether `XG_TRACE` message tracing is enabled (checked once per process).
 ///
-/// Protocol controllers in this workspace emit a line per handled message to
-/// stderr when the `XG_TRACE` environment variable is set — invaluable when
-/// replaying a deterministic failing seed.
+/// Retained for callers that trace outside a simulation context; inside a
+/// component prefer [`Ctx::trace`], which respects the per-simulation
+/// [`TraceConfig`] (whose [`TraceConfig::from_env`] honors the same
+/// variable) and records into the post-mortem ring.
 pub fn trace_enabled() -> bool {
     static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *FLAG.get_or_init(|| std::env::var_os("XG_TRACE").is_some())
 }
+pub use hist::Histogram;
+pub use json::{JsonError, JsonValue};
 pub use link::Link;
 pub use report::{CoverageSet, Report};
 pub use simulator::{Ctx, RunOutcome, SimBuilder, Simulator};
 pub use time::Cycle;
+pub use trace::{PostMortemFlag, TraceConfig, TraceEvent, TraceLevel, Tracer};

@@ -1,16 +1,25 @@
-//! Post-run statistics and coverage reporting.
+//! Post-run statistics, coverage, and machine-readable reporting.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+
+use crate::hist::Histogram;
+use crate::json::{JsonError, JsonValue};
 
 /// A set of `(state, event)` pairs visited by a protocol controller.
 ///
 /// This is the coverage metric of the paper's §4.1 stress test: the random
 /// tester counts the state/event pairs visited at each cache controller and
 /// compares against the set believed possible.
+///
+/// Pairs are stored keyed by state (`state → {events}`), so
+/// [`contains`](CoverageSet::contains) is a pair of tree lookups rather than
+/// a scan of every visited pair, and re-visiting an already-seen pair — the
+/// steady state of a long stress run — allocates nothing.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoverageSet {
-    pairs: BTreeSet<(&'static str, &'static str)>,
+    by_state: BTreeMap<String, BTreeSet<String>>,
+    len: usize,
 }
 
 impl CoverageSet {
@@ -20,46 +29,68 @@ impl CoverageSet {
     }
 
     /// Records that `event` was observed while in `state`.
-    pub fn visit(&mut self, state: &'static str, event: &'static str) {
-        self.pairs.insert((state, event));
+    pub fn visit(&mut self, state: &str, event: &str) {
+        match self.by_state.get_mut(state) {
+            Some(events) => {
+                if !events.contains(event) {
+                    events.insert(event.to_owned());
+                    self.len += 1;
+                }
+            }
+            None => {
+                self.by_state
+                    .insert(state.to_owned(), BTreeSet::from([event.to_owned()]));
+                self.len += 1;
+            }
+        }
     }
 
     /// Number of distinct `(state, event)` pairs visited.
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        self.len
     }
 
     /// Whether nothing has been visited.
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.len == 0
     }
 
     /// Whether a particular pair was visited.
     pub fn contains(&self, state: &str, event: &str) -> bool {
-        self.pairs.iter().any(|&(s, e)| s == state && e == event)
+        self.by_state
+            .get(state)
+            .is_some_and(|events| events.contains(event))
     }
 
-    /// Iterates over visited pairs in deterministic order.
-    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &'static str)> + '_ {
-        self.pairs.iter().copied()
+    /// Iterates over visited pairs in deterministic `(state, event)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.by_state
+            .iter()
+            .flat_map(|(s, evs)| evs.iter().map(move |e| (s.as_str(), e.as_str())))
     }
 
     /// Merges another coverage set into this one.
     pub fn merge(&mut self, other: &CoverageSet) {
-        self.pairs.extend(other.pairs.iter().copied());
+        for (state, event) in other.iter() {
+            self.visit(state, event);
+        }
     }
 }
 
 /// Aggregated statistics from a simulation run.
 ///
 /// Components contribute to a `Report` via [`crate::Component::report`]:
-/// scalar counters (message counts, hits, errors, ...) and per-controller
-/// coverage sets. Keys are free-form strings, conventionally
-/// `"<component>.<counter>"`.
-#[derive(Debug, Clone, Default)]
+/// scalar counters (message counts, hits, errors, ...), per-controller
+/// coverage sets, and log₂-bucketed latency [`Histogram`]s. Keys are
+/// free-form strings, conventionally `"<component>.<counter>"`.
+///
+/// A report serializes to JSON with [`to_json`](Report::to_json) and parses
+/// back with [`from_json`](Report::from_json); the round trip is lossless.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Report {
     scalars: BTreeMap<String, u64>,
     coverage: BTreeMap<String, CoverageSet>,
+    hists: BTreeMap<String, Histogram>,
 }
 
 impl Report {
@@ -115,8 +146,31 @@ impl Report {
         self.coverage.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Records one observation into the histogram `key` (creating it empty).
+    pub fn observe(&mut self, key: impl Into<String>, value: u64) {
+        self.hists.entry(key.into()).or_default().record(value);
+    }
+
+    /// Merges a component-owned histogram into the histogram `key`.
+    pub fn record_hist(&mut self, key: impl Into<String>, hist: &Histogram) {
+        if hist.is_empty() {
+            return;
+        }
+        self.hists.entry(key.into()).or_default().merge(hist);
+    }
+
+    /// Looks up a histogram.
+    pub fn hist(&self, key: &str) -> Option<&Histogram> {
+        self.hists.get(key)
+    }
+
+    /// Iterates over all `(key, histogram)` entries in deterministic order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Merges another report into this one (scalars are summed, coverage
-    /// sets are unioned).
+    /// sets are unioned, histograms are merged).
     pub fn merge(&mut self, other: &Report) {
         for (k, v) in other.scalars() {
             self.add(k, v);
@@ -124,6 +178,160 @@ impl Report {
         for (k, v) in other.coverages() {
             self.record_coverage(k, v);
         }
+        for (k, v) in other.hists() {
+            self.record_hist(k, v);
+        }
+    }
+
+    /// Serializes the report as a compact JSON object with `scalars`,
+    /// `coverage`, and `hists` sections.
+    pub fn to_json(&self) -> String {
+        let mut root = BTreeMap::new();
+        root.insert(
+            "scalars".to_owned(),
+            JsonValue::Obj(
+                self.scalars
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), JsonValue::Num(v)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "coverage".to_owned(),
+            JsonValue::Obj(
+                self.coverage
+                    .iter()
+                    .map(|(ctrl, set)| {
+                        let states = set
+                            .by_state
+                            .iter()
+                            .map(|(state, events)| {
+                                let evs = events
+                                    .iter()
+                                    .map(|e| JsonValue::Str(e.clone()))
+                                    .collect::<Vec<_>>();
+                                (state.clone(), JsonValue::Arr(evs))
+                            })
+                            .collect();
+                        (ctrl.clone(), JsonValue::Obj(states))
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "hists".to_owned(),
+            JsonValue::Obj(
+                self.hists
+                    .iter()
+                    .map(|(k, h)| {
+                        let mut o = BTreeMap::new();
+                        o.insert("count".to_owned(), JsonValue::Num(h.count()));
+                        o.insert("sum".to_owned(), JsonValue::Num(h.sum()));
+                        o.insert("min".to_owned(), JsonValue::Num(h.min()));
+                        o.insert("max".to_owned(), JsonValue::Num(h.max()));
+                        o.insert(
+                            "buckets".to_owned(),
+                            JsonValue::Obj(
+                                h.buckets()
+                                    .map(|(i, n)| (i.to_string(), JsonValue::Num(n)))
+                                    .collect(),
+                            ),
+                        );
+                        (k.clone(), JsonValue::Obj(o))
+                    })
+                    .collect(),
+            ),
+        );
+        JsonValue::Obj(root).to_string()
+    }
+
+    /// Parses a report serialized by [`to_json`](Report::to_json).
+    pub fn from_json(input: &str) -> Result<Report, JsonError> {
+        fn bad(message: &str) -> JsonError {
+            JsonError {
+                message: message.to_owned(),
+                offset: 0,
+            }
+        }
+        let root = JsonValue::parse(input)?;
+        let root = root
+            .as_obj()
+            .ok_or_else(|| bad("report must be an object"))?;
+        let mut report = Report::new();
+
+        if let Some(scalars) = root.get("scalars") {
+            let scalars = scalars
+                .as_obj()
+                .ok_or_else(|| bad("scalars must be an object"))?;
+            for (k, v) in scalars {
+                let v = v
+                    .as_num()
+                    .ok_or_else(|| bad("scalar values must be numbers"))?;
+                report.set(k.clone(), v);
+            }
+        }
+        if let Some(coverage) = root.get("coverage") {
+            let coverage = coverage
+                .as_obj()
+                .ok_or_else(|| bad("coverage must be an object"))?;
+            for (ctrl, states) in coverage {
+                let states = states
+                    .as_obj()
+                    .ok_or_else(|| bad("coverage entries must be objects"))?;
+                let set = report.coverage.entry(ctrl.clone()).or_default();
+                for (state, events) in states {
+                    let events = events
+                        .as_arr()
+                        .ok_or_else(|| bad("coverage events must be arrays"))?;
+                    for ev in events {
+                        let ev = ev
+                            .as_str()
+                            .ok_or_else(|| bad("coverage events must be strings"))?;
+                        set.visit(state, ev);
+                    }
+                }
+            }
+        }
+        if let Some(hists) = root.get("hists") {
+            let hists = hists
+                .as_obj()
+                .ok_or_else(|| bad("hists must be an object"))?;
+            for (key, h) in hists {
+                let h = h
+                    .as_obj()
+                    .ok_or_else(|| bad("hist entries must be objects"))?;
+                let field = |name: &str| -> Result<u64, JsonError> {
+                    h.get(name)
+                        .and_then(JsonValue::as_num)
+                        .ok_or_else(|| bad(&format!("hist missing numeric '{name}'")))
+                };
+                let buckets = h
+                    .get("buckets")
+                    .and_then(JsonValue::as_obj)
+                    .ok_or_else(|| bad("hist missing 'buckets' object"))?;
+                let mut parsed = BTreeMap::new();
+                for (idx, n) in buckets {
+                    let idx: u32 = idx.parse().map_err(|_| bad("bucket keys must be u32"))?;
+                    if idx > 64 {
+                        return Err(bad("bucket index out of range"));
+                    }
+                    let n = n
+                        .as_num()
+                        .ok_or_else(|| bad("bucket counts must be numbers"))?;
+                    parsed.insert(idx, n);
+                }
+                let hist = Histogram::from_parts(
+                    parsed,
+                    field("count")?,
+                    field("sum")?,
+                    field("min")?,
+                    field("max")?,
+                )
+                .map_err(bad)?;
+                report.hists.insert(key.clone(), hist);
+            }
+        }
+        Ok(report)
     }
 }
 
@@ -134,6 +342,9 @@ impl fmt::Display for Report {
         }
         for (k, v) in &self.coverage {
             writeln!(f, "{k}: {} state/event pairs", v.len())?;
+        }
+        for (k, h) in &self.hists {
+            writeln!(f, "{k}: {h}")?;
         }
         Ok(())
     }
@@ -183,6 +394,16 @@ mod tests {
     }
 
     #[test]
+    fn coverage_iterates_in_order() {
+        let mut c = CoverageSet::new();
+        c.visit("S", "Inv");
+        c.visit("I", "Store");
+        c.visit("I", "Load");
+        let pairs: Vec<(&str, &str)> = c.iter().collect();
+        assert_eq!(pairs, vec![("I", "Load"), ("I", "Store"), ("S", "Inv")]);
+    }
+
+    #[test]
     fn report_merge_and_display() {
         let mut a = Report::new();
         a.add("x", 1);
@@ -191,10 +412,70 @@ mod tests {
         let mut cov = CoverageSet::new();
         cov.visit("I", "Load");
         b.record_coverage("ctrl", &cov);
+        b.observe("lat", 7);
         a.merge(&b);
         assert_eq!(a.get("x"), 3);
+        assert_eq!(a.hist("lat").unwrap().count(), 1);
         let text = a.to_string();
         assert!(text.contains("x = 3"));
         assert!(text.contains("ctrl"));
+        assert!(text.contains("lat"));
+    }
+
+    #[test]
+    fn histograms_merge_across_reports() {
+        let mut a = Report::new();
+        a.observe("xg.lat.grant", 4);
+        a.observe("xg.lat.grant", 1000);
+        let mut b = Report::new();
+        b.observe("xg.lat.grant", 9);
+        a.merge(&b);
+        let h = a.hist("xg.lat.grant").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 4);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let mut r = Report::new();
+        r.add("guard.reqs", 42);
+        r.set("big", u64::MAX);
+        let mut cov = CoverageSet::new();
+        cov.visit("I", "Load");
+        cov.visit("I_M", "Data\"quote\"");
+        cov.visit("S", "Inv");
+        r.record_coverage("l1_0", &cov);
+        r.observe("lat", 0);
+        r.observe("lat", 17);
+        r.observe("lat", u64::MAX);
+        r.observe("other", 3);
+
+        let json = r.to_json();
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        // And the serialized form is stable.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let r = Report::new();
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_reports() {
+        for bad in [
+            "[]",
+            "{\"scalars\": 3}",
+            "{\"coverage\": {\"c\": [\"not-an-obj\"]}}",
+            "{\"hists\": {\"h\": {\"count\": 1}}}",
+            "{\"hists\": {\"h\": {\"count\":1,\"sum\":1,\"min\":1,\"max\":1,\"buckets\":{\"99\":1}}}}",
+            "{\"hists\": {\"h\": {\"count\":2,\"sum\":1,\"min\":1,\"max\":1,\"buckets\":{\"1\":1}}}}",
+        ] {
+            assert!(Report::from_json(bad).is_err(), "accepted {bad}");
+        }
     }
 }

@@ -10,6 +10,7 @@ use crate::event::{Event, EventKind};
 use crate::link::Link;
 use crate::report::Report;
 use crate::time::Cycle;
+use crate::trace::{TraceConfig, Tracer};
 
 /// Outcome of a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,9 +55,11 @@ enum Effect<M> {
 pub struct Ctx<'a, M> {
     now: Cycle,
     self_id: NodeId,
+    self_name: &'a str,
     effects: &'a mut Vec<Effect<M>>,
     rng: &'a mut SmallRng,
     progress: &'a mut u64,
+    tracer: &'a mut Tracer,
 }
 
 impl<M> Ctx<'_, M> {
@@ -116,6 +119,39 @@ impl<M> Ctx<'_, M> {
     pub fn note_progress(&mut self) {
         *self.progress += 1;
     }
+
+    /// Whether protocol tracing is recording. Instrumented controllers can
+    /// use this to skip preparing trace-only data.
+    #[inline]
+    pub fn trace_active(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Records a protocol trace event for `addr`. The `detail` closure is
+    /// evaluated only when tracing is on, so a disabled tracer costs one
+    /// branch per call site.
+    #[inline]
+    pub fn trace(&mut self, addr: u64, state: &str, event: &str, detail: impl FnOnce() -> String) {
+        if self.tracer.enabled() {
+            self.tracer.record(
+                self.now.as_u64(),
+                self.self_name,
+                addr,
+                state,
+                event,
+                detail(),
+            );
+        }
+    }
+
+    /// Flags `addr` for a post-mortem trace dump (always recorded, even with
+    /// tracing off). Call this at the point a failure is detected — guard
+    /// killing the accelerator, a safety invariant tripping, a corruption
+    /// check failing — and the harness can render
+    /// [`Simulator::post_mortem`] afterwards.
+    pub fn flag_post_mortem(&mut self, addr: u64, reason: impl Into<String>) {
+        self.tracer.flag(self.now.as_u64(), addr, reason);
+    }
 }
 
 /// Builds a [`Simulator`]: register components, configure links, then
@@ -125,6 +161,7 @@ pub struct SimBuilder<M> {
     links: HashMap<(NodeId, NodeId), Link>,
     default_link: Link,
     seed: u64,
+    trace: TraceConfig,
 }
 
 impl<M: 'static> SimBuilder<M> {
@@ -137,7 +174,15 @@ impl<M: 'static> SimBuilder<M> {
             links: HashMap::new(),
             default_link: Link::default(),
             seed,
+            trace: TraceConfig::from_env(),
         }
+    }
+
+    /// Sets the tracing configuration (defaults to
+    /// [`TraceConfig::from_env`]: off unless `XG_TRACE` is set).
+    pub fn trace(&mut self, config: TraceConfig) -> &mut Self {
+        self.trace = config;
+        self
     }
 
     /// Registers a component, returning its [`NodeId`].
@@ -167,9 +212,16 @@ impl<M: 'static> SimBuilder<M> {
 
     /// Finalizes the builder into a runnable [`Simulator`].
     pub fn build(self) -> Simulator<M> {
+        // Names are captured eagerly so the tracer can label events without
+        // touching the (possibly checked-out) component.
+        let names = self
+            .components
+            .iter()
+            .map(|c| c.as_ref().map(|c| c.name().to_owned()).unwrap_or_default())
+            .collect();
         Simulator {
             components: self.components,
-            names: Vec::new(),
+            names,
             queue: BinaryHeap::new(),
             links: self
                 .links
@@ -192,6 +244,7 @@ impl<M: 'static> SimBuilder<M> {
             progress: 0,
             last_progress_at: Cycle::ZERO,
             effects: Vec::new(),
+            tracer: Tracer::new(self.trace),
         }
     }
 }
@@ -218,6 +271,7 @@ pub struct Simulator<M> {
     progress: u64,
     last_progress_at: Cycle,
     effects: Vec<Effect<M>>,
+    tracer: Tracer,
 }
 
 impl<M: 'static> Simulator<M> {
@@ -326,9 +380,11 @@ impl<M: 'static> Simulator<M> {
             let mut ctx = Ctx {
                 now: self.now,
                 self_id: ev.target,
+                self_name: &self.names[idx],
                 effects: &mut self.effects,
                 rng: &mut self.rng,
                 progress: &mut self.progress,
+                tracer: &mut self.tracer,
             };
             match ev.kind {
                 EventKind::Deliver { from, msg } => comp.handle(from, msg, &mut ctx),
@@ -435,15 +491,26 @@ impl<M: 'static> Simulator<M> {
     }
 
     /// Names of all registered components, for diagnostics.
-    pub fn component_names(&mut self) -> &[String] {
-        if self.names.len() != self.components.len() {
-            self.names = self
-                .components
-                .iter()
-                .map(|c| c.as_ref().map(|c| c.name().to_owned()).unwrap_or_default())
-                .collect();
-        }
+    pub fn component_names(&self) -> &[String] {
         &self.names
+    }
+
+    /// The protocol tracer (read access: dumps, flags, config).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The protocol tracer, mutably — lets a harness flag addresses for
+    /// post-mortem from outside any component (e.g. after an end-of-run
+    /// memory consistency sweep).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Renders the post-mortem dump for every flagged address, or `None` if
+    /// nothing was flagged. See [`Ctx::flag_post_mortem`].
+    pub fn post_mortem(&self) -> Option<String> {
+        self.tracer.post_mortem()
     }
 }
 
@@ -638,6 +705,57 @@ mod tests {
         b.add(Box::new(Stat));
         let sim = b.build();
         assert_eq!(sim.report().get("stat.value"), 22);
+    }
+
+    #[test]
+    fn ctx_tracing_feeds_post_mortem() {
+        use crate::trace::TraceConfig;
+
+        /// Traces each delivery and flags the address on payload 2.
+        struct Suspect;
+        impl Component<u64> for Suspect {
+            fn name(&self) -> &str {
+                "suspect"
+            }
+            fn handle(&mut self, _from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+                ctx.trace(0xabc0, "S", "Deliver", || format!("payload={msg}"));
+                if msg == 2 {
+                    ctx.flag_post_mortem(0xabc0, "payload 2 observed");
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+
+        let mut b = SimBuilder::new(1);
+        let s = b.add(Box::new(Suspect));
+        b.trace(TraceConfig::ring());
+        let mut sim = b.build();
+        for payload in 0..3 {
+            sim.post(s, s, payload);
+        }
+        assert!(sim.run_to_quiescence(1_000).quiescent);
+        let pm = sim.post_mortem().expect("flag raised");
+        assert!(pm.contains("payload 2 observed"), "{pm}");
+        assert!(pm.contains("suspect"), "component name attributed: {pm}");
+        assert!(pm.contains("payload=0"), "earlier history retained: {pm}");
+    }
+
+    #[test]
+    fn tracing_off_is_default_and_silent() {
+        let mut b = SimBuilder::new(1);
+        let rec = b.add(Box::new(Recorder::new()));
+        let mut sim = b.build();
+        sim.post(rec, rec, 1);
+        assert!(sim.run_to_quiescence(1_000).quiescent);
+        if std::env::var_os("XG_TRACE").is_none() {
+            assert!(!sim.tracer().enabled());
+        }
+        assert!(sim.post_mortem().is_none());
     }
 
     #[test]

@@ -30,7 +30,10 @@ fn main() {
         seed: 99,
         ..SystemConfig::default()
     };
-    println!("configuration: {} (OS policy: disable on first error)", cfg.name());
+    println!(
+        "configuration: {} (OS policy: disable on first error)",
+        cfg.name()
+    );
 
     let fuzz = FuzzOpts {
         messages: 1_500,

@@ -192,28 +192,36 @@ fn main() {
         seed: 13,
         ..SystemConfig::default()
     };
-    println!("configuration: {} (two accel cores, shared accel L2)", cfg.name());
+    println!(
+        "configuration: {} (two accel cores, shared accel L2)",
+        cfg.name()
+    );
 
     let hops = 5_000u64;
-    let mut system = build_system(&cfg, OsPolicy::ReportOnly, None, |slot, cache, _| match slot {
-        CoreSlot::Cpu(_) => Box::new(Builder {
-            cache,
-            phase: 0,
-            pending: None,
-            next_id: 0,
-        }),
-        CoreSlot::Accel(i) => Box::new(Walker {
-            name: format!("walker{i}"),
-            cache,
-            node: i as u64 * 17, // different start nodes
-            hops_left: hops,
-            started: false,
-            visited: Vec::new(),
-            pending: None,
-            next_id: 0,
-            polling_flag: false,
-        }),
-    });
+    let mut system = build_system(
+        &cfg,
+        OsPolicy::ReportOnly,
+        None,
+        |slot, cache, _| match slot {
+            CoreSlot::Cpu(_) => Box::new(Builder {
+                cache,
+                phase: 0,
+                pending: None,
+                next_id: 0,
+            }),
+            CoreSlot::Accel(i) => Box::new(Walker {
+                name: format!("walker{i}"),
+                cache,
+                node: i as u64 * 17, // different start nodes
+                hops_left: hops,
+                started: false,
+                visited: Vec::new(),
+                pending: None,
+                next_id: 0,
+                polling_flag: false,
+            }),
+        },
+    );
     system.start_cores();
     let out = system.sim.run_with_watchdog(100_000_000, 1_000_000);
     assert!(!out.stalled, "system deadlocked");
@@ -241,7 +249,11 @@ fn main() {
     }
     println!(
         "rewired edge observed mid-run: {}",
-        if saw_shortcut { "yes" } else { "no (timing-dependent)" }
+        if saw_shortcut {
+            "yes"
+        } else {
+            "no (timing-dependent)"
+        }
     );
     println!(
         "\naccel L2 served {} L1 reads with only {} host fetches (sharing stayed on-accelerator)",

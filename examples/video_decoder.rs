@@ -120,13 +120,11 @@ impl Component<Message> for ScriptCore {
         }
         match (&step, c.kind) {
             (Step::Load(_), CoreKind::LoadResp { value }) => self.loaded.push(value),
-            (Step::WaitFor(_, want), CoreKind::LoadResp { value }) => {
-                if value != *want {
-                    // Not yet: re-execute the wait after a short poll delay.
-                    self.pc -= 1;
-                    ctx.wake_in(25, 0);
-                    return;
-                }
+            (Step::WaitFor(_, want), CoreKind::LoadResp { value }) if value != *want => {
+                // Not yet: re-execute the wait after a short poll delay.
+                self.pc -= 1;
+                ctx.wake_in(25, 0);
+                return;
             }
             (Step::Store(..), CoreKind::StoreResp) => {}
             _ => {}
@@ -193,14 +191,23 @@ fn main() {
     }
     acc_steps.push(Step::Store(FLAG, 2));
 
-    let mut system = build_system(&cfg, OsPolicy::ReportOnly, None, |slot, cache, _| {
-        match slot {
-            CoreSlot::Cpu(_) => Box::new(ScriptCore::new("cpu", cache, std::mem::take(&mut cpu_steps))),
-            CoreSlot::Accel(_) => {
-                Box::new(ScriptCore::new("decoder", cache, std::mem::take(&mut acc_steps)))
-            }
-        }
-    });
+    let mut system = build_system(
+        &cfg,
+        OsPolicy::ReportOnly,
+        None,
+        |slot, cache, _| match slot {
+            CoreSlot::Cpu(_) => Box::new(ScriptCore::new(
+                "cpu",
+                cache,
+                std::mem::take(&mut cpu_steps),
+            )),
+            CoreSlot::Accel(_) => Box::new(ScriptCore::new(
+                "decoder",
+                cache,
+                std::mem::take(&mut acc_steps),
+            )),
+        },
+    );
     system.start_cores();
     let out = system.sim.run_with_watchdog(50_000_000, 500_000);
     assert!(!out.stalled, "system deadlocked");
