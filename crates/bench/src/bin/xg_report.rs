@@ -4,13 +4,34 @@
 //! cargo run --release -p xg-bench --bin xg-report                      # full scale
 //! cargo run --release -p xg-bench --bin xg-report -- quick             # CI scale
 //! cargo run --release -p xg-bench --bin xg-report -- quick --json out.json
+//! cargo run --release -p xg-bench --bin xg-report -- quick --jobs 4
 //! ```
 //!
 //! Output feeds `EXPERIMENTS.md`. With `--json <path>`, a machine-readable
 //! run report (scalars, coverage, latency histograms) is also written.
+//!
+//! `--jobs N` (or `XG_JOBS=N`) fans the independent simulations of each
+//! experiment across N worker threads; `0` or omitted means all available
+//! cores, `1` is the exact legacy serial path. Output is byte-identical at
+//! any worker count.
+//!
+//! Exit status: `0` only if every regression gate passes. Deadlocked
+//! stress cells, protected-configuration fuzz violations, incomplete
+//! timeout recoveries, or nonzero error counters exit `1` so CI fails.
 
 use xg_bench::experiments::*;
 use xg_bench::Scale;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("{flag} requires a value argument");
+                std::process::exit(2);
+            })
+            .clone()
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -19,50 +40,62 @@ fn main() {
     } else {
         Scale::Full
     };
-    let json_path = args.iter().position(|a| a == "--json").map(|i| {
-        args.get(i + 1)
-            .unwrap_or_else(|| {
-                eprintln!("--json requires a path argument");
-                std::process::exit(2);
-            })
-            .clone()
-    });
-    println!("Crossing Guard evaluation report (scale: {scale:?})");
+    let json_path = arg_value(&args, "--json");
+    let jobs = match arg_value(&args, "--jobs") {
+        Some(raw) => xg_harness::resolve_jobs(Some(xg_harness::sweep::parse_jobs(&raw))),
+        None => xg_harness::resolve_jobs(None),
+    };
+    println!("Crossing Guard evaluation report (scale: {scale:?}, jobs: {jobs})");
     println!("====================================================\n");
 
-    let rows = e1_stress::run(scale, &[1, 2]);
+    let mut gate_failures: Vec<String> = Vec::new();
+
+    let rows = e1_stress::run_jobs(scale, &[1, 2], jobs);
     println!("{}", e1_stress::table(&rows));
+    gate_failures.extend(e1_stress::failures(&rows));
 
-    let rows = e2_fuzz::run(scale, 5);
+    let rows = e2_fuzz::run_jobs(scale, 5, jobs);
     println!("{}", e2_fuzz::table(&rows));
+    gate_failures.extend(e2_fuzz::failures(&rows));
 
-    let series = e3_performance::run(scale, 9);
+    let series = e3_performance::run_jobs(scale, 9, jobs);
     println!("{}", e3_performance::table(&series));
 
-    let rows = e4_storage::run(scale, 3);
+    let rows = e4_storage::run_jobs(scale, 3, jobs);
     println!("{}", e4_storage::table(&rows));
 
-    let rows = e5_puts::run(scale, 4);
+    let rows = e5_puts::run_jobs(scale, 4, jobs);
     println!("{}", e5_puts::table(&rows));
 
-    let rows = e6_rate_limit::run(scale, 6);
+    let rows = e6_rate_limit::run_jobs(scale, 6, jobs);
     println!("{}", e6_rate_limit::table(&rows));
 
-    let rows = e8_timeout::run(scale, 7);
+    let rows = e8_timeout::run_jobs(scale, 7, jobs);
     println!("{}", e8_timeout::table(&rows));
+    gate_failures.extend(e8_timeout::failures(&rows));
 
-    let rows = e9_blocksize::run(scale, 8);
+    let rows = e9_blocksize::run_jobs(scale, 8, jobs);
     println!("{}", e9_blocksize::table(&rows));
+    gate_failures.extend(e9_blocksize::failures(&rows));
 
-    let rows = e11_prefetch::run(scale, 5);
+    let rows = e11_prefetch::run_jobs(scale, 5, jobs);
     println!("{}", e11_prefetch::table(&rows));
+    gate_failures.extend(e11_prefetch::failures(&rows));
 
     if let Some(path) = json_path {
-        let report = xg_bench::collect_report(scale);
+        let report = xg_bench::collect_report_jobs(scale, jobs);
         if let Err(e) = std::fs::write(&path, report.to_json()) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }
         println!("machine-readable report written to {path}");
+    }
+
+    if !gate_failures.is_empty() {
+        eprintln!("\nREGRESSION GATES FAILED ({}):", gate_failures.len());
+        for f in &gate_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,111 @@
+//! Self-measuring speedup benchmark for the parallel sweep executor.
+//!
+//! Runs the *same* stress sweep (the full 12-configuration
+//! [`SystemConfig::matrix`] crossed with several seeds) twice — once at
+//! `jobs=1` (the exact legacy serial path) and once at `jobs=N` — then:
+//!
+//! * asserts the merged machine-readable reports are **byte-identical**,
+//!   the determinism guarantee the sweep executor makes;
+//! * writes a `BENCH_sweep.json` with wall-clock times, aggregate
+//!   simulated-op throughput, and the parallel speedup, so CI can publish
+//!   the number per runner.
+//!
+//! ```text
+//! cargo run --release -p xg-bench --bin xg-sweep-bench -- --out BENCH_sweep.json
+//! cargo run --release -p xg-bench --bin xg-sweep-bench -- --jobs 8
+//! ```
+
+use std::time::Instant;
+
+use xg_harness::{run_stress, sweep, StressOpts, SystemConfig};
+use xg_sim::Report;
+
+/// Ops per shard. Sized so the serial pass takes seconds, long enough to
+/// amortize thread startup yet quick enough for a per-commit CI job.
+const OPS: u64 = 800;
+/// Seeds crossed with the 12-configuration matrix: 48 shards total.
+const SEEDS: [u64; 4] = [1, 2, 3, 4];
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("{flag} requires a value argument");
+                std::process::exit(2);
+            })
+            .clone()
+    })
+}
+
+/// Runs the whole sweep at one worker count, returning the merged report
+/// and the wall-clock milliseconds it took.
+fn run_once(shards: &[(SystemConfig, u64)], jobs: usize) -> (Report, f64) {
+    let t0 = Instant::now();
+    let reports = sweep(shards.to_vec(), jobs, |(cfg, _), _| {
+        run_stress(
+            &cfg,
+            &StressOpts {
+                ops: OPS,
+                ..StressOpts::default()
+            },
+        )
+        .report
+    });
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    (Report::merge_shards(&reports), wall)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_sweep.json".into());
+    let jobs = match arg_value(&args, "--jobs") {
+        Some(raw) => xg_harness::resolve_jobs(Some(xg_harness::sweep::parse_jobs(&raw))),
+        None => xg_harness::resolve_jobs(None),
+    };
+
+    let mut shards: Vec<(SystemConfig, u64)> = Vec::new();
+    for seed in SEEDS {
+        for cfg in SystemConfig::matrix(seed) {
+            shards.push((cfg, seed));
+        }
+    }
+    let total_ops = OPS * shards.len() as u64;
+    eprintln!(
+        "sweep bench: {} shards x {} ops, serial then jobs={jobs}",
+        shards.len(),
+        OPS
+    );
+
+    let (serial_report, serial_ms) = run_once(&shards, 1);
+    let (parallel_report, parallel_ms) = run_once(&shards, jobs);
+
+    let serial_json = serial_report.to_json();
+    let parallel_json = parallel_report.to_json();
+    assert_eq!(
+        serial_json, parallel_json,
+        "determinism violated: jobs=1 and jobs={jobs} merged reports differ"
+    );
+
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    let ops_per_sec_serial = total_ops as f64 / (serial_ms / 1e3).max(1e-9);
+    let ops_per_sec_parallel = total_ops as f64 / (parallel_ms / 1e3).max(1e-9);
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_speedup\",\n  \"shards\": {},\n  \"ops_per_shard\": {},\n  \"jobs\": {},\n  \"serial_wall_ms\": {:.3},\n  \"parallel_wall_ms\": {:.3},\n  \"serial_ops_per_sec\": {:.1},\n  \"parallel_ops_per_sec\": {:.1},\n  \"speedup\": {:.3},\n  \"deterministic\": true\n}}\n",
+        shards.len(),
+        OPS,
+        jobs,
+        serial_ms,
+        parallel_ms,
+        ops_per_sec_serial,
+        ops_per_sec_parallel,
+        speedup
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "serial {serial_ms:.0} ms, jobs={jobs} {parallel_ms:.0} ms, speedup {speedup:.2}x \
+         (merged reports byte-identical; written to {out_path})"
+    );
+}

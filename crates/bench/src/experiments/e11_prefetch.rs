@@ -9,7 +9,7 @@
 
 use xg_accel::Prefetch;
 use xg_core::XgVariant;
-use xg_harness::{run_workload, AccelOrg, HostProtocol, Pattern, SystemConfig};
+use xg_harness::{run_workload, sweep, AccelOrg, HostProtocol, Pattern, SystemConfig};
 
 use crate::table::{percent, Table};
 use crate::Scale;
@@ -31,15 +31,20 @@ pub struct Row {
     pub errors: u64,
 }
 
-/// Runs the prefetch sweep.
+/// Runs the prefetch sweep at the resolved default worker count.
 pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
+    run_jobs(scale, seed, xg_harness::resolve_jobs(None))
+}
+
+/// Runs the prefetch sweep on `jobs` workers, one shard per setting.
+pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Vec<Row> {
     let ops = scale.ops(4_000, 12_000);
-    let mut rows = Vec::new();
-    for (label, prefetch) in [
+    let shards = vec![
         ("off", Prefetch::Off),
         ("next-line, degree 1", Prefetch::NextLine { degree: 1 }),
         ("next-line, degree 2", Prefetch::NextLine { degree: 2 }),
-    ] {
+    ];
+    sweep(shards, jobs, |(label, prefetch), _| {
         let cfg = SystemConfig {
             host: HostProtocol::Hammer,
             accel: AccelOrg::Xg {
@@ -55,16 +60,23 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
         };
         let out = run_workload(&cfg, Pattern::Streaming, ops);
         assert!(!out.incomplete, "prefetch={label} hung");
-        rows.push(Row {
+        Row {
             label: label.to_string(),
             runtime: out.accel_runtime,
             avg_latency: out.accel_avg_latency,
             issued: out.report.get("accel_l1.prefetches_issued"),
             useful: out.report.get("accel_l1.prefetch_hits"),
             errors: out.report.get("os.errors_total"),
-        });
-    }
-    rows
+        }
+    })
+}
+
+/// Regression gate: guard errors from prefetch traffic fail the report.
+pub fn failures(rows: &[Row]) -> Vec<String> {
+    rows.iter()
+        .filter(|r| r.errors > 0)
+        .map(|r| format!("E11 prefetch={}: {} errors", r.label, r.errors))
+        .collect()
 }
 
 /// Renders the E11 table.

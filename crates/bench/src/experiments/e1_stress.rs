@@ -7,7 +7,7 @@
 //! counts here are scaled to seconds — crank [`crate::Scale`] or the
 //! `ops` knob to scale up.)
 
-use xg_harness::{run_stress, StressOpts, SystemConfig};
+use xg_harness::{run_stress, sweep, StressOpts, SystemConfig};
 
 use crate::table::Table;
 use crate::Scale;
@@ -29,44 +29,63 @@ pub struct Row {
     pub cycles: u64,
 }
 
-/// Runs the stress test over the full configuration matrix.
+/// Runs the stress test over the full configuration matrix, using the
+/// resolved default worker count (`XG_JOBS` or one per core).
 pub fn run(scale: Scale, seeds: &[u64]) -> Vec<Row> {
+    run_jobs(scale, seeds, xg_harness::resolve_jobs(None))
+}
+
+/// Runs the stress test over the full configuration matrix on `jobs`
+/// workers. Every `(configuration, seed)` pair is an independent shard;
+/// shard outcomes fold back per configuration in matrix order, so the rows
+/// are identical for any `jobs`.
+pub fn run_jobs(scale: Scale, seeds: &[u64], jobs: usize) -> Vec<Row> {
     let ops = scale.ops(800, 10_000);
-    let mut rows = Vec::new();
-    for base in SystemConfig::matrix(1) {
-        let mut completed = 0;
-        let mut transitions = 0;
-        let mut data_errors = 0;
-        let mut deadlocked = false;
-        let mut cycles = 0;
-        for &seed in seeds {
-            let cfg = SystemConfig {
+    let matrix = SystemConfig::matrix(1);
+    let shards: Vec<SystemConfig> = matrix
+        .iter()
+        .flat_map(|base| {
+            seeds.iter().map(|&seed| SystemConfig {
                 seed,
                 ..base.clone()
-            };
-            let out = run_stress(
-                &cfg,
-                &StressOpts {
-                    ops,
-                    ..StressOpts::default()
-                },
-            );
-            completed += out.completed;
-            transitions = transitions.max(out.transitions);
-            data_errors += out.data_errors;
-            deadlocked |= out.deadlocked;
-            cycles += out.cycles;
-        }
-        rows.push(Row {
+            })
+        })
+        .collect();
+    let outcomes = sweep(shards, jobs, |cfg, _| {
+        run_stress(
+            &cfg,
+            &StressOpts {
+                ops,
+                ..StressOpts::default()
+            },
+        )
+    });
+    matrix
+        .iter()
+        .zip(outcomes.chunks(seeds.len()))
+        .map(|(base, outs)| Row {
             config: base.name(),
-            completed,
-            transitions,
-            data_errors,
-            deadlocked,
-            cycles,
-        });
+            completed: outs.iter().map(|o| o.completed).sum(),
+            transitions: outs.iter().map(|o| o.transitions).max().unwrap_or(0),
+            data_errors: outs.iter().map(|o| o.data_errors).sum(),
+            deadlocked: outs.iter().any(|o| o.deadlocked),
+            cycles: outs.iter().map(|o| o.cycles).sum(),
+        })
+        .collect()
+}
+
+/// Regression gate: the lines that make the report exit nonzero.
+pub fn failures(rows: &[Row]) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in rows {
+        if r.data_errors > 0 {
+            out.push(format!("E1 {}: {} data errors", r.config, r.data_errors));
+        }
+        if r.deadlocked {
+            out.push(format!("E1 {}: deadlocked", r.config));
+        }
     }
-    rows
+    out
 }
 
 /// Renders the E1 table.

@@ -15,7 +15,7 @@
 //!    correctness envelope is pierced.
 
 use xg_core::XgVariant;
-use xg_harness::{run_fuzz, AccelOrg, FuzzOpts, HostProtocol, SystemConfig};
+use xg_harness::{run_fuzz, sweep, AccelOrg, FuzzOpts, HostProtocol, SystemConfig};
 
 use crate::table::Table;
 use crate::Scale;
@@ -39,28 +39,13 @@ pub struct Row {
     pub deadlocked: bool,
 }
 
-fn one(cfg: &SystemConfig, fuzz: &FuzzOpts, cpu_ops: u64, label: String) -> Row {
-    let out = run_fuzz(cfg, fuzz, cpu_ops);
-    Row {
-        config: label,
-        injected: out.injected,
-        host_violations: out.host_violations,
-        os_errors: out.os_errors,
-        cpu_ops: out.cpu_ops_completed,
-        cpu_errors: out.cpu_data_errors,
-        deadlocked: out.deadlocked,
-    }
-}
+/// Marker appended to the rows where fuzz damage is *expected* (the
+/// unprotected baseline); [`failures`] skips them.
+const NO_GUARD: &str = " (no guard)";
 
-/// Runs the fuzz suite.
-pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
-    let messages = scale.ops(400, 3_000);
-    let cpu_ops = scale.ops(800, 6_000);
-    let fuzz = FuzzOpts {
-        messages,
-        ..FuzzOpts::default()
-    };
-    let mut rows = Vec::new();
+/// The fuzz campaign in presentation order: `(label, configuration)`.
+fn campaign(seed: u64) -> Vec<(String, SystemConfig)> {
+    let mut shards = Vec::new();
     // Group 1: guarded, modified hosts.
     for host in [HostProtocol::Hammer, HostProtocol::Mesi] {
         for variant in [XgVariant::FullState, XgVariant::Transactional] {
@@ -70,7 +55,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
                 seed,
                 ..SystemConfig::default()
             };
-            rows.push(one(&cfg, &fuzz, cpu_ops, cfg.name()));
+            shards.push((cfg.name(), cfg));
         }
     }
     // Group 2: guarded, *unmodified* hosts (the §3.2 ablation).
@@ -83,12 +68,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
                 seed,
                 ..SystemConfig::default()
             };
-            rows.push(one(
-                &cfg,
-                &fuzz,
-                cpu_ops,
-                format!("{} (strict host)", cfg.name()),
-            ));
+            shards.push((format!("{} (strict host)", cfg.name()), cfg));
         }
     }
     // Group 3: unprotected strict hosts.
@@ -100,14 +80,62 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
             seed,
             ..SystemConfig::default()
         };
-        rows.push(one(
-            &cfg,
-            &fuzz,
-            cpu_ops,
-            format!("{} (no guard)", cfg.name()),
-        ));
+        shards.push((format!("{}{NO_GUARD}", cfg.name()), cfg));
     }
-    rows
+    shards
+}
+
+/// Runs the fuzz suite at the resolved default worker count.
+pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
+    run_jobs(scale, seed, xg_harness::resolve_jobs(None))
+}
+
+/// Runs the fuzz suite on `jobs` workers, one shard per attacked
+/// configuration; row order is the fixed campaign order for any `jobs`.
+pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Vec<Row> {
+    let messages = scale.ops(400, 3_000);
+    let cpu_ops = scale.ops(800, 6_000);
+    let fuzz = FuzzOpts {
+        messages,
+        ..FuzzOpts::default()
+    };
+    sweep(campaign(seed), jobs, |(label, cfg), _| {
+        let out = run_fuzz(&cfg, &fuzz, cpu_ops);
+        Row {
+            config: label,
+            injected: out.injected,
+            host_violations: out.host_violations,
+            os_errors: out.os_errors,
+            cpu_ops: out.cpu_ops_completed,
+            cpu_errors: out.cpu_data_errors,
+            deadlocked: out.deadlocked,
+        }
+    })
+}
+
+/// Regression gate: damage on any *guarded* row fails the report. The
+/// unprotected "(no guard)" baseline rows are expected to be disturbed and
+/// are exempt.
+pub fn failures(rows: &[Row]) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in rows.iter().filter(|r| !r.config.ends_with(NO_GUARD)) {
+        if r.host_violations > 0 {
+            out.push(format!(
+                "E2 {}: {} host protocol violations",
+                r.config, r.host_violations
+            ));
+        }
+        if r.cpu_errors > 0 {
+            out.push(format!(
+                "E2 {}: {} cpu data errors under fuzzing",
+                r.config, r.cpu_errors
+            ));
+        }
+        if r.deadlocked {
+            out.push(format!("E2 {}: host deadlocked under fuzzing", r.config));
+        }
+    }
+    out
 }
 
 /// Renders the E2/E10 table.

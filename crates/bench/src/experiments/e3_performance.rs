@@ -12,7 +12,7 @@
 //! * the two-level organization helps sharing-heavy workloads.
 
 use xg_core::XgVariant;
-use xg_harness::{run_workload, AccelOrg, HostProtocol, Pattern, SystemConfig};
+use xg_harness::{run_workload, sweep, AccelOrg, HostProtocol, Pattern, SystemConfig};
 
 use crate::table::{ratio, Table};
 use crate::Scale;
@@ -87,14 +87,21 @@ pub fn patterns(scale: Scale) -> Vec<Pattern> {
     }
 }
 
-/// Runs the sweep.
+/// Runs the sweep at the resolved default worker count.
 pub fn run(scale: Scale, seed: u64) -> Vec<Series> {
+    run_jobs(scale, seed, xg_harness::resolve_jobs(None))
+}
+
+/// Runs the sweep on `jobs` workers. Every (host, workload, organization)
+/// cell is an independent shard; cells fold back into series in the fixed
+/// host-major, workload-minor presentation order for any `jobs`.
+pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Vec<Series> {
     let ops = scale.ops(2_500, 10_000);
-    let mut out = Vec::new();
+    let orgs = organizations();
+    let mut shards = Vec::new();
     for host in [HostProtocol::Hammer, HostProtocol::Mesi] {
         for pattern in patterns(scale) {
-            let mut runtimes = Vec::new();
-            for (name, accel) in organizations() {
+            for (name, accel) in orgs.clone() {
                 let two_level = matches!(
                     accel,
                     AccelOrg::Xg {
@@ -109,23 +116,28 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Series> {
                     seed,
                     ..SystemConfig::default()
                 };
-                let perf = run_workload(&cfg, pattern, ops);
-                assert!(
-                    !perf.incomplete,
-                    "{} {} {name} did not finish",
-                    host.tag(),
-                    pattern.name()
-                );
-                runtimes.push((name, perf.accel_runtime));
+                shards.push((host, pattern, name, cfg));
             }
-            out.push(Series {
-                host: host.tag(),
-                workload: pattern.name(),
-                runtimes,
-            });
         }
     }
-    out
+    let cells = sweep(shards, jobs, |(host, pattern, name, cfg), _| {
+        let perf = run_workload(&cfg, pattern, ops);
+        assert!(
+            !perf.incomplete,
+            "{} {} {name} did not finish",
+            host.tag(),
+            pattern.name()
+        );
+        (host, pattern, name, perf.accel_runtime)
+    });
+    cells
+        .chunks(orgs.len())
+        .map(|chunk| Series {
+            host: chunk[0].0.tag(),
+            workload: chunk[0].1.name(),
+            runtimes: chunk.iter().map(|&(_, _, name, rt)| (name, rt)).collect(),
+        })
+        .collect()
 }
 
 /// Renders the E3 figure data (runtime normalized to accel_side).

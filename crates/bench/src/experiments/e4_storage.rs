@@ -8,7 +8,7 @@
 //! open-transaction storage, independent of accelerator cache size.
 
 use xg_core::{XgConfig, XgVariant};
-use xg_harness::{run_workload, AccelOrg, HostProtocol, Pattern, SystemConfig};
+use xg_harness::{run_workload, sweep, AccelOrg, HostProtocol, Pattern, SystemConfig};
 use xg_mem::{Addr, PagePerm, PermissionTable};
 
 use crate::table::{bytes, Table};
@@ -34,10 +34,17 @@ fn measure(cfg: &SystemConfig, pattern: Pattern, ops: u64) -> u64 {
     out.report.get("xg.peak_storage_bytes")
 }
 
-/// Runs the storage sweep.
+/// Runs the storage sweep at the resolved default worker count.
 pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
+    run_jobs(scale, seed, xg_harness::resolve_jobs(None))
+}
+
+/// Runs the storage sweep on `jobs` workers: one shard per measured
+/// configuration, rows in the fixed presentation order for any `jobs`.
+pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Vec<Row> {
     let ops = scale.ops(4_000, 12_000);
-    let mut rows = Vec::new();
+    // Each shard carries the finished row minus the measured peak.
+    let mut shards: Vec<(SystemConfig, Pattern, Row)> = Vec::new();
     // Sweep accelerator cache sizes; the streaming footprint (256 blocks)
     // exceeds every size here, so Full State tracks a full cache's worth.
     for (sets, ways) in [(8usize, 2usize), (32, 2), (64, 4)] {
@@ -53,8 +60,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
                 seed,
                 ..SystemConfig::default()
             };
-            let peak = measure(&cfg, Pattern::Streaming, ops);
-            rows.push(Row {
+            let row = Row {
                 label: format!(
                     "{} / {} blocks ({} KiB cache)",
                     match variant {
@@ -65,12 +71,13 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
                     blocks * 64 / 1024
                 ),
                 accel_blocks: blocks,
-                peak_bytes: peak,
+                peak_bytes: 0,
                 model_bytes: match variant {
                     XgVariant::FullState => blocks * 10,
                     XgVariant::Transactional => 0,
                 },
-            });
+            };
+            shards.push((cfg, Pattern::Streaming, row));
         }
     }
     // E7 ablation: read-only footprint, Full State, with vs. without the
@@ -100,16 +107,19 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
             seed,
             ..SystemConfig::default()
         };
-        // Graph walk: read-only, data-dependent — the §2.3.1 scenario.
-        let peak = measure(&cfg, Pattern::GraphWalk, ops);
-        rows.push(Row {
+        let row = Row {
             label: format!("E7: {label}"),
             accel_blocks: 256,
-            peak_bytes: peak,
+            peak_bytes: 0,
             model_bytes: 0,
-        });
+        };
+        // Graph walk: read-only, data-dependent — the §2.3.1 scenario.
+        shards.push((cfg, Pattern::GraphWalk, row));
     }
-    rows
+    sweep(shards, jobs, |(cfg, pattern, mut row), _| {
+        row.peak_bytes = measure(&cfg, pattern, ops);
+        row
+    })
 }
 
 /// Renders the E4/E7 table.

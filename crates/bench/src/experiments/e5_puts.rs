@@ -15,7 +15,9 @@
 
 use xg_core::{OsPolicy, XgConfig, XgVariant};
 use xg_harness::system::CoreSlot;
-use xg_harness::{build_system, AccelOrg, HostProtocol, Pattern, SystemConfig, WorkloadCore};
+use xg_harness::{
+    build_system, sweep, AccelOrg, HostProtocol, Pattern, SystemConfig, WorkloadCore,
+};
 
 use crate::table::{percent, Table};
 use crate::Scale;
@@ -84,43 +86,45 @@ fn measure(
     }
 }
 
-/// Runs the PutS bandwidth measurement.
+/// Runs the PutS bandwidth measurement at the resolved default worker
+/// count.
 pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
+    run_jobs(scale, seed, xg_harness::resolve_jobs(None))
+}
+
+/// Runs the PutS bandwidth measurement on `jobs` workers, one shard per
+/// measured configuration.
+pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Vec<Row> {
     let ops = scale.ops(4_000, 12_000);
-    vec![
-        measure(
+    let shards: Vec<(HostProtocol, bool, Pattern, &str)> = vec![
+        (
             HostProtocol::Hammer,
             false,
             Pattern::GraphWalk,
-            ops,
-            seed,
             "hammer, read-only shared (always suppressed)",
         ),
-        measure(
+        (
             HostProtocol::Mesi,
             false,
             Pattern::GraphWalk,
-            ops,
-            seed,
             "mesi, read-only shared, forwarded (worst case)",
         ),
-        measure(
+        (
             HostProtocol::Mesi,
             true,
             Pattern::GraphWalk,
-            ops,
-            seed,
             "mesi, read-only shared, suppressed",
         ),
-        measure(
+        (
             HostProtocol::Mesi,
             false,
             Pattern::ProducerConsumer,
-            ops,
-            seed,
             "mesi, mixed workload, forwarded (typical)",
         ),
-    ]
+    ];
+    sweep(shards, jobs, |(host, suppress, pattern, label), _| {
+        measure(host, suppress, pattern, ops, seed, label)
+    })
 }
 
 /// Renders the E5 table.

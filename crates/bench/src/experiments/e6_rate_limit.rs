@@ -10,7 +10,7 @@ use xg_core::{RateLimit, XgConfig, XgVariant};
 use xg_harness::system::CoreSlot;
 use xg_harness::tester::word_pool;
 use xg_harness::{
-    build_system, AccelOrg, HostProtocol, Pattern, SystemConfig, TesterCfg, TesterCore,
+    build_system, sweep, AccelOrg, HostProtocol, Pattern, SystemConfig, TesterCfg, TesterCore,
     TesterShared, WorkloadCore,
 };
 
@@ -73,7 +73,10 @@ fn flood_once(limit: Option<RateLimit>, cpu_ops: u64, seed: u64, label: &str) ->
     });
     system.start_cores();
     let out = system.sim.run_with_watchdog(80_000_000, 500_000);
-    assert!(shared.borrow().done(), "{label}: CPUs starved entirely");
+    assert!(
+        shared.lock().unwrap().done(),
+        "{label}: CPUs starved entirely"
+    );
     let report = system.sim.report();
     let cpu_completed = report.sum_suffix(".ops_completed") - report.get("flooder.ops_completed");
     let latency_sum = report.get("tester_cpu0.latency_sum") + report.get("tester_cpu1.latency_sum");
@@ -86,30 +89,35 @@ fn flood_once(limit: Option<RateLimit>, cpu_ops: u64, seed: u64, label: &str) ->
     }
 }
 
-/// Runs the DoS experiment.
+/// Runs the DoS experiment at the resolved default worker count.
 pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
+    run_jobs(scale, seed, xg_harness::resolve_jobs(None))
+}
+
+/// Runs the DoS experiment on `jobs` workers, one shard per limiter
+/// setting.
+pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Vec<Row> {
     let cpu_ops = scale.ops(1_500, 10_000);
-    vec![
-        flood_once(None, cpu_ops, seed, "no limit (flood unchecked)"),
-        flood_once(
+    let shards: Vec<(Option<RateLimit>, &str)> = vec![
+        (None, "no limit (flood unchecked)"),
+        (
             Some(RateLimit {
                 tokens_per_kilocycle: 50,
                 burst: 4,
             }),
-            cpu_ops,
-            seed,
             "limit: 50 req / 1k cycles",
         ),
-        flood_once(
+        (
             Some(RateLimit {
                 tokens_per_kilocycle: 5,
                 burst: 2,
             }),
-            cpu_ops,
-            seed,
             "limit: 5 req / 1k cycles",
         ),
-    ]
+    ];
+    sweep(shards, jobs, |(limit, label), _| {
+        flood_once(limit, cpu_ops, seed, label)
+    })
 }
 
 /// Renders the E6 table.

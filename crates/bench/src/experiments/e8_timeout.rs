@@ -10,7 +10,7 @@
 
 use xg_core::{OsPolicy, XgConfig, XgVariant};
 use xg_harness::system::CoreSlot;
-use xg_harness::{build_system, AccelOrg, HostProtocol, SystemConfig};
+use xg_harness::{build_system, sweep, AccelOrg, HostProtocol, SystemConfig};
 use xg_mem::Addr;
 use xg_proto::{CoreKind, CoreMsg, Ctx, Message, XgiKind, XgiMsg};
 use xg_sim::{Component, NodeId};
@@ -146,11 +146,23 @@ fn one(timeout: u64, host: HostProtocol, seed: u64) -> Row {
     }
 }
 
-/// Runs the timeout sweep.
-pub fn run(_scale: Scale, seed: u64) -> Vec<Row> {
-    [500u64, 2_000, 8_000]
-        .into_iter()
-        .map(|t| one(t, HostProtocol::Hammer, seed))
+/// Runs the timeout sweep at the resolved default worker count.
+pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
+    run_jobs(scale, seed, xg_harness::resolve_jobs(None))
+}
+
+/// Runs the timeout sweep on `jobs` workers, one shard per setting.
+pub fn run_jobs(_scale: Scale, seed: u64, jobs: usize) -> Vec<Row> {
+    sweep(vec![500u64, 2_000, 8_000], jobs, |t, _| {
+        one(t, HostProtocol::Hammer, seed)
+    })
+}
+
+/// Regression gate: a host that fails to complete fails the report.
+pub fn failures(rows: &[Row]) -> Vec<String> {
+    rows.iter()
+        .filter(|r| !r.completed)
+        .map(|r| format!("E8 timeout={}: host did not complete", r.timeout))
         .collect()
 }
 

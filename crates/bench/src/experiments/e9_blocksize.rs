@@ -7,7 +7,7 @@
 //! messages), and host traffic (which stays proportional to data moved).
 
 use xg_core::{XgConfig, XgVariant};
-use xg_harness::{run_workload, AccelOrg, HostProtocol, Pattern, SystemConfig};
+use xg_harness::{run_workload, sweep, AccelOrg, HostProtocol, Pattern, SystemConfig};
 
 use crate::table::Table;
 use crate::Scale;
@@ -27,11 +27,15 @@ pub struct Row {
     pub errors: u64,
 }
 
-/// Runs the block-size sweep.
+/// Runs the block-size sweep at the resolved default worker count.
 pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
+    run_jobs(scale, seed, xg_harness::resolve_jobs(None))
+}
+
+/// Runs the block-size sweep on `jobs` workers, one shard per block size.
+pub fn run_jobs(scale: Scale, seed: u64, jobs: usize) -> Vec<Row> {
     let ops = scale.ops(3_000, 10_000);
-    let mut rows = Vec::new();
-    for k in [1usize, 2, 4] {
+    sweep(vec![1usize, 2, 4], jobs, |k, _| {
         let cfg = SystemConfig {
             host: HostProtocol::Hammer,
             accel: AccelOrg::Xg {
@@ -47,15 +51,22 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Row> {
         };
         let out = run_workload(&cfg, Pattern::Blocked, ops);
         assert!(!out.incomplete, "k={k} hung");
-        rows.push(Row {
+        Row {
             k,
             runtime: out.accel_runtime,
             interface_msgs: out.report.get("xg.accel_received") + out.report.get("xg.accel_sent"),
             host_msgs: out.report.get("xg.host_sent") + out.report.get("xg.host_received"),
             errors: out.report.get("os.errors_total"),
-        });
-    }
-    rows
+        }
+    })
+}
+
+/// Regression gate: any translation error fails the report.
+pub fn failures(rows: &[Row]) -> Vec<String> {
+    rows.iter()
+        .filter(|r| r.errors > 0)
+        .map(|r| format!("E9 k={}: {} errors", r.k, r.errors))
+        .collect()
 }
 
 /// Renders the E9 table.

@@ -22,25 +22,33 @@ pub mod table;
 /// the guard, the host controllers, and the accelerator hierarchy. This is
 /// what `xg-report --json` serializes.
 pub fn collect_report(scale: Scale) -> xg_sim::Report {
-    use xg_harness::{run_stress, HostProtocol, StressOpts, SystemConfig};
+    collect_report_jobs(scale, xg_harness::resolve_jobs(None))
+}
+
+/// [`collect_report`] on `jobs` workers: each host protocol runs as an
+/// independent shard and the shard reports are merged in submission order.
+/// [`xg_sim::Report::merge`] is commutative, so the merged JSON is
+/// byte-identical at any worker count.
+pub fn collect_report_jobs(scale: Scale, jobs: usize) -> xg_sim::Report {
+    use xg_harness::{run_stress, sweep, HostProtocol, StressOpts, SystemConfig};
     let ops = scale.ops(800, 10_000);
-    let mut merged = xg_sim::Report::new();
-    for (host, seed) in [(HostProtocol::Hammer, 11), (HostProtocol::Mesi, 12)] {
+    let shards = vec![(HostProtocol::Hammer, 11), (HostProtocol::Mesi, 12)];
+    let reports = sweep(shards, jobs, |(host, seed), _| {
         let cfg = SystemConfig {
             host,
             seed,
             ..SystemConfig::default()
         };
-        let out = run_stress(
+        run_stress(
             &cfg,
             &StressOpts {
                 ops,
                 ..StressOpts::default()
             },
-        );
-        merged.merge(&out.report);
-    }
-    merged
+        )
+        .report
+    });
+    xg_sim::Report::merge_shards(&reports)
 }
 
 /// How much work to spend per experiment.

@@ -23,10 +23,14 @@
 //!   producer-consumer sharing.
 //! * [`runner`] — one-call experiment drivers returning structured
 //!   outcomes (cycles, errors, coverage, violations).
+//! * [`sweep`] — a work-stealing executor fanning independent
+//!   `(SystemConfig, seed)` shards across cores, with results returned in
+//!   submission order so parallel sweeps are byte-identical to serial ones.
 
 pub mod config;
 pub mod fuzz;
 pub mod runner;
+pub mod sweep;
 pub mod system;
 pub mod tester;
 pub mod workloads;
@@ -36,6 +40,7 @@ pub use fuzz::{FuzzAccel, FuzzHostCache, FuzzOpts};
 pub use runner::{
     run_fuzz, run_stress, run_workload, FuzzOutcome, PerfOutcome, StressOpts, StressOutcome,
 };
+pub use sweep::{available_jobs, resolve_jobs, sweep};
 pub use system::{build_system, BuiltSystem};
-pub use tester::{TesterCfg, TesterCore, TesterShared};
+pub use tester::{SharedTester, TesterCfg, TesterCore, TesterShared};
 pub use workloads::{Pattern, WorkloadCore};

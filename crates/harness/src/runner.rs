@@ -147,7 +147,7 @@ fn run_stress_traced(cfg: &SystemConfig, opts: &StressOpts, trace: TraceConfig) 
     }
     let report = system.sim.report();
     let post_mortem = system.sim.post_mortem();
-    let shared = shared.borrow();
+    let shared = shared.lock().unwrap();
     let hung_ops = report.sum_suffix(".outstanding") > 0;
     let transitions: usize = report.coverages().map(|(_, c)| c.len()).sum();
     StressOutcome {
@@ -269,7 +269,7 @@ fn run_fuzz_traced(
     }
     let report = system.sim.report();
     let post_mortem = system.sim.post_mortem();
-    let shared = shared.borrow();
+    let shared = shared.lock().unwrap();
     let hung_ops = report.sum_suffix(".outstanding") > 0;
     FuzzOutcome {
         cycles: out.now.as_u64(),

@@ -16,14 +16,22 @@
 //! for 22 compute-years (scaled down to CI budgets; crank
 //! [`TesterShared::target_ops`] to scale up).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use rand::Rng;
 use xg_mem::Addr;
 use xg_proto::{CoreKind, CoreMsg, Ctx, Message};
 use xg_sim::{Component, NodeId, Report};
+
+/// Handle to the state shared by every tester core in one run.
+///
+/// An `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>` so tester cores — and
+/// the systems containing them — are [`Send`] and whole simulations can be
+/// fanned across worker threads by [`crate::sweep`]. Within one simulation
+/// the lock is always uncontended (the simulator is single-threaded), so
+/// this costs a few nanoseconds per operation, not a scalability hazard.
+pub type SharedTester = Arc<Mutex<TesterShared>>;
 
 /// State shared by every tester core in one run.
 #[derive(Debug)]
@@ -43,8 +51,8 @@ pub struct TesterShared {
 impl TesterShared {
     /// Creates shared state for `total_cores` testers aiming for
     /// `target_ops` completed operations.
-    pub fn new(total_cores: usize, target_ops: u64) -> Rc<RefCell<Self>> {
-        Rc::new(RefCell::new(TesterShared {
+    pub fn new(total_cores: usize, target_ops: u64) -> SharedTester {
+        Arc::new(Mutex::new(TesterShared {
             total_cores,
             target_ops,
             completed: 0,
@@ -149,7 +157,7 @@ pub struct TesterCore {
     name: String,
     cache: NodeId,
     core_index: usize,
-    shared: Rc<RefCell<TesterShared>>,
+    shared: SharedTester,
     pool: Vec<u64>,
     cfg: TesterCfg,
     in_flight: HashMap<u64, (u64, bool)>, // id -> (word addr, was_store)
@@ -170,7 +178,7 @@ impl TesterCore {
         name: impl Into<String>,
         cache: NodeId,
         core_index: usize,
-        shared: Rc<RefCell<TesterShared>>,
+        shared: SharedTester,
         pool: Vec<u64>,
         cfg: TesterCfg,
     ) -> Self {
@@ -214,7 +222,7 @@ impl TesterCore {
     fn issue_one(&mut self, ctx: &mut Ctx<'_>) {
         let pick = ctx.rng().gen_range(0..self.pool.len());
         let word_addr = self.pool[pick];
-        let mut shared = self.shared.borrow_mut();
+        let mut shared = self.shared.lock().unwrap();
         let is_writer = shared.writer_of(word_addr) == self.core_index;
         let store = is_writer && ctx.rng().gen_range(0u32..100) < self.cfg.store_percent;
         let id = self.next_id;
@@ -258,7 +266,7 @@ impl Component<Message> for TesterCore {
         match c.kind {
             CoreKind::LoadResp { value } => {
                 debug_assert!(!was_store);
-                let mut shared = self.shared.borrow_mut();
+                let mut shared = self.shared.lock().unwrap();
                 let before = shared.data_errors();
                 shared.check_load(self.core_index, word_addr, value);
                 let corrupted = shared.data_errors() > before;
@@ -280,19 +288,19 @@ impl Component<Message> for TesterCore {
         }
         self.completed_ops += 1;
         {
-            let mut shared = self.shared.borrow_mut();
+            let mut shared = self.shared.lock().unwrap();
             shared.completed += 1;
         }
         ctx.note_progress();
         // Immediately consider issuing again (the wake loop also runs).
-        if !self.shared.borrow().done() && self.in_flight.len() < self.cfg.max_in_flight {
+        if !self.shared.lock().unwrap().done() && self.in_flight.len() < self.cfg.max_in_flight {
             let delay = ctx.rng().gen_range(self.cfg.think.0..=self.cfg.think.1);
             ctx.wake_in(delay, 0);
         }
     }
 
     fn wake(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
-        if self.shared.borrow().done() {
+        if self.shared.lock().unwrap().done() {
             return;
         }
         if self.in_flight.len() < self.cfg.max_in_flight {
@@ -337,7 +345,7 @@ mod tests {
     #[test]
     fn writer_assignment_is_stable_and_spread() {
         let shared = TesterShared::new(4, 100);
-        let s = shared.borrow();
+        let s = shared.lock().unwrap();
         let mut seen = std::collections::HashSet::new();
         for w in 0..64u64 {
             let writer = s.writer_of(w * 8);
@@ -350,7 +358,7 @@ mod tests {
     #[test]
     fn check_load_flags_future_and_backwards_values() {
         let shared = TesterShared::new(2, 100);
-        let mut s = shared.borrow_mut();
+        let mut s = shared.lock().unwrap();
         s.issued.insert(0x100, 5);
         s.check_load(0, 0x100, 3);
         assert_eq!(s.data_errors(), 0);

@@ -1,0 +1,86 @@
+//! Property tests for the parallel sweep executor's determinism
+//! guarantee: merging per-shard [`Report`]s in *any* permutation yields
+//! the same JSON as the serial in-order merge, and a parallel sweep
+//! produces shard outputs identical to the serial path.
+//!
+//! Each case runs real (small) simulations, so case counts are kept low —
+//! the space covered per case is large.
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use xg_harness::{run_stress, sweep, HostProtocol, StressOpts, SystemConfig};
+use xg_sim::Report;
+
+/// Runs one small stress shard and returns its report.
+fn shard_report(host: HostProtocol, seed: u64, ops: u64) -> Report {
+    let cfg = SystemConfig {
+        host,
+        seed,
+        ..SystemConfig::default()
+    };
+    run_stress(
+        &cfg,
+        &StressOpts {
+            ops,
+            ..StressOpts::default()
+        },
+    )
+    .report
+}
+
+/// In-place Fisher-Yates driven by the vendored [`SmallRng`] (the
+/// vendored proptest subset has no shuffle strategy).
+fn shuffle<T>(items: &mut [T], rng_seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(rng_seed);
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4 })]
+
+    /// Shard reports merged in a random permutation serialize to exactly
+    /// the JSON of the serial in-order merge: scalars sum, coverage sets
+    /// union, and histogram buckets add, all independent of order.
+    #[test]
+    fn report_merge_is_permutation_invariant(
+        seed in 0u64..1_000,
+        perm_seed in any::<u64>(),
+    ) {
+        let mut shards = Vec::new();
+        for (i, host) in [HostProtocol::Hammer, HostProtocol::Mesi, HostProtocol::Hammer]
+            .into_iter()
+            .enumerate()
+        {
+            shards.push(shard_report(host, seed + i as u64, 120));
+        }
+        let serial = Report::merge_shards(&shards).to_json();
+        shuffle(&mut shards, perm_seed);
+        let permuted = Report::merge_shards(&shards).to_json();
+        prop_assert_eq!(serial, permuted);
+    }
+
+    /// A parallel sweep returns the same outcomes in the same order as
+    /// the serial path, for any seed and any worker count.
+    #[test]
+    fn parallel_sweep_matches_serial(
+        seed in 0u64..1_000,
+        jobs in 2usize..5,
+    ) {
+        let items: Vec<(HostProtocol, u64)> = vec![
+            (HostProtocol::Hammer, seed),
+            (HostProtocol::Mesi, seed + 1),
+            (HostProtocol::Hammer, seed + 2),
+            (HostProtocol::Mesi, seed + 3),
+        ];
+        let serial = sweep(items.clone(), 1, |(host, s), _| {
+            shard_report(host, s, 120).to_json()
+        });
+        let parallel = sweep(items, jobs, |(host, s), _| {
+            shard_report(host, s, 120).to_json()
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+}

@@ -49,7 +49,13 @@ impl fmt::Display for NodeId {
 /// fn as_any(&self) -> &dyn std::any::Any { self }
 /// fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
 /// ```
-pub trait Component<M> {
+///
+/// Components must be [`Send`]: a built [`crate::Simulator`] is moved into
+/// worker threads by the parallel sweep executor (`xg_harness::sweep`), so a
+/// component may not hold thread-bound state like `Rc`. Each simulation is
+/// still single-threaded — no component needs `Sync` or internal locking
+/// beyond what it shares with other components in the *same* simulation.
+pub trait Component<M>: Send {
     /// Short human-readable name used in reports and error messages.
     fn name(&self) -> &str;
 

@@ -171,6 +171,14 @@ impl Report {
 
     /// Merges another report into this one (scalars are summed, coverage
     /// sets are unioned, histograms are merged).
+    ///
+    /// Every merge operation is commutative and associative — scalar sums,
+    /// set unions, histogram bucket/min/max/count/sum merges — so merging a
+    /// fixed set of reports yields the same result (and the same
+    /// [`to_json`](Report::to_json) bytes) in *any* order. Parallel sweep
+    /// shards can therefore be merged as they arrive or in canonical
+    /// submission order with identical output; keys are `BTreeMap`-ordered,
+    /// never insertion-ordered.
     pub fn merge(&mut self, other: &Report) {
         for (k, v) in other.scalars() {
             self.add(k, v);
@@ -181,6 +189,20 @@ impl Report {
         for (k, v) in other.hists() {
             self.record_hist(k, v);
         }
+    }
+
+    /// Merges a sequence of per-shard reports into one.
+    ///
+    /// The conventional spelling for collapsing a parallel sweep's shard
+    /// reports; by the commutativity of [`merge`](Report::merge) the shard
+    /// order cannot affect the result, which `xg-harness`'s sweep property
+    /// tests verify against random permutations.
+    pub fn merge_shards<'a>(shards: impl IntoIterator<Item = &'a Report>) -> Report {
+        let mut merged = Report::new();
+        for shard in shards {
+            merged.merge(shard);
+        }
+        merged
     }
 
     /// Serializes the report as a compact JSON object with `scalars`,

@@ -65,7 +65,7 @@ fn main() {
     let out = system.sim.run_with_watchdog(100_000_000, 500_000);
 
     let report = system.sim.report();
-    let shared = shared.borrow();
+    let shared = shared.lock().unwrap();
     println!("\nwhile being bombarded:");
     println!("  CPU operations completed : {}", shared.completed());
     println!("  CPU value-check failures : {}", shared.data_errors());

@@ -50,7 +50,7 @@ fn main() {
     system.start_cores();
     let outcome = system.sim.run_with_watchdog(50_000_000, 200_000);
 
-    let shared = shared.borrow();
+    let shared = shared.lock().unwrap();
     println!(
         "\nran {} operations in {} simulated cycles (deadlock: {})",
         shared.completed(),

@@ -51,7 +51,7 @@
 //! system.start_cores();
 //! let outcome = system.sim.run_with_watchdog(10_000_000, 100_000);
 //! assert!(!outcome.stalled);
-//! assert_eq!(shared.borrow().data_errors(), 0);
+//! assert_eq!(shared.lock().unwrap().data_errors(), 0);
 //! ```
 //!
 //! See `examples/` for domain scenarios (video decoding with 256 B

@@ -43,8 +43,8 @@ fn facade_quickstart_compiles_and_runs() {
     system.start_cores();
     let outcome = system.sim.run_with_watchdog(10_000_000, 100_000);
     assert!(!outcome.stalled);
-    assert_eq!(shared.borrow().data_errors(), 0);
-    assert!(shared.borrow().done());
+    assert_eq!(shared.lock().unwrap().data_errors(), 0);
+    assert!(shared.lock().unwrap().done());
 }
 
 #[test]
