@@ -5,10 +5,17 @@
 //! cargo run --release -p xg-bench --bin xg-report -- quick             # CI scale
 //! cargo run --release -p xg-bench --bin xg-report -- quick --json out.json
 //! cargo run --release -p xg-bench --bin xg-report -- quick --jobs 4
+//! cargo run --release -p xg-bench --bin xg-report -- quick --coverage
 //! ```
 //!
 //! Output feeds `EXPERIMENTS.md`. With `--json <path>`, a machine-readable
 //! run report (scalars, coverage, latency histograms) is also written.
+//!
+//! `--coverage` skips the experiment suite and instead prints the
+//! per-machine transition-coverage tables of the merged stress report: how
+//! many declared `(state, event)` rows of each table-driven controller
+//! fired, and which never did. Combine with `--json` to also write the
+//! machine-readable report (the same data under its `fsm` key).
 //!
 //! `--jobs N` (or `XG_JOBS=N`) fans the independent simulations of each
 //! experiment across N worker threads; `0` or omitted means all available
@@ -45,6 +52,18 @@ fn main() {
         Some(raw) => xg_harness::resolve_jobs(Some(xg_harness::sweep::parse_jobs(&raw))),
         None => xg_harness::resolve_jobs(None),
     };
+    if args.iter().any(|a| a == "--coverage") {
+        let report = xg_bench::collect_report_jobs(scale, jobs);
+        print!("{}", xg_bench::coverage_tables(&report));
+        if let Some(path) = json_path {
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("machine-readable report written to {path}");
+        }
+        return;
+    }
     println!("Crossing Guard evaluation report (scale: {scale:?}, jobs: {jobs})");
     println!("====================================================\n");
 

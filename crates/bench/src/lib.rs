@@ -51,6 +51,46 @@ pub fn collect_report_jobs(scale: Scale, jobs: usize) -> xg_sim::Report {
     xg_sim::Report::merge_shards(&reports)
 }
 
+/// Renders the per-machine transition-coverage sections of a merged
+/// report: one table per table-driven machine (see `xg-fsm`), each followed
+/// by a fired/total summary and the declared rows the run never exercised.
+/// Backs `xg-report --coverage`.
+pub fn coverage_tables(report: &xg_sim::Report) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (machine, cov) in report.fsms() {
+        let mut t = table::Table::new(
+            format!("transition coverage: {machine}"),
+            &["state", "event", "fired"],
+        );
+        for (s, e, n) in cov.iter() {
+            t.row(&[s.to_string(), e.to_string(), n.to_string()]);
+        }
+        out.push_str(&t.render());
+        let _ = writeln!(
+            out,
+            "rows fired: {}/{} ({})",
+            cov.fired_rows(),
+            cov.total_rows(),
+            table::percent(cov.fired_rows() as u64, cov.total_rows() as u64),
+        );
+        let never: Vec<String> = cov
+            .never_fired()
+            .map(|(s, e)| format!("{s} x {e}"))
+            .collect();
+        if never.is_empty() {
+            let _ = writeln!(out, "never fired: none");
+        } else {
+            let _ = writeln!(out, "never fired: {}", never.join(", "));
+        }
+        out.push('\n');
+    }
+    if out.is_empty() {
+        out.push_str("no transition-coverage data in report\n");
+    }
+    out
+}
+
 /// How much work to spend per experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

@@ -1,0 +1,70 @@
+//! Transition-coverage regression baseline: the seed stress configurations
+//! (the shards behind `xg-report --json` / `--coverage`) must keep
+//! exercising at least the recorded `(state, event)` rows of both guard
+//! personas. Coverage regressing below this baseline means a table
+//! migration or workload change silently stopped driving part of the
+//! protocol — exactly the drift these counters exist to catch.
+//!
+//! The baseline is the recorded behaviour of `collect_report` at
+//! `Scale::Quick` (Hammer seed 11, Mesi seed 12), which is byte-identical
+//! at any worker count.
+
+use xg_bench::{collect_report_jobs, Scale};
+
+const HAMMER_PERSONA_BASELINE: &[(&str, &str)] = &[
+    ("Get", "FwdRead"),
+    ("Get", "FwdWrite"),
+    ("Get", "MemData"),
+    ("Get", "RespAck"),
+    ("Get", "RespData"),
+    ("Idle", "FwdRead"),
+    ("Idle", "FwdWrite"),
+    ("Put_Clean", "WbAck"),
+];
+
+const MESI_PERSONA_BASELINE: &[(&str, &str)] = &[
+    ("Get", "AckIn"),
+    ("Get", "DataE"),
+    ("Get", "DataM"),
+    ("Get", "DataS"),
+    ("Get", "FwdData_M"),
+    ("Get", "FwdData_S"),
+    ("Get", "OwnerRead"),
+    ("Get_Acks", "AckIn"),
+    ("Idle", "Inv"),
+    ("Idle", "OwnerRead"),
+    ("Idle", "OwnerWrite"),
+    ("Put_Shared", "WbAck"),
+];
+
+#[test]
+fn stress_sweep_reaches_persona_coverage_baseline() {
+    let report = collect_report_jobs(Scale::Quick, 1);
+    for (machine, baseline) in [
+        ("hammer_persona", HAMMER_PERSONA_BASELINE),
+        ("mesi_persona", MESI_PERSONA_BASELINE),
+    ] {
+        let cov = report
+            .fsm(machine)
+            .unwrap_or_else(|| panic!("{machine} coverage missing from report"));
+        let missing: Vec<_> = baseline
+            .iter()
+            .filter(|(s, e)| cov.count(s, e) == 0)
+            .collect();
+        assert!(
+            missing.is_empty(),
+            "{machine} coverage regressed below baseline; rows no longer fired: \
+             {missing:?} (fired {}/{})",
+            cov.fired_rows(),
+            cov.total_rows(),
+        );
+        // Every fired row must be a declared row of the table — firing an
+        // undeclared row would mean the coverage instrument lies.
+        for (s, e, n) in cov.iter() {
+            assert!(
+                n == 0 || cov.is_declared(s, e),
+                "{machine} fired undeclared row ({s}, {e})"
+            );
+        }
+    }
+}

@@ -30,44 +30,10 @@ use xg_sim::{Component, Cycle, Histogram, NodeId, Report};
 use crate::config::{XgConfig, XgVariant};
 use crate::hammer_side::HammerPersona;
 use crate::mesi_side::MesiPersona;
-use crate::persona::{DemandKind, DemandResponse, GetReq, GrantState, PersonaEvent, PutReq};
+use crate::persona::{
+    DemandKind, DemandResponse, GetReq, GrantState, HostPersona, PersonaEvent, PutReq,
+};
 use crate::rate_limit::TokenBucket;
-
-/// Which host protocol the persona speaks.
-enum Persona {
-    Hammer(HammerPersona),
-    Mesi(MesiPersona),
-}
-
-impl Persona {
-    fn issue_get(&mut self, h: BlockAddr, kind: GetReq, ctx: &mut Ctx<'_>) {
-        match self {
-            Persona::Hammer(p) => p.issue_get(h, kind, ctx),
-            Persona::Mesi(p) => p.issue_get(h, kind, ctx),
-        }
-    }
-    fn issue_put(&mut self, h: BlockAddr, put: PutReq, ctx: &mut Ctx<'_>) {
-        match self {
-            Persona::Hammer(p) => p.issue_put(h, put, ctx),
-            Persona::Mesi(p) => p.issue_put(h, put, ctx),
-        }
-    }
-    fn respond_demand(&mut self, h: BlockAddr, resp: DemandResponse, ctx: &mut Ctx<'_>) {
-        match self {
-            Persona::Hammer(p) => p.respond_demand(h, resp, ctx),
-            Persona::Mesi(p) => p.respond_demand(h, resp, ctx),
-        }
-    }
-    fn open_txns(&self) -> usize {
-        match self {
-            Persona::Hammer(p) => p.open_txns(),
-            Persona::Mesi(p) => p.open_txns(),
-        }
-    }
-    fn is_mesi(&self) -> bool {
-        matches!(self, Persona::Mesi(_))
-    }
-}
 
 /// What the Full State variant records about one accelerator block.
 #[derive(Debug, Clone)]
@@ -146,7 +112,7 @@ pub struct CrossingGuard {
     os: NodeId,
     cfg: XgConfig,
     k: u64,
-    persona: Persona,
+    persona: Box<dyn HostPersona>,
     /// Full State table (None for Transactional).
     table: Option<HashMap<BlockAddr, Entry>>,
     shadow_blocks: u64,
@@ -173,13 +139,7 @@ impl CrossingGuard {
         os: NodeId,
         cfg: XgConfig,
     ) -> Self {
-        Self::new(
-            name,
-            accel,
-            os,
-            Persona::Hammer(HammerPersona::new(dir)),
-            cfg,
-        )
+        Self::new(name, accel, os, Box::new(HammerPersona::new(dir)), cfg)
     }
 
     /// Creates a guard for an inclusive-MESI host; `l2` is the shared host
@@ -191,14 +151,14 @@ impl CrossingGuard {
         os: NodeId,
         cfg: XgConfig,
     ) -> Self {
-        Self::new(name, accel, os, Persona::Mesi(MesiPersona::new(l2)), cfg)
+        Self::new(name, accel, os, Box::new(MesiPersona::new(l2)), cfg)
     }
 
     fn new(
         name: impl Into<String>,
         accel: NodeId,
         os: NodeId,
-        persona: Persona,
+        persona: Box<dyn HostPersona>,
         cfg: XgConfig,
     ) -> Self {
         assert!(cfg.block_blocks >= 1, "block_blocks must be at least 1");
@@ -507,7 +467,11 @@ impl CrossingGuard {
                     );
                 }
             }
-            _ => unreachable!("filtered in admit_request"),
+            _ => {
+                // Filtered by `admit_request`; count rather than panic if a
+                // refactor ever breaks the invariant.
+                self.report_error(Some(a), XgErrorKind::Malformed, ctx);
+            }
         }
     }
 
@@ -529,12 +493,9 @@ impl CrossingGuard {
             self.send_accel(a, XgiKind::WbAck, ctx);
             return;
         }
-        let suppress = match &self.persona {
-            // Hammer evicts shared blocks silently: there is nothing to
-            // forward (paper §2.1).
-            Persona::Hammer(_) => true,
-            Persona::Mesi(_) => self.cfg.suppress_put_s,
-        };
+        // Hammer evicts shared blocks silently: there is nothing to forward
+        // (paper §2.1). MESI forwards unless configured to suppress.
+        let suppress = !self.persona.is_mesi() || self.cfg.suppress_put_s;
         if suppress {
             self.stats.puts_suppressed += 1;
             self.send_accel(a, XgiKind::WbAck, ctx);
@@ -685,7 +646,12 @@ impl CrossingGuard {
                     }
                 }
             }
-            _ => unreachable!("is_accel_response checked by caller"),
+            _ => {
+                // `is_accel_response` checked by the caller; never panic on
+                // a protocol path.
+                self.report_error(Some(a), XgErrorKind::Malformed, ctx);
+                return;
+            }
         };
 
         // Shadowed read-only blocks answer from the trusted shadow.
@@ -863,13 +829,15 @@ impl CrossingGuard {
         let complete = match self.reqs.get_mut(&a) {
             Some(AccelReq::Get { grants, .. }) => {
                 grants.insert(h.as_u64() - a.as_u64(), (state, data, dirty));
-                grants.len() as u64 == self.k
+                Some(grants.len() as u64 == self.k)
             }
-            _ => {
-                // A grant with no open request would be a persona bug.
-                debug_assert!(false, "grant without request");
-                false
-            }
+            _ => None,
+        };
+        let Some(complete) = complete else {
+            // A grant with no open request is a persona-to-guard desync;
+            // count it instead of panicking on a protocol path.
+            self.report_error(Some(h), XgErrorKind::UnsolicitedResponse, ctx);
+            return;
         };
         if complete {
             self.finalize_grant(a, ctx);
@@ -911,7 +879,9 @@ impl CrossingGuard {
             ..
         }) = self.reqs.remove(&a)
         else {
-            unreachable!("checked by caller")
+            // Both callers verified the open Get; count rather than panic.
+            self.report_error(Some(a), XgErrorKind::UnsolicitedResponse, ctx);
+            return;
         };
         self.stats
             .lat_grant
@@ -980,13 +950,15 @@ impl CrossingGuard {
         let a = self.align(h);
         let complete = match self.reqs.get_mut(&a) {
             Some(AccelReq::Put { pending, .. }) => {
-                *pending -= 1;
-                *pending == 0
+                *pending = pending.saturating_sub(1);
+                Some(*pending == 0)
             }
-            _ => {
-                debug_assert!(false, "put completion without request");
-                false
-            }
+            _ => None,
+        };
+        let Some(complete) = complete else {
+            // A Put completion with no open request: count, don't panic.
+            self.report_error(Some(h), XgErrorKind::UnsolicitedResponse, ctx);
+            return;
         };
         if complete {
             if let Some(AccelReq::Put { started, .. }) = self.reqs.remove(&a) {
@@ -1210,21 +1182,15 @@ impl Component<Message> for CrossingGuard {
             }
             Message::Hammer(h) => {
                 let mut events = Vec::new();
-                match &mut self.persona {
-                    Persona::Hammer(p) => p.handle_host(&h, &mut events, ctx),
-                    Persona::Mesi(_) => {
-                        self.report_error(Some(h.addr), XgErrorKind::Malformed, ctx);
-                    }
+                if !self.persona.handle_hammer(&h, &mut events, ctx) {
+                    self.report_error(Some(h.addr), XgErrorKind::Malformed, ctx);
                 }
                 self.process_events(events, ctx);
             }
             Message::Mesi(m) => {
                 let mut events = Vec::new();
-                match &mut self.persona {
-                    Persona::Mesi(p) => p.handle_host(&m, &mut events, ctx),
-                    Persona::Hammer(_) => {
-                        self.report_error(Some(m.addr), XgErrorKind::Malformed, ctx);
-                    }
+                if !self.persona.handle_mesi(&m, &mut events, ctx) {
+                    self.report_error(Some(m.addr), XgErrorKind::Malformed, ctx);
                 }
                 self.process_events(events, ctx);
             }
@@ -1267,32 +1233,16 @@ impl Component<Message> for CrossingGuard {
         for (kind, count) in &self.errors {
             out.add(format!("{n}.errors.{kind}"), *count);
         }
-        let (sent, puts_sent, received, violations) = match &self.persona {
-            Persona::Hammer(p) => (
-                p.stats.sent,
-                p.stats.puts_sent,
-                p.stats.received,
-                p.stats.violations,
-            ),
-            Persona::Mesi(p) => (
-                p.stats.sent,
-                p.stats.puts_sent,
-                p.stats.received,
-                p.stats.violations,
-            ),
-        };
-        out.add(format!("{n}.host_sent"), sent);
-        out.add(format!("{n}.host_puts_sent"), puts_sent);
-        out.add(format!("{n}.host_received"), received);
-        out.add(format!("{n}.persona_violations"), violations);
+        let pstats = self.persona.stats();
+        out.add(format!("{n}.host_sent"), pstats.sent);
+        out.add(format!("{n}.host_puts_sent"), pstats.puts_sent);
+        out.add(format!("{n}.host_received"), pstats.received);
+        out.add(format!("{n}.persona_violations"), pstats.violations);
         out.record_hist(format!("{n}.lat.grant"), &self.stats.lat_grant);
         out.record_hist(format!("{n}.lat.wback"), &self.stats.lat_wback);
         out.record_hist(format!("{n}.lat.inv_resp"), &self.stats.lat_inv_resp);
-        let host_rtt = match &self.persona {
-            Persona::Hammer(p) => &p.stats.host_rtt,
-            Persona::Mesi(p) => &p.stats.host_rtt,
-        };
-        out.record_hist(format!("{n}.lat.host_rtt"), host_rtt);
+        out.record_hist(format!("{n}.lat.host_rtt"), &self.persona.stats().host_rtt);
+        self.persona.record_machine(out);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

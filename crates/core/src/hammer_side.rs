@@ -7,16 +7,128 @@
 //! forwards, and answering the forward broadcast for every transaction in
 //! the system — including blocks neither the guard nor the accelerator has
 //! ever touched.
+//!
+//! The host-facing dispatch is table-driven (see [`table`]): per-block
+//! transaction state abstracts to a [`PState`], each wire message refines
+//! to a [`PEvent`] (a forward racing our writeback is a different event
+//! than one opening a demand), and the `xg-fsm` table decides legality.
 
 use std::collections::HashMap;
 
+use xg_fsm::{alphabet, Controller, Machine, Step, Table, TableBuilder};
 use xg_mem::{BlockAddr, DataBlock};
 use xg_proto::{Ctx, HammerKind, HammerMsg};
-use xg_sim::{Cycle, NodeId};
+use xg_sim::{Cycle, NodeId, Report};
 
 use crate::persona::{
-    DemandKind, DemandResponse, GetReq, GrantState, PersonaEvent, PersonaStats, PutReq, Requestor,
+    DemandKind, DemandResponse, GetReq, GrantState, HostPersona, PersonaEvent, PersonaStats,
+    PutReq, Requestor,
 };
+
+alphabet! {
+    /// Abstract per-block transaction state of the Hammer persona.
+    pub enum PState {
+        /// No host transaction open for the block.
+        Idle,
+        /// A Get is collecting `MemData` + peer responses.
+        Get,
+        /// A two-phase Put awaiting `WbAck`, copy still live.
+        PutClean = "Put_Clean",
+        /// A Put whose copy a forward already consumed.
+        PutInvd = "Put_Invd",
+    }
+}
+
+alphabet! {
+    /// Classified host stimulus. Forwards racing our own writeback and
+    /// forwards colliding with a still-open demand refine to their own
+    /// events; everything else keeps its wire identity.
+    pub enum PEvent {
+        /// `FwdGetS` (someone reads; owner may keep a copy).
+        FwdRead,
+        /// `FwdGetSOnly` (non-upgradable read; owner keeps a copy).
+        FwdReadOnly,
+        /// `FwdGetM` (someone writes; our copy must die).
+        FwdWrite,
+        /// Any forward while a demand for the block is already open —
+        /// the directory serializes per block, so this is desync.
+        FwdDesync,
+        MemData,
+        RespData,
+        RespAck,
+        WbAck,
+        WbNack,
+        /// A message kind the persona never receives.
+        Stray,
+    }
+}
+
+alphabet! {
+    /// Symbolic persona actions.
+    pub enum PAction {
+        /// Record a demand and surface it to the guard.
+        OpenDemand,
+        /// Answer a forward from the pending writeback's data.
+        AnswerFromWb,
+        /// Answer a forward with "no copy" (writeback already consumed).
+        AnswerNoCopy,
+        /// Record the directory's data + peer-response expectation.
+        RecordMemData,
+        /// Record a peer data response (keep the best copy).
+        RecordPeerData,
+        /// Record a peer ack.
+        RecordPeerAck,
+        /// Complete the Get if all responses are in.
+        TryComplete,
+        /// `WbAck` arrived: send the writeback data, finish the Put.
+        CompletePutAck,
+        /// `WbNack` arrived: finish the Put without data.
+        CompletePutNack,
+        /// A nack for a never-invalidated Put is a host desync; count it.
+        NoteUnexpectedNack,
+    }
+}
+
+/// The validated `hammer_persona` transition table.
+pub fn table() -> &'static Table<PState, PEvent, PAction> {
+    static T: std::sync::OnceLock<Table<PState, PEvent, PAction>> = std::sync::OnceLock::new();
+    T.get_or_init(|| {
+        use PAction::*;
+        use PEvent::*;
+        use PState::*;
+        let mut b = TableBuilder::new("hammer_persona");
+        // The broadcast reaches every cache; blocks we know nothing about
+        // still get demands surfaced (answered "no copy" by the guard).
+        for s in [Idle, Get] {
+            for e in [FwdRead, FwdReadOnly, FwdWrite] {
+                b.on(s, e, &[OpenDemand], s);
+            }
+        }
+        // A forward racing our writeback is resolved here, from the
+        // writeback data — the accelerator already gave the block up.
+        b.on(PutClean, FwdRead, &[AnswerFromWb], PutInvd);
+        b.on(PutClean, FwdReadOnly, &[AnswerFromWb], PutClean);
+        b.on(PutClean, FwdWrite, &[AnswerFromWb], PutInvd);
+        for e in [FwdRead, FwdReadOnly, FwdWrite] {
+            b.on(PutInvd, e, &[AnswerNoCopy], PutInvd);
+        }
+        b.on_dyn(Get, MemData, &[RecordMemData, TryComplete]);
+        b.on_dyn(Get, RespData, &[RecordPeerData, TryComplete]);
+        b.on_dyn(Get, RespAck, &[RecordPeerAck, TryComplete]);
+        b.on(PutClean, WbAck, &[CompletePutAck], Idle);
+        b.on(PutInvd, WbAck, &[CompletePutAck], Idle);
+        b.on(
+            PutClean,
+            WbNack,
+            &[NoteUnexpectedNack, CompletePutNack],
+            Idle,
+        );
+        b.on(PutInvd, WbNack, &[CompletePutNack], Idle);
+        b.violation_rest();
+        b.build()
+            .expect("hammer_persona table is deterministic and total")
+    })
+}
 
 #[derive(Debug)]
 enum Txn {
@@ -42,12 +154,21 @@ struct DemandCtx {
     requestor: Requestor,
 }
 
+/// Per-dispatch context for [`PAction`] interpretation.
+pub struct PCx<'a, 'b, 'e> {
+    ctx: &'a mut Ctx<'b>,
+    events: &'e mut Vec<PersonaEvent>,
+    h: BlockAddr,
+    kind: HammerKind,
+}
+
 /// Crossing Guard's Hammer-protocol half.
 pub(crate) struct HammerPersona {
     dir: NodeId,
     txns: HashMap<BlockAddr, Txn>,
     demands: HashMap<BlockAddr, DemandCtx>,
     pub(crate) stats: PersonaStats,
+    machine: Machine<PState, PEvent, PAction>,
 }
 
 impl HammerPersona {
@@ -57,6 +178,7 @@ impl HammerPersona {
             txns: HashMap::new(),
             demands: HashMap::new(),
             stats: PersonaStats::default(),
+            machine: Machine::new(table()),
         }
     }
 
@@ -71,8 +193,46 @@ impl HammerPersona {
         ctx.send(to, HammerMsg::new(addr, kind).into());
     }
 
-    pub(crate) fn open_txns(&self) -> usize {
-        self.txns.len() + self.demands.len()
+    /// Abstract state of `h` for table dispatch.
+    fn p_state(&self, h: BlockAddr) -> PState {
+        match self.txns.get(&h) {
+            Some(Txn::Get { .. }) => PState::Get,
+            Some(Txn::Put {
+                invalidated: false, ..
+            }) => PState::PutClean,
+            Some(Txn::Put {
+                invalidated: true, ..
+            }) => PState::PutInvd,
+            None => PState::Idle,
+        }
+    }
+
+    /// Refines a wire message into a table event.
+    fn classify(&self, h: BlockAddr, kind: &HammerKind) -> PEvent {
+        match kind {
+            HammerKind::FwdGetS { .. }
+            | HammerKind::FwdGetSOnly { .. }
+            | HammerKind::FwdGetM { .. } => {
+                // A racing Put answers the forward itself; otherwise a
+                // second forward while one demand is open means desync.
+                if !matches!(self.txns.get(&h), Some(Txn::Put { .. }))
+                    && self.demands.contains_key(&h)
+                {
+                    return PEvent::FwdDesync;
+                }
+                match kind {
+                    HammerKind::FwdGetS { .. } => PEvent::FwdRead,
+                    HammerKind::FwdGetSOnly { .. } => PEvent::FwdReadOnly,
+                    _ => PEvent::FwdWrite,
+                }
+            }
+            HammerKind::MemData { .. } => PEvent::MemData,
+            HammerKind::RespData { .. } => PEvent::RespData,
+            HammerKind::RespAck { .. } => PEvent::RespAck,
+            HammerKind::WbAck => PEvent::WbAck,
+            HammerKind::WbNack => PEvent::WbNack,
+            _ => PEvent::Stray,
+        }
     }
 
     // ----- guard-facing API -------------------------------------------------
@@ -154,172 +314,34 @@ impl HammerPersona {
         ctx.trace(h.as_u64(), "hammer-persona", "Recv", || {
             format!("{:?}", msg.kind)
         });
-        match msg.kind {
+        let state = self.p_state(h);
+        let event = self.classify(h, &msg.kind);
+        let mut cx = PCx {
+            ctx,
+            events,
+            h,
+            kind: msg.kind,
+        };
+        self.dispatch(state, event, &mut cx);
+    }
+
+    /// `(requestor, demand kind)` of a forward message.
+    fn fwd_parts(kind: &HammerKind) -> Option<(NodeId, DemandKind)> {
+        match *kind {
             HammerKind::FwdGetS {
                 requestor,
                 to_owner,
-            } => self.handle_fwd(h, requestor, DemandKind::Read { to_owner }, events, ctx),
+            } => Some((requestor, DemandKind::Read { to_owner })),
             HammerKind::FwdGetSOnly {
                 requestor,
                 to_owner,
-            } => self.handle_fwd(h, requestor, DemandKind::ReadOnly { to_owner }, events, ctx),
+            } => Some((requestor, DemandKind::ReadOnly { to_owner })),
             HammerKind::FwdGetM {
                 requestor,
                 to_owner,
-            } => self.handle_fwd(h, requestor, DemandKind::Write { to_owner }, events, ctx),
-            HammerKind::MemData { data, peers } => {
-                match self.txns.get_mut(&h) {
-                    Some(Txn::Get {
-                        peers_expected,
-                        mem,
-                        ..
-                    }) => {
-                        *peers_expected = Some(peers);
-                        *mem = Some(data);
-                    }
-                    _ => {
-                        self.stats.violations += 1;
-                        return;
-                    }
-                }
-                self.try_complete(h, events, ctx);
-            }
-            HammerKind::RespData {
-                data,
-                dirty,
-                owner_keeps_copy,
-            } => {
-                match self.txns.get_mut(&h) {
-                    Some(Txn::Get { resps, peer, .. }) => {
-                        *resps += 1;
-                        let replace = match peer {
-                            None => true,
-                            Some((_, old_dirty, _)) => dirty && !*old_dirty,
-                        };
-                        if replace {
-                            *peer = Some((data, dirty, owner_keeps_copy));
-                        }
-                    }
-                    _ => {
-                        self.stats.violations += 1;
-                        return;
-                    }
-                }
-                self.try_complete(h, events, ctx);
-            }
-            HammerKind::RespAck { had_copy } => {
-                match self.txns.get_mut(&h) {
-                    Some(Txn::Get {
-                        resps,
-                        had_copy: hc,
-                        ..
-                    }) => {
-                        *resps += 1;
-                        *hc |= had_copy;
-                    }
-                    _ => {
-                        self.stats.violations += 1;
-                        return;
-                    }
-                }
-                self.try_complete(h, events, ctx);
-            }
-            HammerKind::WbAck => match self.txns.remove(&h) {
-                Some(Txn::Put {
-                    data,
-                    dirty,
-                    started,
-                    ..
-                }) => {
-                    self.send(self.dir, h, HammerKind::WbData { data, dirty }, ctx);
-                    self.stats
-                        .host_rtt
-                        .record(ctx.now().saturating_since(started));
-                    events.push(PersonaEvent::PutDone { h });
-                }
-                other => {
-                    self.restore(h, other);
-                    self.stats.violations += 1;
-                }
-            },
-            HammerKind::WbNack => match self.txns.remove(&h) {
-                Some(Txn::Put {
-                    invalidated,
-                    started,
-                    ..
-                }) => {
-                    if !invalidated {
-                        self.stats.violations += 1;
-                    }
-                    self.stats
-                        .host_rtt
-                        .record(ctx.now().saturating_since(started));
-                    events.push(PersonaEvent::PutDone { h });
-                }
-                other => {
-                    self.restore(h, other);
-                    self.stats.violations += 1;
-                }
-            },
-            _ => self.stats.violations += 1,
+            } => Some((requestor, DemandKind::Write { to_owner })),
+            _ => None,
         }
-    }
-
-    fn restore(&mut self, h: BlockAddr, txn: Option<Txn>) {
-        if let Some(txn) = txn {
-            self.txns.insert(h, txn);
-        }
-    }
-
-    fn handle_fwd(
-        &mut self,
-        h: BlockAddr,
-        requestor: NodeId,
-        kind: DemandKind,
-        events: &mut Vec<PersonaEvent>,
-        ctx: &mut Ctx<'_>,
-    ) {
-        // A forward racing our own writeback is resolved right here, from
-        // the writeback data — the accelerator already gave the block up.
-        if let Some(Txn::Put {
-            data,
-            dirty,
-            invalidated,
-            ..
-        }) = self.txns.get(&h)
-        {
-            let (data, dirty, was_invalidated) = (*data, *dirty, *invalidated);
-            if was_invalidated {
-                self.send(requestor, h, HammerKind::RespAck { had_copy: false }, ctx);
-                return;
-            }
-            let keeps_copy = matches!(kind, DemandKind::ReadOnly { .. });
-            self.send(
-                requestor,
-                h,
-                HammerKind::RespData {
-                    data,
-                    dirty,
-                    owner_keeps_copy: keeps_copy,
-                },
-                ctx,
-            );
-            if !keeps_copy {
-                if let Some(Txn::Put { invalidated, .. }) = self.txns.get_mut(&h) {
-                    *invalidated = true;
-                }
-            }
-            return;
-        }
-        if self.demands.contains_key(&h) {
-            // The directory serializes per block; two live demands for the
-            // same block mean desync. Answer safely.
-            self.stats.violations += 1;
-            self.send(requestor, h, HammerKind::RespAck { had_copy: false }, ctx);
-            return;
-        }
-        self.demands.insert(h, DemandCtx { requestor });
-        events.push(PersonaEvent::Demand { h, kind });
     }
 
     fn try_complete(&mut self, h: BlockAddr, events: &mut Vec<PersonaEvent>, ctx: &mut Ctx<'_>) {
@@ -337,19 +359,21 @@ impl HammerPersona {
         }
         let Some(Txn::Get {
             kind,
-            mem,
+            mem: Some(mem),
             peer,
             had_copy,
             started,
             ..
         }) = self.txns.remove(&h)
         else {
-            unreachable!("checked above")
+            // `ready` above guarantees the shape; never panic on a protocol
+            // path.
+            self.stats.violations += 1;
+            return;
         };
         self.stats
             .host_rtt
             .record(ctx.now().saturating_since(started));
-        let mem = mem.expect("checked above");
         let (state, dirty, data) = match kind {
             GetReq::M => {
                 let (data, dirty) = peer.map(|(d, dy, _)| (d, dy)).unwrap_or((mem, false));
@@ -379,5 +403,194 @@ impl HammerPersona {
             data,
             dirty,
         });
+    }
+}
+
+impl<'a, 'b, 'e> Controller<PState, PEvent, PAction, PCx<'a, 'b, 'e>> for HammerPersona {
+    fn machine(&mut self) -> &mut Machine<PState, PEvent, PAction> {
+        &mut self.machine
+    }
+
+    fn apply(&mut self, action: PAction, _step: Step<PState, PEvent>, cx: &mut PCx<'a, 'b, 'e>) {
+        let h = cx.h;
+        match action {
+            PAction::OpenDemand => {
+                let Some((requestor, kind)) = Self::fwd_parts(&cx.kind) else {
+                    self.stats.violations += 1;
+                    return;
+                };
+                self.demands.insert(h, DemandCtx { requestor });
+                cx.events.push(PersonaEvent::Demand { h, kind });
+            }
+            PAction::AnswerFromWb => {
+                let Some(Txn::Put { data, dirty, .. }) = self.txns.get(&h) else {
+                    self.stats.violations += 1;
+                    return;
+                };
+                let (data, dirty) = (*data, *dirty);
+                let Some((requestor, kind)) = Self::fwd_parts(&cx.kind) else {
+                    self.stats.violations += 1;
+                    return;
+                };
+                let keeps_copy = matches!(kind, DemandKind::ReadOnly { .. });
+                self.send(
+                    requestor,
+                    h,
+                    HammerKind::RespData {
+                        data,
+                        dirty,
+                        owner_keeps_copy: keeps_copy,
+                    },
+                    cx.ctx,
+                );
+                if !keeps_copy {
+                    if let Some(Txn::Put { invalidated, .. }) = self.txns.get_mut(&h) {
+                        *invalidated = true;
+                    }
+                }
+            }
+            PAction::AnswerNoCopy => {
+                let Some((requestor, _)) = Self::fwd_parts(&cx.kind) else {
+                    self.stats.violations += 1;
+                    return;
+                };
+                self.send(
+                    requestor,
+                    h,
+                    HammerKind::RespAck { had_copy: false },
+                    cx.ctx,
+                );
+            }
+            PAction::RecordMemData => {
+                if let (
+                    HammerKind::MemData { data, peers },
+                    Some(Txn::Get {
+                        peers_expected,
+                        mem,
+                        ..
+                    }),
+                ) = (cx.kind, self.txns.get_mut(&h))
+                {
+                    *peers_expected = Some(peers);
+                    *mem = Some(data);
+                }
+            }
+            PAction::RecordPeerData => {
+                if let (
+                    HammerKind::RespData {
+                        data,
+                        dirty,
+                        owner_keeps_copy,
+                    },
+                    Some(Txn::Get { resps, peer, .. }),
+                ) = (cx.kind, self.txns.get_mut(&h))
+                {
+                    *resps += 1;
+                    let replace = match peer {
+                        None => true,
+                        Some((_, old_dirty, _)) => dirty && !*old_dirty,
+                    };
+                    if replace {
+                        *peer = Some((data, dirty, owner_keeps_copy));
+                    }
+                }
+            }
+            PAction::RecordPeerAck => {
+                if let (
+                    HammerKind::RespAck { had_copy },
+                    Some(Txn::Get {
+                        resps,
+                        had_copy: hc,
+                        ..
+                    }),
+                ) = (cx.kind, self.txns.get_mut(&h))
+                {
+                    *resps += 1;
+                    *hc |= had_copy;
+                }
+            }
+            PAction::TryComplete => self.try_complete(h, cx.events, cx.ctx),
+            PAction::CompletePutAck => {
+                let Some(Txn::Put {
+                    data,
+                    dirty,
+                    started,
+                    ..
+                }) = self.txns.remove(&h)
+                else {
+                    self.stats.violations += 1;
+                    return;
+                };
+                self.send(self.dir, h, HammerKind::WbData { data, dirty }, cx.ctx);
+                self.stats
+                    .host_rtt
+                    .record(cx.ctx.now().saturating_since(started));
+                cx.events.push(PersonaEvent::PutDone { h });
+            }
+            PAction::CompletePutNack => {
+                let Some(Txn::Put { started, .. }) = self.txns.remove(&h) else {
+                    self.stats.violations += 1;
+                    return;
+                };
+                self.stats
+                    .host_rtt
+                    .record(cx.ctx.now().saturating_since(started));
+                cx.events.push(PersonaEvent::PutDone { h });
+            }
+            PAction::NoteUnexpectedNack => self.stats.violations += 1,
+        }
+    }
+
+    fn stalled(&mut self, _step: Step<PState, PEvent>, _cx: &mut PCx<'a, 'b, 'e>) {
+        // The persona never stalls: the directory serializes per block.
+    }
+
+    fn violated(&mut self, step: Step<PState, PEvent>, cx: &mut PCx<'a, 'b, 'e>) {
+        self.stats.violations += 1;
+        if step.event == PEvent::FwdDesync {
+            // Two live demands for one block mean desync; answer safely so
+            // the requestor is never left hanging.
+            if let Some((requestor, _)) = Self::fwd_parts(&cx.kind) {
+                self.send(
+                    requestor,
+                    cx.h,
+                    HammerKind::RespAck { had_copy: false },
+                    cx.ctx,
+                );
+            }
+        }
+    }
+}
+
+impl HostPersona for HammerPersona {
+    fn issue_get(&mut self, h: BlockAddr, kind: GetReq, ctx: &mut Ctx<'_>) {
+        HammerPersona::issue_get(self, h, kind, ctx);
+    }
+    fn issue_put(&mut self, h: BlockAddr, put: PutReq, ctx: &mut Ctx<'_>) {
+        HammerPersona::issue_put(self, h, put, ctx);
+    }
+    fn respond_demand(&mut self, h: BlockAddr, resp: DemandResponse, ctx: &mut Ctx<'_>) {
+        HammerPersona::respond_demand(self, h, resp, ctx);
+    }
+    fn open_txns(&self) -> usize {
+        self.txns.len() + self.demands.len()
+    }
+    fn is_mesi(&self) -> bool {
+        false
+    }
+    fn stats(&self) -> &PersonaStats {
+        &self.stats
+    }
+    fn handle_hammer(
+        &mut self,
+        msg: &HammerMsg,
+        events: &mut Vec<PersonaEvent>,
+        ctx: &mut Ctx<'_>,
+    ) -> bool {
+        self.handle_host(msg, events, ctx);
+        true
+    }
+    fn record_machine(&self, out: &mut Report) {
+        self.machine.record_into(out);
     }
 }

@@ -56,3 +56,10 @@ pub use config::{OsPolicy, RateLimit, XgConfig, XgVariant};
 pub use guard::CrossingGuard;
 pub use os::Os;
 pub use rate_limit::TokenBucket;
+
+/// The validated transition tables of this crate's table-driven machines,
+/// gathered for the table-dump and golden-table tooling.
+pub mod tables {
+    pub use crate::hammer_side::table as hammer_persona;
+    pub use crate::mesi_side::table as mesi_persona;
+}

@@ -4,16 +4,165 @@
 //! names a number of sharers; their `InvAck`s arrive directly from sibling
 //! caches), owner forwarding, recalls, and the writeback/forward races —
 //! none of which cross the standardized interface to the accelerator.
+//!
+//! The host-facing dispatch is table-driven (see [`table`]): per-block
+//! transaction state abstracts to a [`PState`], and each wire message
+//! refines to a [`PEvent`] — an `Inv` hitting our racing `PutS` is a
+//! different event from one aimed at a live shared copy, and an owner
+//! demand served from a pending writeback is distinct from one that must
+//! cross to the accelerator. The `xg-fsm` table decides legality; the
+//! symbolic [`PAction`]s move the data.
 
 use std::collections::HashMap;
 
+use xg_fsm::{alphabet, Controller, Machine, Step, Table, TableBuilder};
 use xg_mem::{BlockAddr, DataBlock};
 use xg_proto::{Ctx, MesiKind, MesiMsg};
-use xg_sim::{Cycle, NodeId};
+use xg_sim::{Cycle, NodeId, Report};
 
 use crate::persona::{
-    DemandKind, DemandResponse, GetReq, GrantState, PersonaEvent, PersonaStats, PutReq, Requestor,
+    DemandKind, DemandResponse, GetReq, GrantState, HostPersona, PersonaEvent, PersonaStats,
+    PutReq, Requestor,
 };
+
+alphabet! {
+    /// Abstract per-block transaction state of the MESI persona.
+    pub enum PState {
+        /// No host transaction open for the block.
+        Idle,
+        /// A Get awaiting its grant.
+        Get,
+        /// Grant received, still collecting invalidation acks.
+        GetAcks = "Get_Acks",
+        /// A `PutS` awaiting its ack, copy still live.
+        PutShared = "Put_Shared",
+        /// An owner Put (`PutE`/`PutM`) awaiting its ack, copy still live.
+        PutOwned = "Put_Owned",
+        /// A Put whose copy a demand already consumed.
+        PutInvd = "Put_Invd",
+    }
+}
+
+alphabet! {
+    /// Classified host stimulus: wire kind refined by the open transaction
+    /// and demand bookkeeping.
+    pub enum PEvent {
+        DataS,
+        DataE,
+        DataM,
+        /// `FwdData { exclusive: false }` from a sibling owner.
+        FwdDataS = "FwdData_S",
+        /// `FwdData { exclusive: true }` from a sibling owner.
+        FwdDataM = "FwdData_M",
+        /// An `InvAck` counting toward our own `DataM { acks }` debt.
+        AckIn,
+        /// `Inv` aimed at a (possible) live copy; crosses to the guard.
+        Inv,
+        /// `Inv` racing our `PutS`.
+        InvPutS = "Inv_PutS",
+        /// Stale `Inv` at an owner-putter.
+        InvPutOwned = "Inv_PutOwned",
+        /// `Inv` while a demand is already open: desync, acked safely.
+        InvDesync,
+        /// `FwdGetS` that must cross to the guard.
+        OwnerRead,
+        /// `FwdGetM` that must cross to the guard.
+        OwnerWrite,
+        /// `Recall` that must cross to the guard.
+        OwnerRecall,
+        /// `FwdGetS` served from our pending owner writeback.
+        OwnerReadPut = "OwnerRead_Put",
+        /// `FwdGetM` served from our pending owner writeback.
+        OwnerWritePut = "OwnerWrite_Put",
+        /// `Recall` served from our pending owner writeback.
+        OwnerRecallPut = "OwnerRecall_Put",
+        /// An owner demand while another demand is already open: desync.
+        OwnerDesync,
+        WbAck,
+        WbNack,
+        /// A message kind the persona never receives.
+        Stray,
+    }
+}
+
+alphabet! {
+    /// Symbolic persona actions.
+    pub enum PAction {
+        /// Record the grant payload and the announced ack debt.
+        RecordGrant,
+        /// Count one invalidation ack.
+        RecordAck,
+        /// Complete the Get if grant + all acks are in.
+        TryComplete,
+        /// Record a demand and surface it to the guard.
+        OpenDemand,
+        /// Park an owner demand that raced ahead of our own grant.
+        DeferDemand,
+        /// Ack the `Inv` racing our `PutS`; finish the Put if its nack
+        /// already overtook us.
+        AckInvalidatePut,
+        /// Ack a stale `Inv` at an owner-putter.
+        AckStaleInv,
+        /// Serve a read from the pending writeback; we demote to a sharer.
+        ServeReadFromPut,
+        /// Surrender the pending writeback's data to a writer.
+        ServeWriteFromPut,
+        /// Surrender the pending writeback's data to a recall.
+        ServeRecallFromPut,
+        /// The Put's ack (or explained nack) arrived: finish it.
+        CompletePut,
+        /// A nack overtook its explaining demand; hold until it lands.
+        MarkNacked,
+    }
+}
+
+/// The validated `mesi_persona` transition table.
+pub fn table() -> &'static Table<PState, PEvent, PAction> {
+    static T: std::sync::OnceLock<Table<PState, PEvent, PAction>> = std::sync::OnceLock::new();
+    T.get_or_init(|| {
+        use PAction::*;
+        use PEvent::*;
+        use PState::*;
+        let mut b = TableBuilder::new("mesi_persona");
+        for e in [DataS, DataE, DataM, FwdDataS, FwdDataM] {
+            b.on_dyn(Get, e, &[RecordGrant, TryComplete]);
+        }
+        // Acks may race ahead of the grant that announces their count.
+        b.on_dyn(Get, AckIn, &[RecordAck, TryComplete]);
+        b.on_dyn(GetAcks, AckIn, &[RecordAck, TryComplete]);
+        for s in [Idle, Get, GetAcks] {
+            b.on(s, Inv, &[OpenDemand], s);
+        }
+        b.on_dyn(PutShared, InvPutS, &[AckInvalidatePut]);
+        b.on_dyn(PutInvd, InvPutS, &[AckInvalidatePut]);
+        b.on(PutOwned, InvPutOwned, &[AckStaleInv], PutOwned);
+        b.on(PutInvd, InvPutOwned, &[AckStaleInv], PutInvd);
+        // Owner demands racing ahead of our own grant wait for it (the
+        // textbook IM race, invisible to the accelerator).
+        for s in [Get, GetAcks] {
+            for e in [OwnerRead, OwnerWrite, OwnerRecall] {
+                b.on(s, e, &[DeferDemand], s);
+            }
+        }
+        for s in [Idle, PutShared, PutInvd] {
+            for e in [OwnerRead, OwnerWrite, OwnerRecall] {
+                b.on(s, e, &[OpenDemand], s);
+            }
+        }
+        b.on(PutOwned, OwnerReadPut, &[ServeReadFromPut], PutShared);
+        b.on_dyn(PutOwned, OwnerWritePut, &[ServeWriteFromPut]);
+        b.on_dyn(PutOwned, OwnerRecallPut, &[ServeRecallFromPut]);
+        for s in [PutShared, PutOwned, PutInvd] {
+            b.on(s, WbAck, &[CompletePut], Idle);
+        }
+        b.on(PutInvd, WbNack, &[CompletePut], Idle);
+        b.on(PutShared, WbNack, &[MarkNacked], PutShared);
+        b.on(PutOwned, WbNack, &[MarkNacked], PutOwned);
+        b.violation_rest();
+        b.build()
+            .expect("mesi_persona table is deterministic and total")
+    })
+}
 
 #[derive(Debug)]
 enum Txn {
@@ -44,12 +193,21 @@ struct DemandCtx {
     kind: DemandKind,
 }
 
+/// Per-dispatch context for [`PAction`] interpretation.
+pub struct PCx<'a, 'b, 'e> {
+    ctx: &'a mut Ctx<'b>,
+    events: &'e mut Vec<PersonaEvent>,
+    h: BlockAddr,
+    kind: MesiKind,
+}
+
 /// Crossing Guard's MESI-protocol half.
 pub(crate) struct MesiPersona {
     l2: NodeId,
     txns: HashMap<BlockAddr, Txn>,
     demands: HashMap<BlockAddr, DemandCtx>,
     pub(crate) stats: PersonaStats,
+    machine: Machine<PState, PEvent, PAction>,
 }
 
 impl MesiPersona {
@@ -59,6 +217,7 @@ impl MesiPersona {
             txns: HashMap::new(),
             demands: HashMap::new(),
             stats: PersonaStats::default(),
+            machine: Machine::new(table()),
         }
     }
 
@@ -76,8 +235,74 @@ impl MesiPersona {
         ctx.send(to, MesiMsg::new(addr, kind).into());
     }
 
-    pub(crate) fn open_txns(&self) -> usize {
-        self.txns.len() + self.demands.len()
+    /// Abstract state of `h` for table dispatch.
+    fn p_state(&self, h: BlockAddr) -> PState {
+        match self.txns.get(&h) {
+            Some(Txn::Get { grant: None, .. }) => PState::Get,
+            Some(Txn::Get { grant: Some(_), .. }) => PState::GetAcks,
+            Some(Txn::Put {
+                invalidated: true, ..
+            }) => PState::PutInvd,
+            Some(Txn::Put { is_s: true, .. }) => PState::PutShared,
+            Some(Txn::Put { .. }) => PState::PutOwned,
+            None => PState::Idle,
+        }
+    }
+
+    /// Refines a wire message into a table event. Guards mirror the old
+    /// dispatch conditions exactly: racing Puts by `is_s`, desync by the
+    /// demand bookkeeping, grants by their wire identity.
+    fn classify(&self, h: BlockAddr, kind: &MesiKind) -> PEvent {
+        match kind {
+            MesiKind::DataS { .. } => PEvent::DataS,
+            MesiKind::DataE { .. } => PEvent::DataE,
+            MesiKind::DataM { .. } => PEvent::DataM,
+            MesiKind::FwdData { exclusive, .. } => {
+                if *exclusive {
+                    PEvent::FwdDataM
+                } else {
+                    PEvent::FwdDataS
+                }
+            }
+            MesiKind::InvAck => PEvent::AckIn,
+            MesiKind::Inv { .. } => match self.txns.get(&h) {
+                Some(Txn::Put { is_s: true, .. }) => PEvent::InvPutS,
+                Some(Txn::Put { .. }) => PEvent::InvPutOwned,
+                _ => {
+                    if self.demands.contains_key(&h) {
+                        PEvent::InvDesync
+                    } else {
+                        PEvent::Inv
+                    }
+                }
+            },
+            MesiKind::FwdGetS { .. } | MesiKind::FwdGetM { .. } | MesiKind::Recall => {
+                let put = match kind {
+                    MesiKind::FwdGetS { .. } => PEvent::OwnerReadPut,
+                    MesiKind::FwdGetM { .. } => PEvent::OwnerWritePut,
+                    _ => PEvent::OwnerRecallPut,
+                };
+                let plain = match kind {
+                    MesiKind::FwdGetS { .. } => PEvent::OwnerRead,
+                    MesiKind::FwdGetM { .. } => PEvent::OwnerWrite,
+                    _ => PEvent::OwnerRecall,
+                };
+                match self.txns.get(&h) {
+                    Some(Txn::Put { is_s: false, .. }) => put,
+                    Some(Txn::Get { .. }) => plain,
+                    _ => {
+                        if self.demands.contains_key(&h) {
+                            PEvent::OwnerDesync
+                        } else {
+                            plain
+                        }
+                    }
+                }
+            }
+            MesiKind::WbAck => PEvent::WbAck,
+            MesiKind::WbNack => PEvent::WbNack,
+            _ => PEvent::Stray,
+        }
     }
 
     // ----- guard-facing API -------------------------------------------------
@@ -220,298 +445,43 @@ impl MesiPersona {
         ctx.trace(h.as_u64(), "mesi-persona", "Recv", || {
             format!("{:?} (txn {:?})", msg.kind, self.txns.get(&h))
         });
-        match msg.kind {
-            MesiKind::DataS { data } => self.grant(h, GrantState::S, data, false, 0, events, ctx),
-            MesiKind::DataE { data } => self.grant(h, GrantState::E, data, false, 0, events, ctx),
-            MesiKind::DataM { data, acks } => {
-                self.grant(h, GrantState::M, data, false, acks, events, ctx)
+        let state = self.p_state(h);
+        let event = self.classify(h, &msg.kind);
+        let mut cx = PCx {
+            ctx,
+            events,
+            h,
+            kind: msg.kind,
+        };
+        self.dispatch(state, event, &mut cx);
+    }
+
+    /// `(requestor, demand kind)` of a demand-bearing message.
+    fn demand_parts(kind: &MesiKind) -> Option<(Option<NodeId>, DemandKind)> {
+        match *kind {
+            MesiKind::Inv { requestor } => {
+                Some((Some(requestor), DemandKind::Write { to_owner: false }))
             }
-            MesiKind::FwdData {
-                data,
-                dirty,
-                exclusive,
-            } => {
-                let state = if exclusive {
-                    GrantState::M
-                } else {
-                    GrantState::S
-                };
-                self.grant(h, state, data, dirty, 0, events, ctx);
+            MesiKind::FwdGetS { requestor } => {
+                Some((Some(requestor), DemandKind::Read { to_owner: true }))
             }
-            MesiKind::InvAck => {
-                match self.txns.get_mut(&h) {
-                    Some(Txn::Get { acks_got, .. }) => *acks_got += 1,
-                    _ => {
-                        self.stats.violations += 1;
-                        return;
-                    }
-                }
-                self.try_complete(h, events, ctx);
+            MesiKind::FwdGetM { requestor } => {
+                Some((Some(requestor), DemandKind::Write { to_owner: true }))
             }
-            MesiKind::Inv { requestor } => self.handle_inv(h, requestor, events, ctx),
-            MesiKind::FwdGetS { requestor } => self.handle_owner_demand(
-                h,
-                Some(requestor),
-                DemandKind::Read { to_owner: true },
-                events,
-                ctx,
-            ),
-            MesiKind::FwdGetM { requestor } => self.handle_owner_demand(
-                h,
-                Some(requestor),
-                DemandKind::Write { to_owner: true },
-                events,
-                ctx,
-            ),
-            MesiKind::Recall => self.handle_owner_demand(h, None, DemandKind::Recall, events, ctx),
-            MesiKind::WbAck => match self.txns.remove(&h) {
-                Some(Txn::Put { started, .. }) => {
-                    self.stats
-                        .host_rtt
-                        .record(ctx.now().saturating_since(started));
-                    events.push(PersonaEvent::PutDone { h });
-                }
-                other => {
-                    self.restore(h, other);
-                    self.stats.violations += 1;
-                }
-            },
-            MesiKind::WbNack => match self.txns.remove(&h) {
-                Some(Txn::Put {
-                    invalidated: true,
-                    started,
-                    ..
-                }) => {
-                    self.stats
-                        .host_rtt
-                        .record(ctx.now().saturating_since(started));
-                    events.push(PersonaEvent::PutDone { h });
-                }
-                Some(Txn::Put {
-                    is_s,
-                    data,
-                    dirty,
-                    started,
-                    ..
-                }) => {
-                    // Nack overtook its explaining demand; wait for it.
-                    self.txns.insert(
-                        h,
-                        Txn::Put {
-                            is_s,
-                            data,
-                            dirty,
-                            invalidated: false,
-                            nacked: true,
-                            started,
-                        },
-                    );
-                }
-                other => {
-                    self.restore(h, other);
-                    self.stats.violations += 1;
-                }
-            },
-            _ => self.stats.violations += 1,
+            MesiKind::Recall => Some((None, DemandKind::Recall)),
+            _ => None,
         }
     }
 
-    fn restore(&mut self, h: BlockAddr, txn: Option<Txn>) {
-        if let Some(txn) = txn {
-            self.txns.insert(h, txn);
+    /// Finishes a Put transaction: records its round trip and tells the
+    /// guard.
+    fn finish_put(&mut self, h: BlockAddr, events: &mut Vec<PersonaEvent>, ctx: &mut Ctx<'_>) {
+        if let Some(Txn::Put { started, .. }) = self.txns.remove(&h) {
+            self.stats
+                .host_rtt
+                .record(ctx.now().saturating_since(started));
         }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn grant(
-        &mut self,
-        h: BlockAddr,
-        state: GrantState,
-        data: DataBlock,
-        dirty: bool,
-        acks: u32,
-        events: &mut Vec<PersonaEvent>,
-        ctx: &mut Ctx<'_>,
-    ) {
-        match self.txns.get_mut(&h) {
-            Some(Txn::Get {
-                grant: grant @ None,
-                acks_expected,
-                ..
-            }) => {
-                *grant = Some((state, data, dirty));
-                *acks_expected = Some(acks);
-            }
-            _ => {
-                self.stats.violations += 1;
-                return;
-            }
-        }
-        self.try_complete(h, events, ctx);
-    }
-
-    fn handle_inv(
-        &mut self,
-        h: BlockAddr,
-        requestor: NodeId,
-        events: &mut Vec<PersonaEvent>,
-        ctx: &mut Ctx<'_>,
-    ) {
-        match self.txns.get_mut(&h) {
-            Some(Txn::Put {
-                is_s,
-                invalidated,
-                nacked,
-                ..
-            }) if *is_s => {
-                // Our PutS raced the invalidation: ack, then either await
-                // the Nack or (if it already overtook us) finish now.
-                let finished = *nacked;
-                *invalidated = true;
-                self.send(requestor, h, MesiKind::InvAck, ctx);
-                if finished {
-                    if let Some(Txn::Put { started, .. }) = self.txns.remove(&h) {
-                        self.stats
-                            .host_rtt
-                            .record(ctx.now().saturating_since(started));
-                    }
-                    events.push(PersonaEvent::PutDone { h });
-                }
-            }
-            Some(Txn::Put { .. }) => {
-                // Inv at an owner-putter is stale; ack and carry on.
-                self.send(requestor, h, MesiKind::InvAck, ctx);
-            }
-            _ => {
-                // Possibly a live shared copy at the accelerator (or an
-                // upgrade in flight whose old S copy must die). The guard
-                // decides; we answer once it does.
-                if self.demands.contains_key(&h) {
-                    self.stats.violations += 1;
-                    self.send(requestor, h, MesiKind::InvAck, ctx);
-                    return;
-                }
-                self.demands.insert(
-                    h,
-                    DemandCtx {
-                        requestor: Some(requestor),
-                        kind: DemandKind::Write { to_owner: false },
-                    },
-                );
-                events.push(PersonaEvent::Demand {
-                    h,
-                    kind: DemandKind::Write { to_owner: false },
-                });
-            }
-        }
-    }
-
-    fn handle_owner_demand(
-        &mut self,
-        h: BlockAddr,
-        requestor: Option<NodeId>,
-        kind: DemandKind,
-        events: &mut Vec<PersonaEvent>,
-        ctx: &mut Ctx<'_>,
-    ) {
-        match self.txns.get(&h) {
-            Some(Txn::Put {
-                data,
-                dirty,
-                invalidated,
-                is_s,
-                nacked,
-                ..
-            }) if !*is_s => {
-                let (data, dirty, was_invalidated, was_nacked) =
-                    (*data, *dirty, *invalidated, *nacked);
-                if was_invalidated {
-                    // Already surrendered; only reachable through desync.
-                    self.stats.violations += 1;
-                    return;
-                }
-                let mut surrendered = false;
-                let mut demoted = false;
-                match kind {
-                    DemandKind::Read { .. } | DemandKind::ReadOnly { .. } => {
-                        // Serve the read; our Put demotes to a PutS at the
-                        // L2 (it will see a non-owner sharer). Mark the
-                        // demotion so a later Inv is treated as hitting a
-                        // shared-copy eviction.
-                        if let Some(r) = requestor {
-                            self.send(
-                                r,
-                                h,
-                                MesiKind::FwdData {
-                                    data,
-                                    dirty,
-                                    exclusive: false,
-                                },
-                                ctx,
-                            );
-                        }
-                        self.send(self.l2, h, MesiKind::OwnerWb { data, dirty }, ctx);
-                        demoted = true;
-                    }
-                    DemandKind::Write { .. } => {
-                        if let Some(r) = requestor {
-                            self.send(
-                                r,
-                                h,
-                                MesiKind::FwdData {
-                                    data,
-                                    dirty,
-                                    exclusive: true,
-                                },
-                                ctx,
-                            );
-                        }
-                        surrendered = true;
-                    }
-                    DemandKind::Recall => {
-                        self.send(self.l2, h, MesiKind::RecallData { data, dirty }, ctx);
-                        surrendered = true;
-                    }
-                }
-                if was_nacked && surrendered {
-                    // The demand explains the earlier Nack; all done.
-                    if let Some(Txn::Put { started, .. }) = self.txns.remove(&h) {
-                        self.stats
-                            .host_rtt
-                            .record(ctx.now().saturating_since(started));
-                    }
-                    events.push(PersonaEvent::PutDone { h });
-                } else if surrendered || demoted {
-                    if let Some(Txn::Put {
-                        invalidated, is_s, ..
-                    }) = self.txns.get_mut(&h)
-                    {
-                        if surrendered {
-                            *invalidated = true;
-                        }
-                        if demoted {
-                            *is_s = true;
-                        }
-                    }
-                }
-            }
-            Some(Txn::Get { .. }) => {
-                // We are the owner-to-be without data yet: defer until the
-                // grant lands (the textbook IM race, invisible to the
-                // accelerator).
-                if let Some(Txn::Get { deferred, .. }) = self.txns.get_mut(&h) {
-                    deferred.push((requestor, kind));
-                }
-            }
-            _ => {
-                if self.demands.contains_key(&h) {
-                    self.stats.violations += 1;
-                    return;
-                }
-                self.demands.insert(h, DemandCtx { requestor, kind });
-                events.push(PersonaEvent::Demand { h, kind });
-            }
-        }
+        events.push(PersonaEvent::PutDone { h });
     }
 
     fn try_complete(&mut self, h: BlockAddr, events: &mut Vec<PersonaEvent>, ctx: &mut Ctx<'_>) {
@@ -528,18 +498,20 @@ impl MesiPersona {
             return;
         }
         let Some(Txn::Get {
-            grant,
+            grant: Some((state, data, dirty)),
             deferred,
             started,
             ..
         }) = self.txns.remove(&h)
         else {
-            unreachable!("checked above")
+            // `ready` above guarantees the shape; never panic on a protocol
+            // path.
+            self.stats.violations += 1;
+            return;
         };
         self.stats
             .host_rtt
             .record(ctx.now().saturating_since(started));
-        let (state, data, dirty) = grant.expect("checked above");
         events.push(PersonaEvent::Granted {
             h,
             state,
@@ -556,5 +528,234 @@ impl MesiPersona {
             self.demands.insert(h, DemandCtx { requestor, kind });
             events.push(PersonaEvent::Demand { h, kind });
         }
+    }
+}
+
+impl<'a, 'b, 'e> Controller<PState, PEvent, PAction, PCx<'a, 'b, 'e>> for MesiPersona {
+    fn machine(&mut self) -> &mut Machine<PState, PEvent, PAction> {
+        &mut self.machine
+    }
+
+    fn apply(&mut self, action: PAction, _step: Step<PState, PEvent>, cx: &mut PCx<'a, 'b, 'e>) {
+        let h = cx.h;
+        match action {
+            PAction::RecordGrant => {
+                let (state, data, dirty, acks) = match cx.kind {
+                    MesiKind::DataS { data } => (GrantState::S, data, false, 0),
+                    MesiKind::DataE { data } => (GrantState::E, data, false, 0),
+                    MesiKind::DataM { data, acks } => (GrantState::M, data, false, acks),
+                    MesiKind::FwdData {
+                        data,
+                        dirty,
+                        exclusive,
+                    } => {
+                        let s = if exclusive {
+                            GrantState::M
+                        } else {
+                            GrantState::S
+                        };
+                        (s, data, dirty, 0)
+                    }
+                    _ => {
+                        self.stats.violations += 1;
+                        return;
+                    }
+                };
+                if let Some(Txn::Get {
+                    grant: grant @ None,
+                    acks_expected,
+                    ..
+                }) = self.txns.get_mut(&h)
+                {
+                    *grant = Some((state, data, dirty));
+                    *acks_expected = Some(acks);
+                } else {
+                    self.stats.violations += 1;
+                }
+            }
+            PAction::RecordAck => {
+                if let Some(Txn::Get { acks_got, .. }) = self.txns.get_mut(&h) {
+                    *acks_got += 1;
+                }
+            }
+            PAction::TryComplete => self.try_complete(h, cx.events, cx.ctx),
+            PAction::OpenDemand => {
+                let Some((requestor, kind)) = Self::demand_parts(&cx.kind) else {
+                    self.stats.violations += 1;
+                    return;
+                };
+                self.demands.insert(h, DemandCtx { requestor, kind });
+                cx.events.push(PersonaEvent::Demand { h, kind });
+            }
+            PAction::DeferDemand => {
+                let Some((requestor, kind)) = Self::demand_parts(&cx.kind) else {
+                    self.stats.violations += 1;
+                    return;
+                };
+                if let Some(Txn::Get { deferred, .. }) = self.txns.get_mut(&h) {
+                    deferred.push((requestor, kind));
+                }
+            }
+            PAction::AckInvalidatePut => {
+                // Our PutS raced the invalidation: ack, then either await
+                // the Nack or (if it already overtook us) finish now.
+                let MesiKind::Inv { requestor } = cx.kind else {
+                    self.stats.violations += 1;
+                    return;
+                };
+                let mut finished = false;
+                if let Some(Txn::Put {
+                    invalidated,
+                    nacked,
+                    ..
+                }) = self.txns.get_mut(&h)
+                {
+                    finished = *nacked;
+                    *invalidated = true;
+                }
+                self.send(requestor, h, MesiKind::InvAck, cx.ctx);
+                if finished {
+                    self.finish_put(h, cx.events, cx.ctx);
+                }
+            }
+            PAction::AckStaleInv => {
+                // Inv at an owner-putter is stale; ack and carry on.
+                let MesiKind::Inv { requestor } = cx.kind else {
+                    self.stats.violations += 1;
+                    return;
+                };
+                self.send(requestor, h, MesiKind::InvAck, cx.ctx);
+            }
+            PAction::ServeReadFromPut => {
+                // Serve the read; our Put demotes to a PutS at the L2 (it
+                // will see a non-owner sharer). Mark the demotion so a later
+                // Inv is treated as hitting a shared-copy eviction.
+                let Some(Txn::Put { data, dirty, .. }) = self.txns.get(&h) else {
+                    self.stats.violations += 1;
+                    return;
+                };
+                let (data, dirty) = (*data, *dirty);
+                if let MesiKind::FwdGetS { requestor } = cx.kind {
+                    self.send(
+                        requestor,
+                        h,
+                        MesiKind::FwdData {
+                            data,
+                            dirty,
+                            exclusive: false,
+                        },
+                        cx.ctx,
+                    );
+                }
+                self.send(self.l2, h, MesiKind::OwnerWb { data, dirty }, cx.ctx);
+                if let Some(Txn::Put { is_s, .. }) = self.txns.get_mut(&h) {
+                    *is_s = true;
+                }
+            }
+            PAction::ServeWriteFromPut => {
+                let Some(Txn::Put {
+                    data,
+                    dirty,
+                    nacked,
+                    ..
+                }) = self.txns.get(&h)
+                else {
+                    self.stats.violations += 1;
+                    return;
+                };
+                let (data, dirty, was_nacked) = (*data, *dirty, *nacked);
+                if let MesiKind::FwdGetM { requestor } = cx.kind {
+                    self.send(
+                        requestor,
+                        h,
+                        MesiKind::FwdData {
+                            data,
+                            dirty,
+                            exclusive: true,
+                        },
+                        cx.ctx,
+                    );
+                }
+                if was_nacked {
+                    // The demand explains the earlier Nack; all done.
+                    self.finish_put(h, cx.events, cx.ctx);
+                } else if let Some(Txn::Put { invalidated, .. }) = self.txns.get_mut(&h) {
+                    *invalidated = true;
+                }
+            }
+            PAction::ServeRecallFromPut => {
+                let Some(Txn::Put {
+                    data,
+                    dirty,
+                    nacked,
+                    ..
+                }) = self.txns.get(&h)
+                else {
+                    self.stats.violations += 1;
+                    return;
+                };
+                let (data, dirty, was_nacked) = (*data, *dirty, *nacked);
+                self.send(self.l2, h, MesiKind::RecallData { data, dirty }, cx.ctx);
+                if was_nacked {
+                    self.finish_put(h, cx.events, cx.ctx);
+                } else if let Some(Txn::Put { invalidated, .. }) = self.txns.get_mut(&h) {
+                    *invalidated = true;
+                }
+            }
+            PAction::CompletePut => self.finish_put(h, cx.events, cx.ctx),
+            PAction::MarkNacked => {
+                if let Some(Txn::Put { nacked, .. }) = self.txns.get_mut(&h) {
+                    *nacked = true;
+                }
+            }
+        }
+    }
+
+    fn stalled(&mut self, _step: Step<PState, PEvent>, _cx: &mut PCx<'a, 'b, 'e>) {
+        // The persona never stalls: races are resolved, not deferred.
+    }
+
+    fn violated(&mut self, step: Step<PState, PEvent>, cx: &mut PCx<'a, 'b, 'e>) {
+        self.stats.violations += 1;
+        if step.event == PEvent::InvDesync {
+            // Two live demands for one block mean desync; ack so the
+            // requestor's count still converges.
+            if let MesiKind::Inv { requestor } = cx.kind {
+                self.send(requestor, cx.h, MesiKind::InvAck, cx.ctx);
+            }
+        }
+    }
+}
+
+impl HostPersona for MesiPersona {
+    fn issue_get(&mut self, h: BlockAddr, kind: GetReq, ctx: &mut Ctx<'_>) {
+        MesiPersona::issue_get(self, h, kind, ctx);
+    }
+    fn issue_put(&mut self, h: BlockAddr, put: PutReq, ctx: &mut Ctx<'_>) {
+        MesiPersona::issue_put(self, h, put, ctx);
+    }
+    fn respond_demand(&mut self, h: BlockAddr, resp: DemandResponse, ctx: &mut Ctx<'_>) {
+        MesiPersona::respond_demand(self, h, resp, ctx);
+    }
+    fn open_txns(&self) -> usize {
+        self.txns.len() + self.demands.len()
+    }
+    fn is_mesi(&self) -> bool {
+        true
+    }
+    fn stats(&self) -> &PersonaStats {
+        &self.stats
+    }
+    fn handle_mesi(
+        &mut self,
+        msg: &MesiMsg,
+        events: &mut Vec<PersonaEvent>,
+        ctx: &mut Ctx<'_>,
+    ) -> bool {
+        self.handle_host(msg, events, ctx);
+        true
+    }
+    fn record_machine(&self, out: &mut Report) {
+        self.machine.record_into(out);
     }
 }

@@ -9,7 +9,8 @@
 //! writebacks, and every race along the way.
 
 use xg_mem::{BlockAddr, DataBlock};
-use xg_sim::{Histogram, NodeId};
+use xg_proto::{Ctx, HammerMsg, MesiMsg};
+use xg_sim::{Histogram, NodeId, Report};
 
 /// What a completed host Get granted us.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,3 +121,47 @@ pub(crate) struct PersonaStats {
 /// Node id placeholder used in demand contexts that answer to the host
 /// controller itself rather than a sibling cache.
 pub(crate) type Requestor = NodeId;
+
+/// The host-facing half of a Crossing Guard, behind a dyn-compatible
+/// interface so the guard core stays protocol-agnostic.
+///
+/// Exactly one of [`handle_hammer`](HostPersona::handle_hammer) /
+/// [`handle_mesi`](HostPersona::handle_mesi) is overridden per persona;
+/// the other keeps its default and returns `false`, which the guard
+/// reports as a malformed (wrong-protocol) message.
+pub(crate) trait HostPersona: Send {
+    /// Issues a host Get for one host block.
+    fn issue_get(&mut self, h: BlockAddr, kind: GetReq, ctx: &mut Ctx<'_>);
+    /// Issues a host Put for one host block.
+    fn issue_put(&mut self, h: BlockAddr, put: PutReq, ctx: &mut Ctx<'_>);
+    /// Answers a previously-surfaced [`PersonaEvent::Demand`].
+    fn respond_demand(&mut self, h: BlockAddr, resp: DemandResponse, ctx: &mut Ctx<'_>);
+    /// Open host transactions + pending demands (storage accounting).
+    fn open_txns(&self) -> usize;
+    /// Whether this persona speaks the inclusive MESI protocol.
+    fn is_mesi(&self) -> bool;
+    /// The persona's statistics, folded into the guard's report.
+    fn stats(&self) -> &PersonaStats;
+    /// Handles a Hammer-protocol host message; `false` = wrong protocol.
+    fn handle_hammer(
+        &mut self,
+        msg: &HammerMsg,
+        events: &mut Vec<PersonaEvent>,
+        ctx: &mut Ctx<'_>,
+    ) -> bool {
+        let _ = (msg, events, ctx);
+        false
+    }
+    /// Handles a MESI-protocol host message; `false` = wrong protocol.
+    fn handle_mesi(
+        &mut self,
+        msg: &MesiMsg,
+        events: &mut Vec<PersonaEvent>,
+        ctx: &mut Ctx<'_>,
+    ) -> bool {
+        let _ = (msg, events, ctx);
+        false
+    }
+    /// Folds the persona's transition coverage into the report.
+    fn record_machine(&self, out: &mut Report);
+}

@@ -1,0 +1,117 @@
+//! Per-instance machine state: fired counters over a shared static table.
+
+use xg_sim::TransitionCoverage;
+
+use crate::table::{NextState, RowKind, Table};
+use crate::Alphabet;
+
+/// The outcome of resolving one `(state, event)` pair.
+///
+/// Borrows the action list straight out of the `'static` table, so the
+/// controller can keep mutating itself (and the machine) while walking the
+/// actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution<S: Alphabet, A: Alphabet> {
+    /// Legal event: run `actions` in order.
+    Transition {
+        /// Symbolic actions to interpret, in order.
+        actions: &'static [A],
+        /// Nominal successor state (documentation/validation, see
+        /// [`NextState`]).
+        next: NextState<S>,
+    },
+    /// Legal but must be deferred (queued) by the controller.
+    Stall,
+    /// Protocol violation; the controller counts/flags it.
+    Violation,
+}
+
+/// A live instance of a table-driven machine: a `'static` [`Table`] plus
+/// per-row fired counters. Cheap to create per controller (or per
+/// controller *instance* — counters from many instances of the same table
+/// merge under the table name in [`xg_sim::Report`]).
+pub struct Machine<S: Alphabet, E: Alphabet, A: Alphabet> {
+    table: &'static Table<S, E, A>,
+    fired: Vec<u64>,
+}
+
+impl<S: Alphabet, E: Alphabet, A: Alphabet> Machine<S, E, A> {
+    /// Wraps a validated table with zeroed fired counters.
+    pub fn new(table: &'static Table<S, E, A>) -> Self {
+        Machine {
+            table,
+            fired: vec![0; table.len()],
+        }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &'static Table<S, E, A> {
+        self.table
+    }
+
+    /// Resolves `(state, event)` and bumps the row's fired counter.
+    pub fn resolve(&mut self, state: S, event: E) -> Resolution<S, A> {
+        let idx = Table::<S, E, A>::cell_index(state, event);
+        self.fired[idx] += 1;
+        match self.table.cell(idx) {
+            RowKind::Transition { actions, next } => Resolution::Transition {
+                actions: actions.as_slice(),
+                next: *next,
+            },
+            RowKind::Stall => Resolution::Stall,
+            RowKind::Violation => Resolution::Violation,
+        }
+    }
+
+    /// How many times `(state, event)` has fired on this instance.
+    pub fn fired(&self, state: S, event: E) -> u64 {
+        self.fired[Table::<S, E, A>::cell_index(state, event)]
+    }
+
+    /// Total fires of violation rows on this instance.
+    pub fn violation_fires(&self) -> u64 {
+        self.fired
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| matches!(self.table.cell(i), RowKind::Violation))
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// Transition coverage over the table's *legal* rows (transitions and
+    /// stalls). Violation rows are excluded: firing one is a protocol bug,
+    /// not a coverage goal, and they are already tallied by the
+    /// controllers' violation statistics.
+    pub fn coverage(&self) -> TransitionCoverage {
+        let mut cov = TransitionCoverage::new();
+        for (i, &n) in self.fired.iter().enumerate() {
+            if matches!(self.table.cell(i), RowKind::Violation) {
+                continue;
+            }
+            let (s, e) = Table::<S, E, A>::cell_coords(i);
+            cov.declare(s.label(), e.label());
+            if n > 0 {
+                cov.fire(s.label(), e.label(), n);
+            }
+        }
+        cov
+    }
+
+    /// Folds this instance's coverage into a report under the table name.
+    pub fn record_into(&self, report: &mut xg_sim::Report) {
+        report.record_fsm(self.table.name(), &self.coverage());
+    }
+}
+
+impl<S: Alphabet, E: Alphabet, A: Alphabet> std::fmt::Debug for Machine<S, E, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cov = self.coverage();
+        write!(
+            f,
+            "Machine({}: {}/{} legal rows fired)",
+            self.table.name(),
+            cov.fired_rows(),
+            cov.total_rows()
+        )
+    }
+}

@@ -1,0 +1,276 @@
+//! Transition tables as data, validated at construction time.
+
+use crate::Alphabet;
+
+/// Nominal successor state of a transition row.
+///
+/// Controllers re-derive their abstract state from concrete bookkeeping on
+/// every event, so `next` is a *published claim*, not a stored variable.
+/// Rows whose successor depends on runtime data (e.g. "granted E if no
+/// other sharer exists, else S") declare [`NextState::Dynamic`] rather than
+/// pretending to a single successor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextState<S> {
+    /// The row always lands in this state.
+    To(S),
+    /// The successor depends on runtime data; see the row's actions.
+    Dynamic,
+}
+
+/// One resolved `(state, event)` cell of a [`Table`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowKind<S: Alphabet, A: Alphabet> {
+    /// Legal event: run `actions` in order; nominal successor is `next`.
+    Transition {
+        /// Symbolic actions, interpreted by the controller's
+        /// [`Controller::apply`](crate::Controller::apply).
+        actions: Vec<A>,
+        /// Nominal successor state.
+        next: NextState<S>,
+    },
+    /// Legal event that cannot be served right now; the controller queues
+    /// or otherwise defers it (counted as a coverage row).
+    Stall,
+    /// Protocol violation: the event must not occur in this state. The
+    /// controller's [`Controller::violated`](crate::Controller::violated)
+    /// hook feeds its existing violation accounting. Violation rows are
+    /// excluded from the coverage universe — reaching one is a bug signal,
+    /// not a coverage goal.
+    Violation,
+}
+
+/// Error from [`TableBuilder::build`]. Row coordinates are reported by
+/// label so the message is directly actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Determinism violated: some `(state, event)` pair was declared twice.
+    Duplicate {
+        /// Table name.
+        name: &'static str,
+        /// `(state label, event label)` of each re-declared pair.
+        rows: Vec<(&'static str, &'static str)>,
+    },
+    /// Totality violated: some `(state, event)` pair has no row at all.
+    Incomplete {
+        /// Table name.
+        name: &'static str,
+        /// `(state label, event label)` of each missing pair.
+        missing: Vec<(&'static str, &'static str)>,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::Duplicate { name, rows } => {
+                write!(
+                    f,
+                    "fsm table `{name}` is non-deterministic; duplicate rows:"
+                )?;
+                for (s, e) in rows {
+                    write!(f, " ({s}, {e})")?;
+                }
+                Ok(())
+            }
+            TableError::Incomplete { name, missing } => {
+                write!(f, "fsm table `{name}` is not total; unresolved pairs:")?;
+                for (s, e) in missing {
+                    write!(f, " ({s}, {e})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Builder for a [`Table`]. Row-declaration methods take `&mut self` so
+/// tables can be assembled with loops over state/event subsets.
+pub struct TableBuilder<S: Alphabet, E: Alphabet, A: Alphabet> {
+    name: &'static str,
+    cells: Vec<Option<RowKind<S, A>>>,
+    duplicates: Vec<(S, E)>,
+}
+
+impl<S: Alphabet, E: Alphabet, A: Alphabet> TableBuilder<S, E, A> {
+    /// Starts an empty table. `name` keys the machine's coverage in
+    /// [`xg_sim::Report`] and heads its dumps; keep it stable.
+    pub fn new(name: &'static str) -> Self {
+        TableBuilder {
+            name,
+            cells: vec![None; S::ALL.len() * E::ALL.len()],
+            duplicates: Vec::new(),
+        }
+    }
+
+    fn set(&mut self, state: S, event: E, row: RowKind<S, A>) {
+        let cell = &mut self.cells[state.index() * E::ALL.len() + event.index()];
+        if cell.is_some() {
+            self.duplicates.push((state, event));
+        } else {
+            *cell = Some(row);
+        }
+    }
+
+    /// Declares a transition row with a fixed successor state.
+    pub fn on(&mut self, state: S, event: E, actions: &[A], next: S) -> &mut Self {
+        self.set(
+            state,
+            event,
+            RowKind::Transition {
+                actions: actions.to_vec(),
+                next: NextState::To(next),
+            },
+        );
+        self
+    }
+
+    /// Declares a transition row whose successor depends on runtime data.
+    pub fn on_dyn(&mut self, state: S, event: E, actions: &[A]) -> &mut Self {
+        self.set(
+            state,
+            event,
+            RowKind::Transition {
+                actions: actions.to_vec(),
+                next: NextState::Dynamic,
+            },
+        );
+        self
+    }
+
+    /// Declares that `event` is legal in `state` but must be deferred.
+    pub fn stall(&mut self, state: S, event: E) -> &mut Self {
+        self.set(state, event, RowKind::Stall);
+        self
+    }
+
+    /// Declares that `event` in `state` is a protocol violation.
+    pub fn violation(&mut self, state: S, event: E) -> &mut Self {
+        self.set(state, event, RowKind::Violation);
+        self
+    }
+
+    /// Marks every still-undeclared `(state, event)` pair as a violation.
+    /// Call last: it makes the table total by construction while keeping
+    /// every legal row an explicit, reviewable declaration.
+    pub fn violation_rest(&mut self) -> &mut Self {
+        for cell in &mut self.cells {
+            if cell.is_none() {
+                *cell = Some(RowKind::Violation);
+            }
+        }
+        self
+    }
+
+    /// Validates determinism and totality, producing the immutable table.
+    pub fn build(&mut self) -> Result<Table<S, E, A>, TableError> {
+        if !self.duplicates.is_empty() {
+            return Err(TableError::Duplicate {
+                name: self.name,
+                rows: self
+                    .duplicates
+                    .iter()
+                    .map(|&(s, e)| (s.label(), e.label()))
+                    .collect(),
+            });
+        }
+        let mut missing = Vec::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            if cell.is_none() {
+                let state = S::ALL[i / E::ALL.len()];
+                let event = E::ALL[i % E::ALL.len()];
+                missing.push((state.label(), event.label()));
+            }
+        }
+        if !missing.is_empty() {
+            return Err(TableError::Incomplete {
+                name: self.name,
+                missing,
+            });
+        }
+        Ok(Table {
+            name: self.name,
+            cells: self
+                .cells
+                .iter()
+                .map(|c| c.clone().expect("checked total"))
+                .collect(),
+            _events: std::marker::PhantomData,
+        })
+    }
+}
+
+/// A validated, immutable `(State, Event) -> RowKind` transition table.
+///
+/// Tables are built once (typically into a `OnceLock` static) and shared by
+/// every controller instance of that machine kind; per-instance fired
+/// counters live in [`Machine`](crate::Machine).
+pub struct Table<S: Alphabet, E: Alphabet, A: Alphabet> {
+    name: &'static str,
+    cells: Vec<RowKind<S, A>>,
+    _events: std::marker::PhantomData<E>,
+}
+
+impl<S: Alphabet, E: Alphabet, A: Alphabet> Table<S, E, A> {
+    /// The table's stable name (coverage key, dump heading).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub(crate) fn cell_index(state: S, event: E) -> usize {
+        state.index() * E::ALL.len() + event.index()
+    }
+
+    pub(crate) fn cell_coords(index: usize) -> (S, E) {
+        (S::ALL[index / E::ALL.len()], E::ALL[index % E::ALL.len()])
+    }
+
+    /// Number of cells (`|S| * |E|`).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// A table over non-empty alphabets is never empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The resolved row for a `(state, event)` pair.
+    pub fn row(&self, state: S, event: E) -> &RowKind<S, A> {
+        &self.cells[Self::cell_index(state, event)]
+    }
+
+    pub(crate) fn cell(&self, index: usize) -> &RowKind<S, A> {
+        &self.cells[index]
+    }
+
+    /// Iterates every cell as `(state, event, row)`, in state-major order.
+    pub fn rows(&self) -> impl Iterator<Item = (S, E, &RowKind<S, A>)> + '_ {
+        self.cells.iter().enumerate().map(|(i, row)| {
+            let (s, e) = Self::cell_coords(i);
+            (s, e, row)
+        })
+    }
+
+    /// Number of legal rows (transitions + stalls): the coverage universe.
+    pub fn legal_rows(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|r| !matches!(r, RowKind::Violation))
+            .count()
+    }
+}
+
+impl<S: Alphabet, E: Alphabet, A: Alphabet> std::fmt::Debug for Table<S, E, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Table({}: {} states x {} events, {} legal rows)",
+            self.name,
+            S::ALL.len(),
+            E::ALL.len(),
+            self.legal_rows()
+        )
+    }
+}

@@ -5,12 +5,133 @@
 //! tracks the identity of the current owner so it can accept or `WbNack` a
 //! `Put`. Memory lives behind the directory and is read on every request
 //! (`MemData` also tells the requestor how many peer responses to expect).
+//!
+//! Dispatch is table-driven (see [`table`]): the controller classifies each
+//! message into a [`DirEvent`] against its abstract [`DirState`], and the
+//! `xg-fsm` table decides transition/stall/violation. Concrete bookkeeping
+//! (owner identity, queue contents, memory) stays here, interpreted through
+//! the symbolic [`DirAction`]s.
 
 use std::collections::{HashMap, VecDeque};
 
+use xg_fsm::{alphabet, Alphabet, Controller, Machine, Step, Table, TableBuilder};
 use xg_mem::{BlockAddr, DataBlock};
 use xg_proto::{Ctx, HammerKind, HammerMsg, Message};
 use xg_sim::{Component, CoverageSet, Cycle, Histogram, NodeId, Report};
+
+alphabet! {
+    /// Abstract per-block directory states (paper §2.3 naming).
+    pub enum DirState {
+        /// Memory owns the block (no cache owner recorded).
+        Omem = "O_mem",
+        /// Some cache owns the block.
+        NO = "NO",
+        /// A Get is outstanding; waiting for the requestor's `Unblock`.
+        BusyGet = "Busy_Get",
+        /// A writeback was acked; waiting for `WbData`.
+        BusyWb = "Busy_Wb",
+    }
+}
+
+alphabet! {
+    /// Classified stimulus: message kind refined by sender identity and
+    /// transaction bookkeeping (e.g. a `Put` from the recorded owner is a
+    /// different event than one from anybody else).
+    pub enum DirEvent {
+        GetS,
+        GetSOnly,
+        GetM,
+        /// `Put` from the recorded owner.
+        PutOwner,
+        /// `Put` from a non-owner (legal race; nacked).
+        PutForeign,
+        /// `WbData` from the putter of the in-flight writeback.
+        WbDataPutter,
+        /// `WbData` from anyone else, or with no writeback in flight.
+        WbDataStray,
+        /// `Unblock{new_owner: true}` from the in-flight requestor.
+        UnblockOwn,
+        /// `Unblock{new_owner: false}` from the in-flight requestor.
+        UnblockShare,
+        /// `Unblock` from anyone else, or with no Get in flight.
+        UnblockStray,
+        /// A message kind the directory never receives (forwards, data
+        /// responses, wb acks).
+        Stray,
+    }
+}
+
+alphabet! {
+    /// Symbolic directory actions, interpreted against concrete state.
+    pub enum DirAction {
+        /// Mark the block busy on a Get and stamp `busy_since`.
+        SetBusyGet,
+        /// Count the Get (gets/getms) and the memory read it triggers.
+        CountGet,
+        /// Broadcast the matching forward to every peer except the
+        /// requestor, tagging the current owner.
+        Broadcast,
+        /// Send `MemData` (with expected peer count) after `mem_latency`.
+        SendMemData,
+        /// Count the Put.
+        CountPut,
+        /// Accept the writeback: mark busy and send `WbAck`.
+        AckWb,
+        /// Reject the writeback: count and send `WbNack`.
+        NackWb,
+        /// Commit `WbData` to memory if dirty.
+        WriteBackMem,
+        /// Forget the cache owner (memory owns again).
+        ClearOwner,
+        /// Record the unblocking requestor as the new owner.
+        RecordOwner,
+        /// Clear busy and record the busy-latency sample.
+        FinishBusy,
+        /// Re-handle queued requests until one re-busies the block.
+        Drain,
+    }
+}
+
+/// The validated `hammer_dir` transition table (shared by all instances).
+pub fn table() -> &'static Table<DirState, DirEvent, DirAction> {
+    static T: std::sync::OnceLock<Table<DirState, DirEvent, DirAction>> =
+        std::sync::OnceLock::new();
+    T.get_or_init(|| {
+        use DirAction::*;
+        use DirEvent::*;
+        use DirState::*;
+        let mut b = TableBuilder::new("hammer_dir");
+        const GET: &[DirAction] = &[SetBusyGet, CountGet, Broadcast, SendMemData];
+        for s in [Omem, NO] {
+            b.on(s, GetS, GET, BusyGet);
+            b.on(s, GetSOnly, GET, BusyGet);
+            b.on(s, GetM, GET, BusyGet);
+        }
+        // The directory is blocking: anything request-shaped waits its turn.
+        for s in [BusyGet, BusyWb] {
+            for e in [GetS, GetSOnly, GetM, PutOwner, PutForeign] {
+                b.stall(s, e);
+            }
+        }
+        b.on(NO, PutOwner, &[CountPut, AckWb], BusyWb);
+        b.on(NO, PutForeign, &[CountPut, NackWb], NO);
+        // A Put racing ahead of the owner change it lost to: legal, nacked.
+        b.on(Omem, PutForeign, &[CountPut, NackWb], Omem);
+        b.on(
+            BusyWb,
+            WbDataPutter,
+            &[WriteBackMem, ClearOwner, FinishBusy, Drain],
+            Omem,
+        );
+        b.on(BusyGet, UnblockOwn, &[RecordOwner, FinishBusy, Drain], NO);
+        // Owner is untouched on a shared unblock, so the successor depends
+        // on whether a cache owner was recorded before the Get.
+        b.on_dyn(BusyGet, UnblockShare, &[FinishBusy, Drain]);
+        b.violation_rest();
+        b.build()
+            .expect("hammer_dir table is deterministic and total")
+    })
+}
 
 /// Per-block directory state.
 #[derive(Debug, Default)]
@@ -42,6 +163,14 @@ struct Stats {
     lat_busy: Histogram,
 }
 
+/// Per-dispatch context for [`DirAction`] interpretation.
+pub struct DirCx<'a, 'b> {
+    ctx: &'a mut Ctx<'b>,
+    from: NodeId,
+    addr: BlockAddr,
+    kind: HammerKind,
+}
+
 /// The directory/memory controller of the Hammer-like protocol.
 pub struct HammerDirectory {
     name: String,
@@ -51,6 +180,7 @@ pub struct HammerDirectory {
     mem_latency: u64,
     stats: Stats,
     coverage: CoverageSet,
+    machine: Machine<DirState, DirEvent, DirAction>,
 }
 
 impl HammerDirectory {
@@ -67,6 +197,7 @@ impl HammerDirectory {
             mem_latency,
             stats: Stats::default(),
             coverage: CoverageSet::new(),
+            machine: Machine::new(table()),
         }
     }
 
@@ -90,20 +221,58 @@ impl HammerDirectory {
         self.stats.protocol_violation
     }
 
-    fn state_name(&self, addr: BlockAddr) -> &'static str {
+    /// Abstract state of `addr` for table dispatch and coverage.
+    fn dir_state(&self, addr: BlockAddr) -> DirState {
         match self.blocks.get(&addr) {
-            None => "O_mem",
+            None => DirState::Omem,
             Some(b) => match (&b.busy, b.owner) {
-                (Some(Busy::Get { .. }), _) => "Busy_Get",
-                (Some(Busy::Wb { .. }), _) => "Busy_Wb",
-                (None, Some(_)) => "NO",
-                (None, None) => "O_mem",
+                (Some(Busy::Get { .. }), _) => DirState::BusyGet,
+                (Some(Busy::Wb { .. }), _) => DirState::BusyWb,
+                (None, Some(_)) => DirState::NO,
+                (None, None) => DirState::Omem,
             },
         }
     }
 
+    /// Refines a message kind into a table event using sender identity and
+    /// the in-flight transaction bookkeeping.
+    fn classify(&self, from: NodeId, addr: BlockAddr, kind: &HammerKind) -> DirEvent {
+        let block = self.blocks.get(&addr);
+        match kind {
+            HammerKind::GetS => DirEvent::GetS,
+            HammerKind::GetSOnly => DirEvent::GetSOnly,
+            HammerKind::GetM => DirEvent::GetM,
+            HammerKind::Put => {
+                if block.and_then(|b| b.owner) == Some(from) {
+                    DirEvent::PutOwner
+                } else {
+                    DirEvent::PutForeign
+                }
+            }
+            HammerKind::WbData { .. } => {
+                if block.is_some_and(|b| b.busy == Some(Busy::Wb { putter: from })) {
+                    DirEvent::WbDataPutter
+                } else {
+                    DirEvent::WbDataStray
+                }
+            }
+            HammerKind::Unblock { new_owner } => {
+                if block.is_some_and(|b| b.busy == Some(Busy::Get { requestor: from })) {
+                    if *new_owner {
+                        DirEvent::UnblockOwn
+                    } else {
+                        DirEvent::UnblockShare
+                    }
+                } else {
+                    DirEvent::UnblockStray
+                }
+            }
+            _ => DirEvent::Stray,
+        }
+    }
+
     fn cover(&mut self, addr: BlockAddr, event: &'static str) {
-        let state = self.state_name(addr);
+        let state = self.dir_state(addr).label();
         self.coverage.visit(state, event);
     }
 
@@ -125,105 +294,15 @@ impl HammerDirectory {
             );
             ctx.trace(addr.as_u64(), "hammer-dir", "Recv", || detail);
         }
-        let block = self.blocks.entry(addr).or_default();
-        match kind {
-            HammerKind::GetS | HammerKind::GetSOnly | HammerKind::GetM => {
-                if block.busy.is_some() {
-                    block.queue.push_back((from, kind));
-                    return;
-                }
-                block.busy = Some(Busy::Get { requestor: from });
-                block.busy_since = Some(ctx.now());
-                let owner = block.owner;
-                if matches!(kind, HammerKind::GetM) {
-                    self.stats.getms += 1;
-                } else {
-                    self.stats.gets += 1;
-                }
-                self.stats.mem_reads += 1;
-                // Broadcast to every peer cache except the requestor.
-                let peers: Vec<NodeId> =
-                    self.caches.iter().copied().filter(|&c| c != from).collect();
-                for &peer in &peers {
-                    let to_owner = owner == Some(peer);
-                    let fwd = match kind {
-                        HammerKind::GetS => HammerKind::FwdGetS {
-                            requestor: from,
-                            to_owner,
-                        },
-                        HammerKind::GetSOnly => HammerKind::FwdGetSOnly {
-                            requestor: from,
-                            to_owner,
-                        },
-                        HammerKind::GetM => HammerKind::FwdGetM {
-                            requestor: from,
-                            to_owner,
-                        },
-                        _ => unreachable!(),
-                    };
-                    ctx.send(peer, HammerMsg::new(addr, fwd).into());
-                }
-                let data = self.memory.get(&addr).copied().unwrap_or_default();
-                ctx.send_after(
-                    from,
-                    HammerMsg::new(
-                        addr,
-                        HammerKind::MemData {
-                            data,
-                            peers: peers.len() as u32,
-                        },
-                    )
-                    .into(),
-                    self.mem_latency,
-                );
-            }
-            HammerKind::Put => {
-                if block.busy.is_some() {
-                    block.queue.push_back((from, kind));
-                    return;
-                }
-                self.stats.puts += 1;
-                if block.owner == Some(from) {
-                    block.busy = Some(Busy::Wb { putter: from });
-                    block.busy_since = Some(ctx.now());
-                    ctx.send(from, HammerMsg::new(addr, HammerKind::WbAck).into());
-                } else {
-                    self.stats.nacks += 1;
-                    ctx.send(from, HammerMsg::new(addr, HammerKind::WbNack).into());
-                }
-            }
-            HammerKind::WbData { data, dirty } if block.busy == Some(Busy::Wb { putter: from }) => {
-                if dirty {
-                    self.stats.mem_writes += 1;
-                    self.memory.insert(addr, data);
-                }
-                block.owner = None;
-                block.busy = None;
-                if let Some(since) = block.busy_since.take() {
-                    self.stats
-                        .lat_busy
-                        .record(ctx.now().saturating_since(since));
-                }
-                self.drain_queue(addr, ctx);
-            }
-            HammerKind::Unblock { new_owner }
-                if block.busy == Some(Busy::Get { requestor: from }) =>
-            {
-                if new_owner {
-                    block.owner = Some(from);
-                }
-                block.busy = None;
-                if let Some(since) = block.busy_since.take() {
-                    self.stats
-                        .lat_busy
-                        .record(ctx.now().saturating_since(since));
-                }
-                self.drain_queue(addr, ctx);
-            }
-            _ => {
-                self.stats.protocol_violation += 1;
-            }
-        }
+        let state = self.dir_state(addr);
+        let event = self.classify(from, addr, &kind);
+        let mut cx = DirCx {
+            ctx,
+            from,
+            addr,
+            kind,
+        };
+        self.dispatch(state, event, &mut cx);
     }
 
     fn drain_queue(&mut self, addr: BlockAddr, ctx: &mut Ctx<'_>) {
@@ -242,6 +321,131 @@ impl HammerDirectory {
             self.cover(addr, event);
             self.handle_request(from, addr, kind, ctx);
         }
+    }
+}
+
+impl<'a, 'b> Controller<DirState, DirEvent, DirAction, DirCx<'a, 'b>> for HammerDirectory {
+    fn machine(&mut self) -> &mut Machine<DirState, DirEvent, DirAction> {
+        &mut self.machine
+    }
+
+    fn apply(
+        &mut self,
+        action: DirAction,
+        _step: Step<DirState, DirEvent>,
+        cx: &mut DirCx<'a, 'b>,
+    ) {
+        match action {
+            DirAction::SetBusyGet => {
+                let block = self.blocks.entry(cx.addr).or_default();
+                block.busy = Some(Busy::Get { requestor: cx.from });
+                block.busy_since = Some(cx.ctx.now());
+            }
+            DirAction::CountGet => {
+                if matches!(cx.kind, HammerKind::GetM) {
+                    self.stats.getms += 1;
+                } else {
+                    self.stats.gets += 1;
+                }
+                self.stats.mem_reads += 1;
+            }
+            DirAction::Broadcast => {
+                let owner = self.blocks.get(&cx.addr).and_then(|b| b.owner);
+                let peers: Vec<NodeId> = self
+                    .caches
+                    .iter()
+                    .copied()
+                    .filter(|&c| c != cx.from)
+                    .collect();
+                for &peer in &peers {
+                    let to_owner = owner == Some(peer);
+                    let fwd = match cx.kind {
+                        HammerKind::GetS => HammerKind::FwdGetS {
+                            requestor: cx.from,
+                            to_owner,
+                        },
+                        HammerKind::GetSOnly => HammerKind::FwdGetSOnly {
+                            requestor: cx.from,
+                            to_owner,
+                        },
+                        HammerKind::GetM => HammerKind::FwdGetM {
+                            requestor: cx.from,
+                            to_owner,
+                        },
+                        // The table only runs Broadcast on Get rows.
+                        _ => {
+                            self.stats.protocol_violation += 1;
+                            return;
+                        }
+                    };
+                    cx.ctx.send(peer, HammerMsg::new(cx.addr, fwd).into());
+                }
+            }
+            DirAction::SendMemData => {
+                let peers = self.caches.iter().filter(|&&c| c != cx.from).count() as u32;
+                let data = self.memory.get(&cx.addr).copied().unwrap_or_default();
+                cx.ctx.send_after(
+                    cx.from,
+                    HammerMsg::new(cx.addr, HammerKind::MemData { data, peers }).into(),
+                    self.mem_latency,
+                );
+            }
+            DirAction::CountPut => {
+                self.stats.puts += 1;
+            }
+            DirAction::AckWb => {
+                let block = self.blocks.entry(cx.addr).or_default();
+                block.busy = Some(Busy::Wb { putter: cx.from });
+                block.busy_since = Some(cx.ctx.now());
+                cx.ctx
+                    .send(cx.from, HammerMsg::new(cx.addr, HammerKind::WbAck).into());
+            }
+            DirAction::NackWb => {
+                self.stats.nacks += 1;
+                cx.ctx
+                    .send(cx.from, HammerMsg::new(cx.addr, HammerKind::WbNack).into());
+            }
+            DirAction::WriteBackMem => {
+                if let HammerKind::WbData { data, dirty } = cx.kind {
+                    if dirty {
+                        self.stats.mem_writes += 1;
+                        self.memory.insert(cx.addr, data);
+                    }
+                } else {
+                    // The table only runs WriteBackMem on WbData rows.
+                    self.stats.protocol_violation += 1;
+                }
+            }
+            DirAction::ClearOwner => {
+                self.blocks.entry(cx.addr).or_default().owner = None;
+            }
+            DirAction::RecordOwner => {
+                self.blocks.entry(cx.addr).or_default().owner = Some(cx.from);
+            }
+            DirAction::FinishBusy => {
+                let now = cx.ctx.now();
+                let block = self.blocks.entry(cx.addr).or_default();
+                block.busy = None;
+                if let Some(since) = block.busy_since.take() {
+                    self.stats.lat_busy.record(now.saturating_since(since));
+                }
+            }
+            DirAction::Drain => {
+                self.drain_queue(cx.addr, cx.ctx);
+            }
+        }
+    }
+
+    fn stalled(&mut self, _step: Step<DirState, DirEvent>, cx: &mut DirCx<'a, 'b>) {
+        self.blocks
+            .entry(cx.addr)
+            .or_default()
+            .queue
+            .push_back((cx.from, cx.kind));
+    }
+
+    fn violated(&mut self, _step: Step<DirState, DirEvent>, _cx: &mut DirCx<'a, 'b>) {
+        self.stats.protocol_violation += 1;
     }
 }
 
@@ -303,6 +507,7 @@ impl Component<Message> for HammerDirectory {
         );
         out.record_coverage(format!("hammer_dir/{n}"), &self.coverage);
         out.record_hist(format!("{n}.lat.busy"), &self.stats.lat_busy);
+        self.machine.record_into(out);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -19,12 +19,178 @@
 //! with data), the modified L2 acks `R` itself so `R`'s ack count still
 //! converges. The unmodified baseline counts a protocol violation instead
 //! (and `R` hangs — which the fuzz ablation demonstrates).
+//!
+//! Dispatch is table-driven (see [`table`]): each stimulus is refined into
+//! an [`L2Event`] — sender identity, busy-entry match, and configuration
+//! fold into the event, so e.g. an `OwnerWb` from the forwarded owner is a
+//! different event than one settling an invalidation debt — and the
+//! `xg-fsm` table maps `(state, event)` to transition, stall (queue), or
+//! violation. Data movement lives in the symbolic [`L2Action`]s.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
+use xg_fsm::{alphabet, Alphabet, Controller, Machine, Step, Table, TableBuilder};
 use xg_mem::{BlockAddr, DataBlock, Replacement, SetAssocCache};
 use xg_proto::{Ctx, MesiKind, MesiMsg, Message};
 use xg_sim::{Component, CoverageSet, Cycle, Histogram, NodeId, Report};
+
+alphabet! {
+    /// Abstract per-block L2 states (stable + transient).
+    pub enum L2State {
+        /// Not present in the array (and no transaction in flight).
+        NP = "NP",
+        /// Resident, no owner, no sharers.
+        Present,
+        /// Resident, no owner, at least one sharer.
+        Shared,
+        /// Resident with an exclusive owner above.
+        Owned,
+        /// Memory fetch in flight.
+        BusyFetch = "Busy_Fetch",
+        /// Fetched data waiting for a way (victim recall running).
+        BusyInstall = "Busy_Install",
+        /// Waiting for the owner's `OwnerWb` after a FwdGetS.
+        BusyFwdS = "Busy_FwdS",
+        /// Inclusive eviction: waiting for recall responses.
+        BusyRecall = "Busy_Recall",
+    }
+}
+
+alphabet! {
+    /// Classified stimulus: message kind refined by sender identity,
+    /// busy-entry match, and configuration.
+    pub enum L2Event {
+        GetS,
+        GetSOnly,
+        /// `GetM` from anyone but the current owner.
+        GetM,
+        /// `GetM` from the recorded owner (redundant upgrade, §3.2.2).
+        GetMOwner,
+        /// Any `Put*` from the recorded owner.
+        PutOwner,
+        /// Any `Put*` from a recorded sharer.
+        PutSharer,
+        /// Any `Put*` from a node holding nothing here (nacked race).
+        PutForeign,
+        /// `OwnerWb` from the owner a FwdGetS is waiting on.
+        OwnerWbFwd,
+        /// Unsolicited `OwnerWb` explained by a `Put*`+FwdGetS demotion.
+        OwnerWbDemote,
+        /// Unsolicited `OwnerWb` settling an invalidation debt (§3.2.2
+        /// host modification; only classified when the mod is on).
+        OwnerWbDebt,
+        /// `OwnerWb` with no explanation.
+        OwnerWbStray,
+        /// `RecallData` response to our recall.
+        RecallData,
+        /// `InvAck` response to our recall.
+        RecallAck,
+        /// Memory-fetch completion timer.
+        FetchDone,
+        /// Install retry timer (benign no-op if the install already ran).
+        InstallRetry,
+        /// A message kind the L2 never receives.
+        Stray,
+    }
+}
+
+alphabet! {
+    /// Symbolic L2 actions, interpreted against concrete state.
+    pub enum L2Action {
+        /// Count the Get (gets/getms).
+        CountGet,
+        /// Miss: count the memory read, open a Fetch entry, arm the timer.
+        StartFetch,
+        /// Grant exclusive (`DataE`) and record the requestor as owner.
+        GrantE,
+        /// Grant shared (`DataS`) and add the requestor to the sharers.
+        GrantS,
+        /// Forward a GetS to the owner and open a FwdS entry.
+        StartFwdS,
+        /// Re-grant `DataM` to the existing owner (redundant GetM).
+        GrantRedundantM,
+        /// Forward a GetM to the old owner and record the new one.
+        HandOffM,
+        /// Invalidate all sharers and grant `DataM { acks }`.
+        InvRoundGrantM,
+        /// Count the Put.
+        CountPut,
+        /// Accept the owner's writeback (refresh data, clear owner, ack).
+        AcceptOwnerPut,
+        /// Accept a sharer's put (drop from the set, ack).
+        AcceptSharerPut,
+        /// Nack the put.
+        NackPut,
+        /// Close the FwdS entry: refresh data, demote owner to sharer.
+        FinishFwdS,
+        /// Refresh our copy from a demoted owner's unsolicited data.
+        RefreshDemoted,
+        /// §3.2.2: ack the invalidation requestor on the sender's behalf.
+        AckOnBehalf,
+        /// Fold one recall response in; finish the eviction at zero.
+        ApplyRecallResponse,
+        /// Move the completed fetch into an install-wait entry and try it.
+        CompleteFetch,
+        /// Re-attempt a waiting install (no-op if none is waiting).
+        TryInstall,
+    }
+}
+
+/// The validated `mesi_l2` transition table (shared by all instances).
+pub fn table() -> &'static Table<L2State, L2Event, L2Action> {
+    static T: std::sync::OnceLock<Table<L2State, L2Event, L2Action>> = std::sync::OnceLock::new();
+    T.get_or_init(|| {
+        use L2Action::*;
+        use L2Event::*;
+        use L2State::*;
+        const BUSY: [L2State; 4] = [BusyFetch, BusyInstall, BusyFwdS, BusyRecall];
+        let mut b = TableBuilder::new("mesi_l2");
+        for e in [GetS, GetSOnly, GetM] {
+            b.on(NP, e, &[CountGet, StartFetch], BusyFetch);
+        }
+        b.on(Present, GetS, &[CountGet, GrantE], Owned);
+        b.on(Present, GetSOnly, &[CountGet, GrantS], Shared);
+        b.on(Shared, GetS, &[CountGet, GrantS], Shared);
+        b.on(Shared, GetSOnly, &[CountGet, GrantS], Shared);
+        b.on(Owned, GetS, &[CountGet, StartFwdS], BusyFwdS);
+        b.on(Owned, GetSOnly, &[CountGet, StartFwdS], BusyFwdS);
+        b.on(Present, GetM, &[CountGet, InvRoundGrantM], Owned);
+        b.on(Shared, GetM, &[CountGet, InvRoundGrantM], Owned);
+        b.on(Owned, GetM, &[CountGet, HandOffM], Owned);
+        b.on(Owned, GetMOwner, &[CountGet, GrantRedundantM], Owned);
+        // The L2 serializes per block: request-shaped traffic queues behind
+        // any in-flight transaction, including kinds that will turn out to
+        // be violations once drained.
+        for s in BUSY {
+            for e in [
+                GetS, GetSOnly, GetM, GetMOwner, PutOwner, PutSharer, PutForeign, Stray,
+            ] {
+                b.stall(s, e);
+            }
+        }
+        for s in [NP, Present, Shared, Owned] {
+            b.on(s, PutForeign, &[CountPut, NackPut], s);
+        }
+        b.on_dyn(Owned, PutOwner, &[CountPut, AcceptOwnerPut]);
+        b.on_dyn(Shared, PutSharer, &[CountPut, AcceptSharerPut]);
+        // OwnerWb and recall responses bypass the queue entirely.
+        b.on_dyn(BusyFwdS, OwnerWbFwd, &[FinishFwdS]);
+        b.on(Shared, OwnerWbDemote, &[RefreshDemoted], Shared);
+        for s in [Present, Shared, Owned, BusyFwdS] {
+            b.on(s, OwnerWbDebt, &[AckOnBehalf], s);
+        }
+        b.on_dyn(BusyRecall, RecallData, &[ApplyRecallResponse]);
+        b.on_dyn(BusyRecall, RecallAck, &[ApplyRecallResponse]);
+        b.on_dyn(BusyFetch, FetchDone, &[CompleteFetch]);
+        // A retry timer may outlive the install it was armed for; it is a
+        // benign no-op in every state.
+        for s in L2State::ALL {
+            b.on_dyn(*s, InstallRetry, &[TryInstall]);
+        }
+        b.violation_rest();
+        b.build().expect("mesi_l2 table is deterministic and total")
+    })
+}
 
 /// Configuration for a [`MesiL2`].
 #[derive(Debug, Clone)]
@@ -129,6 +295,16 @@ struct Stats {
     mshr_occupancy: Histogram,
 }
 
+/// Per-dispatch context for [`L2Action`] interpretation. Timer-driven
+/// events (`FetchDone`, `InstallRetry`) carry no message; their `kind` is
+/// `None` and `from` is the L2 itself.
+pub struct L2Cx<'a, 'b> {
+    ctx: &'a mut Ctx<'b>,
+    from: NodeId,
+    addr: BlockAddr,
+    kind: Option<MesiKind>,
+}
+
 /// The shared inclusive L2 + directory + memory controller.
 pub struct MesiL2 {
     name: String,
@@ -141,6 +317,7 @@ pub struct MesiL2 {
     memory: HashMap<BlockAddr, DataBlock>,
     stats: Stats,
     coverage: CoverageSet,
+    machine: Machine<L2State, L2Event, L2Action>,
 }
 
 impl MesiL2 {
@@ -156,6 +333,7 @@ impl MesiL2 {
             cfg,
             stats: Stats::default(),
             coverage: CoverageSet::new(),
+            machine: Machine::new(table()),
         }
     }
 
@@ -182,24 +360,73 @@ impl MesiL2 {
         self.stats.mod_acks_on_behalf
     }
 
-    fn state_name(&self, addr: BlockAddr) -> &'static str {
+    /// Abstract state of `addr` for table dispatch and coverage.
+    fn l2_state(&self, addr: BlockAddr) -> L2State {
         if let Some(b) = self.busy.get(&addr) {
             match b {
-                Busy::Fetch { .. } => "Busy_Fetch",
-                Busy::InstallWait { .. } => "Busy_Install",
-                Busy::FwdS { .. } => "Busy_FwdS",
-                Busy::Recall { .. } => "Busy_Recall",
+                Busy::Fetch { .. } => L2State::BusyFetch,
+                Busy::InstallWait { .. } => L2State::BusyInstall,
+                Busy::FwdS { .. } => L2State::BusyFwdS,
+                Busy::Recall { .. } => L2State::BusyRecall,
             }
         } else if let Some(line) = self.array.get(addr) {
             if line.owner.is_some() {
-                "Owned"
+                L2State::Owned
             } else if line.sharers.is_empty() {
-                "Present"
+                L2State::Present
             } else {
-                "Shared"
+                L2State::Shared
             }
         } else {
-            "NP"
+            L2State::NP
+        }
+    }
+
+    fn state_name(&self, addr: BlockAddr) -> &'static str {
+        self.l2_state(addr).label()
+    }
+
+    /// Refines a message kind into a table event. Guards mirror the
+    /// dispatch conditions exactly: sender identity against the directory
+    /// entry, busy-entry match for responses, and the §3.2.2 configuration
+    /// for debt settlement.
+    fn classify(&self, from: NodeId, addr: BlockAddr, kind: &MesiKind) -> L2Event {
+        match kind {
+            MesiKind::GetS => L2Event::GetS,
+            MesiKind::GetSOnly => L2Event::GetSOnly,
+            MesiKind::GetM => {
+                if self.array.get(addr).is_some_and(|l| l.owner == Some(from)) {
+                    L2Event::GetMOwner
+                } else {
+                    L2Event::GetM
+                }
+            }
+            MesiKind::PutS | MesiKind::PutE { .. } | MesiKind::PutM { .. } => {
+                match self.array.get(addr) {
+                    Some(l) if l.owner == Some(from) => L2Event::PutOwner,
+                    Some(l) if l.sharers.contains(&from) => L2Event::PutSharer,
+                    _ => L2Event::PutForeign,
+                }
+            }
+            MesiKind::OwnerWb { .. } => match self.busy.get(&addr) {
+                Some(Busy::FwdS { owner, .. }) if *owner == from => L2Event::OwnerWbFwd,
+                _ => match self.array.get(addr) {
+                    Some(l) if l.owner.is_none() && l.sharers.contains(&from) => {
+                        L2Event::OwnerWbDemote
+                    }
+                    Some(l)
+                        if l.inv_debt.is_some()
+                            && l.owner != Some(from)
+                            && self.cfg.ack_data_interchange =>
+                    {
+                        L2Event::OwnerWbDebt
+                    }
+                    _ => L2Event::OwnerWbStray,
+                },
+            },
+            MesiKind::RecallData { .. } => L2Event::RecallData,
+            MesiKind::InvAck => L2Event::RecallAck,
+            _ => L2Event::Stray,
         }
     }
 
@@ -230,243 +457,23 @@ impl MesiL2 {
         ctx.trace(addr.as_u64(), "mesi-l2", "Recv", || {
             format!("{kind:?} from {from} (state {})", self.state_name(addr))
         });
-        // Responses to our own recalls bypass the queue.
-        match kind {
-            MesiKind::RecallData { data, dirty } => {
-                self.recall_response(addr, Some((data, dirty)), ctx);
-                return;
-            }
-            MesiKind::InvAck => {
-                self.recall_response(addr, None, ctx);
-                return;
-            }
-            MesiKind::OwnerWb { data, dirty } => {
-                self.handle_owner_wb(from, addr, data, dirty, ctx);
-                return;
-            }
-            _ => {}
-        }
-        if self.busy.contains_key(&addr) {
-            self.queues.entry(addr).or_default().push_back((from, kind));
-            return;
-        }
         self.process(from, addr, kind, ctx);
     }
 
+    /// Classifies and dispatches one stimulus through the table. Busy
+    /// states stall request-shaped events into the per-block queue;
+    /// responses (`OwnerWb*`, recall responses) have explicit rows and
+    /// bypass the queue.
     fn process(&mut self, from: NodeId, addr: BlockAddr, kind: MesiKind, ctx: &mut Ctx<'_>) {
-        match kind {
-            MesiKind::GetS => self.process_get(from, addr, GetKind::S, ctx),
-            MesiKind::GetSOnly => self.process_get(from, addr, GetKind::SOnly, ctx),
-            MesiKind::GetM => self.process_get(from, addr, GetKind::M, ctx),
-            MesiKind::PutS => self.process_put(from, addr, None, false, ctx),
-            MesiKind::PutE { data } => self.process_put(from, addr, Some(data), false, ctx),
-            MesiKind::PutM { data } => self.process_put(from, addr, Some(data), true, ctx),
-            _ => self.violation("unexpected kind at L2"),
-        }
-    }
-
-    fn process_get(&mut self, from: NodeId, addr: BlockAddr, kind: GetKind, ctx: &mut Ctx<'_>) {
-        if kind == GetKind::M {
-            self.stats.getms += 1;
-        } else {
-            self.stats.gets += 1;
-        }
-        let Some(line) = self.array.get_mut(addr) else {
-            // Miss: fetch from memory.
-            self.stats.mem_reads += 1;
-            self.busy.insert(
-                addr,
-                Busy::Fetch {
-                    requestor: from,
-                    kind,
-                },
-            );
-            self.busy_opened(addr, ctx.now());
-            ctx.wake_in(self.cfg.mem_latency.max(1), addr.as_u64());
-            return;
+        let state = self.l2_state(addr);
+        let event = self.classify(from, addr, &kind);
+        let mut cx = L2Cx {
+            ctx,
+            from,
+            addr,
+            kind: Some(kind),
         };
-        match kind {
-            GetKind::S | GetKind::SOnly => {
-                if let Some(owner) = line.owner {
-                    self.stats.fwd_gets += 1;
-                    self.busy.insert(
-                        addr,
-                        Busy::FwdS {
-                            owner,
-                            requestor: from,
-                        },
-                    );
-                    self.busy_opened(addr, ctx.now());
-                    ctx.send(
-                        owner,
-                        MesiMsg::new(addr, MesiKind::FwdGetS { requestor: from }).into(),
-                    );
-                } else if line.sharers.is_empty() && kind == GetKind::S {
-                    line.owner = Some(from);
-                    let data = line.data;
-                    ctx.send(from, MesiMsg::new(addr, MesiKind::DataE { data }).into());
-                } else {
-                    line.sharers.insert(from);
-                    let data = line.data;
-                    ctx.send(from, MesiMsg::new(addr, MesiKind::DataS { data }).into());
-                }
-            }
-            GetKind::M => {
-                if let Some(owner) = line.owner {
-                    if owner == from {
-                        // Trusted L1s upgrade silently, but a Transactional
-                        // Crossing Guard may forward a redundant GetM on a
-                        // misbehaving accelerator's behalf (Guarantee 1a is
-                        // the host's to tolerate, §3.2.2). Grant it — the
-                        // requestor already owns the block, so this is
-                        // harmless.
-                        let data = line.data;
-                        self.stats.redundant_getms += 1;
-                        ctx.send(
-                            from,
-                            MesiMsg::new(addr, MesiKind::DataM { data, acks: 0 }).into(),
-                        );
-                        return;
-                    }
-                    ctx.send(
-                        owner,
-                        MesiMsg::new(addr, MesiKind::FwdGetM { requestor: from }).into(),
-                    );
-                    line.owner = Some(from);
-                    line.inv_debt = None;
-                } else {
-                    let acks: Vec<NodeId> = line
-                        .sharers
-                        .iter()
-                        .copied()
-                        .filter(|&s| s != from)
-                        .collect();
-                    if !acks.is_empty() {
-                        self.stats.inv_rounds += 1;
-                    }
-                    for &sharer in &acks {
-                        ctx.send(
-                            sharer,
-                            MesiMsg::new(addr, MesiKind::Inv { requestor: from }).into(),
-                        );
-                    }
-                    line.sharers.clear();
-                    line.owner = Some(from);
-                    line.inv_debt = Some(from);
-                    let data = line.data;
-                    ctx.send(
-                        from,
-                        MesiMsg::new(
-                            addr,
-                            MesiKind::DataM {
-                                data,
-                                acks: acks.len() as u32,
-                            },
-                        )
-                        .into(),
-                    );
-                }
-            }
-        }
-    }
-
-    fn process_put(
-        &mut self,
-        from: NodeId,
-        addr: BlockAddr,
-        data: Option<DataBlock>,
-        dirty: bool,
-        ctx: &mut Ctx<'_>,
-    ) {
-        self.stats.puts += 1;
-        let Some(line) = self.array.get_mut(addr) else {
-            // Inclusivity means a put for a non-resident block is a race
-            // with our own recall (or garbage).
-            self.stats.nacks += 1;
-            ctx.send(from, MesiMsg::new(addr, MesiKind::WbNack).into());
-            return;
-        };
-        if line.owner == Some(from) {
-            if let Some(d) = data {
-                line.data = d;
-                line.dirty |= dirty;
-            }
-            line.owner = None;
-            ctx.send(from, MesiMsg::new(addr, MesiKind::WbAck).into());
-        } else if line.sharers.remove(&from) {
-            // PutS, or a PutE/PutM demoted by a racing FwdGetS (§ l1 docs).
-            if data.is_some() {
-                self.stats.demoted_puts += 1;
-            } else {
-                self.stats.put_s += 1;
-            }
-            ctx.send(from, MesiMsg::new(addr, MesiKind::WbAck).into());
-        } else {
-            self.stats.nacks += 1;
-            ctx.send(from, MesiMsg::new(addr, MesiKind::WbNack).into());
-        }
-    }
-
-    fn handle_owner_wb(
-        &mut self,
-        from: NodeId,
-        addr: BlockAddr,
-        data: DataBlock,
-        dirty: bool,
-        ctx: &mut Ctx<'_>,
-    ) {
-        match self.busy.get(&addr) {
-            Some(Busy::FwdS { owner, requestor }) if *owner == from => {
-                let requestor = *requestor;
-                self.busy.remove(&addr);
-                self.busy_closed(addr, ctx.now());
-                if let Some(line) = self.array.get_mut(addr) {
-                    line.data = data;
-                    line.dirty |= dirty;
-                    line.sharers.insert(from);
-                    line.sharers.insert(requestor);
-                    line.owner = None;
-                } else {
-                    self.violation("FwdS busy without a line");
-                }
-                self.drain(addr, ctx);
-            }
-            _ => {
-                // Unsolicited data: either a WB_P(M/E)+FwdGetS demotion
-                // (trusted, handled by the data refresh below) or a buggy
-                // accelerator answering an Inv with data (§3.2.2).
-                let mut handled = false;
-                if let Some(line) = self.array.get_mut(addr) {
-                    if line.owner.is_none() && line.sharers.contains(&from) {
-                        // Plausible demotion: refresh our copy.
-                        line.data = data;
-                        line.dirty |= dirty;
-                        handled = true;
-                    } else if line.inv_debt.is_some() && line.owner != Some(from) {
-                        let requestor = line.inv_debt.expect("checked");
-                        if self.cfg.ack_data_interchange {
-                            // Host mod: ack the requestor on behalf of the
-                            // sender; discard the untrusted data (it came
-                            // from a cache that was told to *invalidate*).
-                            ctx.send(requestor, MesiMsg::new(addr, MesiKind::InvAck).into());
-                            self.stats.mod_acks_on_behalf += 1;
-                            handled = true;
-                        }
-                    }
-                }
-                if !handled {
-                    ctx.trace(addr.as_u64(), "mesi-l2", "UnsolicitedOwnerWb", || {
-                        format!(
-                            "from {from} line={:?}",
-                            self.array
-                                .get(addr)
-                                .map(|l| (l.owner, l.sharers.clone(), l.inv_debt))
-                        )
-                    });
-                    self.violation("unsolicited OwnerWb");
-                }
-            }
-        }
+        self.dispatch(state, event, &mut cx);
     }
 
     fn recall_response(
@@ -476,6 +483,7 @@ impl MesiL2 {
         ctx: &mut Ctx<'_>,
     ) {
         let Some(Busy::Recall { pending, line }) = self.busy.get_mut(&addr) else {
+            // The table only routes recall responses here in Busy_Recall.
             self.violation("recall response without recall");
             return;
         };
@@ -486,7 +494,7 @@ impl MesiL2 {
         *pending -= 1;
         if *pending == 0 {
             let Some(Busy::Recall { line, .. }) = self.busy.remove(&addr) else {
-                unreachable!()
+                return;
             };
             self.busy_closed(addr, ctx.now());
             self.finish_eviction(addr, line, ctx);
@@ -510,29 +518,6 @@ impl MesiL2 {
         for a in waiting {
             self.try_install(a, ctx);
         }
-    }
-
-    /// Memory fetch completion (timer token = block address).
-    fn fetch_done(&mut self, addr: BlockAddr, ctx: &mut Ctx<'_>) {
-        // Check before removing: a mismatched wake must not destroy
-        // whatever transaction now owns this block.
-        if !matches!(self.busy.get(&addr), Some(Busy::Fetch { .. })) {
-            self.violation("fetch completion without fetch");
-            return;
-        }
-        let Some(Busy::Fetch { requestor, kind }) = self.busy.remove(&addr) else {
-            unreachable!("checked above")
-        };
-        let data = self.memory.get(&addr).copied().unwrap_or_default();
-        self.busy.insert(
-            addr,
-            Busy::InstallWait {
-                requestor,
-                kind,
-                data,
-            },
-        );
-        self.try_install(addr, ctx);
     }
 
     fn try_install(&mut self, addr: BlockAddr, ctx: &mut Ctx<'_>) {
@@ -574,7 +559,7 @@ impl MesiL2 {
             data,
         }) = self.busy.remove(&addr)
         else {
-            unreachable!("checked above")
+            return;
         };
         self.busy_closed(addr, ctx.now());
         self.array.insert(addr, L2Line::fresh(data));
@@ -638,6 +623,286 @@ impl MesiL2 {
     }
 }
 
+impl<'a, 'b> Controller<L2State, L2Event, L2Action, L2Cx<'a, 'b>> for MesiL2 {
+    fn machine(&mut self) -> &mut Machine<L2State, L2Event, L2Action> {
+        &mut self.machine
+    }
+
+    fn apply(&mut self, action: L2Action, _step: Step<L2State, L2Event>, cx: &mut L2Cx<'a, 'b>) {
+        let (from, addr) = (cx.from, cx.addr);
+        match action {
+            L2Action::CountGet => {
+                if matches!(cx.kind, Some(MesiKind::GetM)) {
+                    self.stats.getms += 1;
+                } else {
+                    self.stats.gets += 1;
+                }
+            }
+            L2Action::StartFetch => {
+                let kind = match cx.kind {
+                    Some(MesiKind::GetS) => GetKind::S,
+                    Some(MesiKind::GetSOnly) => GetKind::SOnly,
+                    _ => GetKind::M,
+                };
+                self.stats.mem_reads += 1;
+                self.busy.insert(
+                    addr,
+                    Busy::Fetch {
+                        requestor: from,
+                        kind,
+                    },
+                );
+                self.busy_opened(addr, cx.ctx.now());
+                cx.ctx.wake_in(self.cfg.mem_latency.max(1), addr.as_u64());
+            }
+            L2Action::GrantE => {
+                if let Some(line) = self.array.get_mut(addr) {
+                    line.owner = Some(from);
+                    let data = line.data;
+                    cx.ctx
+                        .send(from, MesiMsg::new(addr, MesiKind::DataE { data }).into());
+                }
+            }
+            L2Action::GrantS => {
+                if let Some(line) = self.array.get_mut(addr) {
+                    line.sharers.insert(from);
+                    let data = line.data;
+                    cx.ctx
+                        .send(from, MesiMsg::new(addr, MesiKind::DataS { data }).into());
+                }
+            }
+            L2Action::StartFwdS => {
+                let Some(owner) = self.array.get(addr).and_then(|l| l.owner) else {
+                    return;
+                };
+                self.stats.fwd_gets += 1;
+                self.busy.insert(
+                    addr,
+                    Busy::FwdS {
+                        owner,
+                        requestor: from,
+                    },
+                );
+                self.busy_opened(addr, cx.ctx.now());
+                cx.ctx.send(
+                    owner,
+                    MesiMsg::new(addr, MesiKind::FwdGetS { requestor: from }).into(),
+                );
+            }
+            L2Action::GrantRedundantM => {
+                if let Some(line) = self.array.get(addr) {
+                    // Trusted L1s upgrade silently, but a Transactional
+                    // Crossing Guard may forward a redundant GetM on a
+                    // misbehaving accelerator's behalf (Guarantee 1a is the
+                    // host's to tolerate, §3.2.2). Grant it — the requestor
+                    // already owns the block, so this is harmless.
+                    let data = line.data;
+                    self.stats.redundant_getms += 1;
+                    cx.ctx.send(
+                        from,
+                        MesiMsg::new(addr, MesiKind::DataM { data, acks: 0 }).into(),
+                    );
+                }
+            }
+            L2Action::HandOffM => {
+                let Some(line) = self.array.get_mut(addr) else {
+                    return;
+                };
+                let Some(owner) = line.owner else { return };
+                cx.ctx.send(
+                    owner,
+                    MesiMsg::new(addr, MesiKind::FwdGetM { requestor: from }).into(),
+                );
+                line.owner = Some(from);
+                line.inv_debt = None;
+            }
+            L2Action::InvRoundGrantM => {
+                let Some(line) = self.array.get_mut(addr) else {
+                    return;
+                };
+                let acks: Vec<NodeId> = line
+                    .sharers
+                    .iter()
+                    .copied()
+                    .filter(|&s| s != from)
+                    .collect();
+                if !acks.is_empty() {
+                    self.stats.inv_rounds += 1;
+                }
+                for &sharer in &acks {
+                    cx.ctx.send(
+                        sharer,
+                        MesiMsg::new(addr, MesiKind::Inv { requestor: from }).into(),
+                    );
+                }
+                let line = self.array.get_mut(addr).expect("line resident");
+                line.sharers.clear();
+                line.owner = Some(from);
+                line.inv_debt = Some(from);
+                let data = line.data;
+                cx.ctx.send(
+                    from,
+                    MesiMsg::new(
+                        addr,
+                        MesiKind::DataM {
+                            data,
+                            acks: acks.len() as u32,
+                        },
+                    )
+                    .into(),
+                );
+            }
+            L2Action::CountPut => {
+                self.stats.puts += 1;
+            }
+            L2Action::AcceptOwnerPut => {
+                let (data, dirty) = put_payload(&cx.kind);
+                if let Some(line) = self.array.get_mut(addr) {
+                    if let Some(d) = data {
+                        line.data = d;
+                        line.dirty |= dirty;
+                    }
+                    line.owner = None;
+                    cx.ctx
+                        .send(from, MesiMsg::new(addr, MesiKind::WbAck).into());
+                }
+            }
+            L2Action::AcceptSharerPut => {
+                let (data, _) = put_payload(&cx.kind);
+                if let Some(line) = self.array.get_mut(addr) {
+                    // PutS, or a PutE/PutM demoted by a racing FwdGetS
+                    // (§ l1 docs).
+                    line.sharers.remove(&from);
+                    if data.is_some() {
+                        self.stats.demoted_puts += 1;
+                    } else {
+                        self.stats.put_s += 1;
+                    }
+                    cx.ctx
+                        .send(from, MesiMsg::new(addr, MesiKind::WbAck).into());
+                }
+            }
+            L2Action::NackPut => {
+                self.stats.nacks += 1;
+                cx.ctx
+                    .send(from, MesiMsg::new(addr, MesiKind::WbNack).into());
+            }
+            L2Action::FinishFwdS => {
+                let Some(Busy::FwdS { requestor, .. }) = self.busy.remove(&addr) else {
+                    return;
+                };
+                self.busy_closed(addr, cx.ctx.now());
+                let (data, dirty) = put_payload(&cx.kind);
+                if let Some(line) = self.array.get_mut(addr) {
+                    if let Some(d) = data {
+                        line.data = d;
+                    }
+                    line.dirty |= dirty;
+                    line.sharers.insert(from);
+                    line.sharers.insert(requestor);
+                    line.owner = None;
+                } else {
+                    self.violation("FwdS busy without a line");
+                }
+                self.drain(addr, cx.ctx);
+            }
+            L2Action::RefreshDemoted => {
+                let (data, dirty) = put_payload(&cx.kind);
+                if let Some(line) = self.array.get_mut(addr) {
+                    // Plausible demotion: refresh our copy.
+                    if let Some(d) = data {
+                        line.data = d;
+                    }
+                    line.dirty |= dirty;
+                }
+            }
+            L2Action::AckOnBehalf => {
+                let Some(requestor) = self.array.get(addr).and_then(|l| l.inv_debt) else {
+                    return;
+                };
+                // Host mod: ack the requestor on behalf of the sender;
+                // discard the untrusted data (it came from a cache that was
+                // told to *invalidate*).
+                cx.ctx
+                    .send(requestor, MesiMsg::new(addr, MesiKind::InvAck).into());
+                self.stats.mod_acks_on_behalf += 1;
+            }
+            L2Action::ApplyRecallResponse => {
+                let data = match cx.kind {
+                    Some(MesiKind::RecallData { data, dirty }) => Some((data, dirty)),
+                    _ => None,
+                };
+                self.recall_response(addr, data, cx.ctx);
+            }
+            L2Action::CompleteFetch => {
+                let Some(Busy::Fetch { requestor, kind }) = self.busy.remove(&addr) else {
+                    return;
+                };
+                let data = self.memory.get(&addr).copied().unwrap_or_default();
+                self.busy.insert(
+                    addr,
+                    Busy::InstallWait {
+                        requestor,
+                        kind,
+                        data,
+                    },
+                );
+                self.try_install(addr, cx.ctx);
+            }
+            L2Action::TryInstall => {
+                self.try_install(addr, cx.ctx);
+            }
+        }
+    }
+
+    fn stalled(&mut self, _step: Step<L2State, L2Event>, cx: &mut L2Cx<'a, 'b>) {
+        if let Some(kind) = cx.kind {
+            self.queues
+                .entry(cx.addr)
+                .or_default()
+                .push_back((cx.from, kind));
+        }
+    }
+
+    fn violated(&mut self, step: Step<L2State, L2Event>, cx: &mut L2Cx<'a, 'b>) {
+        match step.event {
+            L2Event::OwnerWbFwd
+            | L2Event::OwnerWbDemote
+            | L2Event::OwnerWbDebt
+            | L2Event::OwnerWbStray => {
+                let (from, addr) = (cx.from, cx.addr);
+                cx.ctx
+                    .trace(addr.as_u64(), "mesi-l2", "UnsolicitedOwnerWb", || {
+                        format!(
+                            "from {from} line={:?}",
+                            self.array
+                                .get(addr)
+                                .map(|l| (l.owner, l.sharers.clone(), l.inv_debt))
+                        )
+                    });
+                self.violation("unsolicited OwnerWb");
+            }
+            L2Event::RecallData | L2Event::RecallAck => {
+                self.violation("recall response without recall");
+            }
+            L2Event::FetchDone => self.violation("fetch completion without fetch"),
+            _ => self.violation("unexpected kind at L2"),
+        }
+    }
+}
+
+/// Extracts the data payload of a `Put*`/`OwnerWb`/`RecallData` kind:
+/// `(data, dirty)` with `data: None` for the data-less `PutS`.
+fn put_payload(kind: &Option<MesiKind>) -> (Option<DataBlock>, bool) {
+    match kind {
+        Some(MesiKind::PutE { data }) => (Some(*data), false),
+        Some(MesiKind::PutM { data }) => (Some(*data), true),
+        Some(MesiKind::OwnerWb { data, dirty }) => (Some(*data), *dirty),
+        Some(MesiKind::RecallData { data, dirty }) => (Some(*data), *dirty),
+        _ => (None, false),
+    }
+}
+
 /// High bit of the wake token distinguishes install retries from fetches.
 const INSTALL_RETRY_BIT: u64 = 1 << 63;
 
@@ -697,11 +962,20 @@ impl Component<Message> for MesiL2 {
                 self.state_name(addr)
             )
         });
-        if token & INSTALL_RETRY_BIT != 0 {
-            self.try_install(addr, ctx);
+        let event = if token & INSTALL_RETRY_BIT != 0 {
+            L2Event::InstallRetry
         } else {
-            self.fetch_done(addr, ctx);
-        }
+            L2Event::FetchDone
+        };
+        let state = self.l2_state(addr);
+        let me = ctx.self_id();
+        let mut cx = L2Cx {
+            ctx,
+            from: me,
+            addr,
+            kind: None,
+        };
+        self.dispatch(state, event, &mut cx);
     }
 
     fn report(&self, out: &mut Report) {
@@ -730,6 +1004,7 @@ impl Component<Message> for MesiL2 {
             out.add(format!("{n}.violation[{why}]"), *count);
         }
         out.record_coverage(format!("mesi_l2/{n}"), &self.coverage);
+        self.machine.record_into(out);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -152,16 +152,17 @@ impl<E> SetAssocCache<E> {
             return None;
         }
         let way = match self.policy {
-            Replacement::Lru => candidates
-                .into_iter()
-                .min_by_key(|&i| set[i].last_used)
-                .expect("nonempty"),
-            Replacement::Fifo => candidates
-                .into_iter()
-                .min_by_key(|&i| set[i].inserted)
-                .expect("nonempty"),
-            Replacement::Random => candidates[self.rng.gen_range(0..candidates.len())],
+            Replacement::Lru => candidates.iter().copied().min_by_key(|&i| set[i].last_used),
+            Replacement::Fifo => candidates.iter().copied().min_by_key(|&i| set[i].inserted),
+            Replacement::Random => {
+                let pick = self.rng.gen_range(0..candidates.len());
+                candidates.get(pick).copied()
+            }
         };
+        // `candidates` is non-empty here, so the fallback never fires; it
+        // exists so an eviction (a protocol-visible path in every
+        // controller) can never panic.
+        let way = way.or_else(|| candidates.first().copied())?;
         let line = set.swap_remove(way);
         Some((line.addr, line.entry))
     }

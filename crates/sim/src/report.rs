@@ -77,6 +77,102 @@ impl CoverageSet {
     }
 }
 
+/// Per-machine transition coverage against a *declared* row universe.
+///
+/// Where [`CoverageSet`] records whatever `(state, event)` pairs a
+/// controller happened to visit, `TransitionCoverage` starts from the full
+/// set of rows a transition table declares legal (see `xg-fsm`) and counts
+/// how often each fired. Declared-but-never-fired rows survive with a count
+/// of zero, which is exactly what makes the stress/fuzz sweeps a coverage
+/// instrument: `fired_rows() / total_rows()` is the fraction of the
+/// implemented protocol the sweep actually exercised, and
+/// [`never_fired`](TransitionCoverage::never_fired) names the holes.
+///
+/// Merging sums per-row counts and unions row universes, so shard merges
+/// are commutative and associative like every other [`Report`] section.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransitionCoverage {
+    /// state → event → times fired (0 = declared, never fired).
+    rows: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl TransitionCoverage {
+    /// Creates an empty coverage table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a row of the machine's table without firing it.
+    pub fn declare(&mut self, state: &str, event: &str) {
+        self.rows
+            .entry(state.to_owned())
+            .or_default()
+            .entry(event.to_owned())
+            .or_insert(0);
+    }
+
+    /// Records `count` firings of a row (declaring it if needed).
+    pub fn fire(&mut self, state: &str, event: &str, count: u64) {
+        *self
+            .rows
+            .entry(state.to_owned())
+            .or_default()
+            .entry(event.to_owned())
+            .or_insert(0) += count;
+    }
+
+    /// Number of declared rows.
+    pub fn total_rows(&self) -> usize {
+        self.rows.values().map(BTreeMap::len).sum()
+    }
+
+    /// Number of declared rows that fired at least once.
+    pub fn fired_rows(&self) -> usize {
+        self.rows
+            .values()
+            .flat_map(BTreeMap::values)
+            .filter(|&&n| n > 0)
+            .count()
+    }
+
+    /// Times a particular row fired (0 if never or undeclared).
+    pub fn count(&self, state: &str, event: &str) -> u64 {
+        self.rows
+            .get(state)
+            .and_then(|evs| evs.get(event))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether a row is declared.
+    pub fn is_declared(&self, state: &str, event: &str) -> bool {
+        self.rows
+            .get(state)
+            .is_some_and(|evs| evs.contains_key(event))
+    }
+
+    /// Iterates `(state, event, fired)` in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, u64)> + '_ {
+        self.rows
+            .iter()
+            .flat_map(|(s, evs)| evs.iter().map(move |(e, &n)| (s.as_str(), e.as_str(), n)))
+    }
+
+    /// Iterates the declared rows that never fired.
+    pub fn never_fired(&self) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.iter()
+            .filter(|&(_, _, n)| n == 0)
+            .map(|(s, e, _)| (s, e))
+    }
+
+    /// Merges another coverage table (sums counts, unions universes).
+    pub fn merge(&mut self, other: &TransitionCoverage) {
+        for (s, e, n) in other.iter() {
+            self.fire(s, e, n);
+        }
+    }
+}
+
 /// Aggregated statistics from a simulation run.
 ///
 /// Components contribute to a `Report` via [`crate::Component::report`]:
@@ -90,6 +186,7 @@ impl CoverageSet {
 pub struct Report {
     scalars: BTreeMap<String, u64>,
     coverage: BTreeMap<String, CoverageSet>,
+    fsm: BTreeMap<String, TransitionCoverage>,
     hists: BTreeMap<String, Histogram>,
 }
 
@@ -146,6 +243,25 @@ impl Report {
         self.coverage.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Records (merges) a machine's transition coverage under `machine`.
+    ///
+    /// Keyed by machine (table) name rather than component instance name so
+    /// that sweeps over many instances of the same controller merge into
+    /// one per-machine table.
+    pub fn record_fsm(&mut self, machine: impl Into<String>, cov: &TransitionCoverage) {
+        self.fsm.entry(machine.into()).or_default().merge(cov);
+    }
+
+    /// Looks up the transition coverage for a machine.
+    pub fn fsm(&self, machine: &str) -> Option<&TransitionCoverage> {
+        self.fsm.get(machine)
+    }
+
+    /// Iterates over all `(machine, transition coverage)` entries.
+    pub fn fsms(&self) -> impl Iterator<Item = (&str, &TransitionCoverage)> + '_ {
+        self.fsm.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Records one observation into the histogram `key` (creating it empty).
     pub fn observe(&mut self, key: impl Into<String>, value: u64) {
         self.hists.entry(key.into()).or_default().record(value);
@@ -185,6 +301,9 @@ impl Report {
         }
         for (k, v) in other.coverages() {
             self.record_coverage(k, v);
+        }
+        for (k, v) in other.fsms() {
+            self.record_fsm(k, v);
         }
         for (k, v) in other.hists() {
             self.record_hist(k, v);
@@ -236,6 +355,28 @@ impl Report {
                             })
                             .collect();
                         (ctrl.clone(), JsonValue::Obj(states))
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "fsm".to_owned(),
+            JsonValue::Obj(
+                self.fsm
+                    .iter()
+                    .map(|(machine, cov)| {
+                        let states = cov
+                            .rows
+                            .iter()
+                            .map(|(state, events)| {
+                                let evs = events
+                                    .iter()
+                                    .map(|(e, &n)| (e.clone(), JsonValue::Num(n)))
+                                    .collect();
+                                (state.clone(), JsonValue::Obj(evs))
+                            })
+                            .collect();
+                        (machine.clone(), JsonValue::Obj(states))
                     })
                     .collect(),
             ),
@@ -314,6 +455,26 @@ impl Report {
                 }
             }
         }
+        if let Some(fsm) = root.get("fsm") {
+            let fsm = fsm.as_obj().ok_or_else(|| bad("fsm must be an object"))?;
+            for (machine, states) in fsm {
+                let states = states
+                    .as_obj()
+                    .ok_or_else(|| bad("fsm entries must be objects"))?;
+                let cov = report.fsm.entry(machine.clone()).or_default();
+                for (state, events) in states {
+                    let events = events
+                        .as_obj()
+                        .ok_or_else(|| bad("fsm events must be objects"))?;
+                    for (ev, n) in events {
+                        let n = n
+                            .as_num()
+                            .ok_or_else(|| bad("fsm row counts must be numbers"))?;
+                        cov.fire(state, ev, n);
+                    }
+                }
+            }
+        }
         if let Some(hists) = root.get("hists") {
             let hists = hists
                 .as_obj()
@@ -364,6 +525,14 @@ impl fmt::Display for Report {
         }
         for (k, v) in &self.coverage {
             writeln!(f, "{k}: {} state/event pairs", v.len())?;
+        }
+        for (k, v) in &self.fsm {
+            writeln!(
+                f,
+                "{k}: {}/{} transition rows fired",
+                v.fired_rows(),
+                v.total_rows()
+            )?;
         }
         for (k, h) in &self.hists {
             writeln!(f, "{k}: {h}")?;
@@ -459,6 +628,64 @@ mod tests {
     }
 
     #[test]
+    fn transition_coverage_counts_and_holes() {
+        let mut t = TransitionCoverage::new();
+        t.declare("I", "Load");
+        t.declare("S", "Inv");
+        t.fire("I", "Load", 3);
+        t.fire("I", "Load", 2);
+        assert_eq!(t.total_rows(), 2);
+        assert_eq!(t.fired_rows(), 1);
+        assert_eq!(t.count("I", "Load"), 5);
+        assert_eq!(t.count("S", "Inv"), 0);
+        assert!(t.is_declared("S", "Inv"));
+        assert!(!t.is_declared("M", "Store"));
+        let holes: Vec<_> = t.never_fired().collect();
+        assert_eq!(holes, vec![("S", "Inv")]);
+    }
+
+    #[test]
+    fn transition_coverage_merge_is_commutative() {
+        let mut a = TransitionCoverage::new();
+        a.declare("I", "Load");
+        a.fire("S", "Inv", 2);
+        let mut b = TransitionCoverage::new();
+        b.fire("I", "Load", 1);
+        b.declare("M", "Store");
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total_rows(), 3);
+        assert_eq!(ab.fired_rows(), 2);
+        assert_eq!(ab.count("I", "Load"), 1);
+    }
+
+    #[test]
+    fn report_fsm_round_trips_and_merges() {
+        let mut t = TransitionCoverage::new();
+        t.declare("NO", "Put");
+        t.fire("O_mem", "GetS", 7);
+        let mut r = Report::new();
+        r.record_fsm("hammer_dir", &t);
+
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        let cov = back.fsm("hammer_dir").unwrap();
+        assert_eq!(cov.count("O_mem", "GetS"), 7);
+        assert!(cov.is_declared("NO", "Put"));
+        assert_eq!(cov.fired_rows(), 1);
+
+        let mut other = Report::new();
+        other.record_fsm("hammer_dir", &t);
+        r.merge(&other);
+        assert_eq!(r.fsm("hammer_dir").unwrap().count("O_mem", "GetS"), 14);
+        assert_eq!(r.fsm("hammer_dir").unwrap().total_rows(), 2);
+    }
+
+    #[test]
     fn json_round_trip_is_lossless() {
         let mut r = Report::new();
         r.add("guard.reqs", 42);
@@ -468,6 +695,10 @@ mod tests {
         cov.visit("I_M", "Data\"quote\"");
         cov.visit("S", "Inv");
         r.record_coverage("l1_0", &cov);
+        let mut fsm = TransitionCoverage::new();
+        fsm.fire("NP", "GetS", 9);
+        fsm.declare("Owned", "Recall");
+        r.record_fsm("mesi_l2", &fsm);
         r.observe("lat", 0);
         r.observe("lat", 17);
         r.observe("lat", u64::MAX);
