@@ -77,6 +77,10 @@ fn main() {
     println!("{}", e2_fuzz::table(&rows));
     gate_failures.extend(e2_fuzz::failures(&rows));
 
+    let (rows, campaign_summary) = e2_campaign::run_jobs(scale, 0xC4A55, jobs);
+    println!("{}", e2_campaign::table(&rows));
+    gate_failures.extend(e2_campaign::failures(&rows));
+
     let series = e3_performance::run_jobs(scale, 9, jobs);
     println!("{}", e3_performance::table(&series));
 
@@ -102,7 +106,8 @@ fn main() {
     gate_failures.extend(e11_prefetch::failures(&rows));
 
     if let Some(path) = json_path {
-        let report = xg_bench::collect_report_jobs(scale, jobs);
+        let mut report = xg_bench::collect_report_jobs(scale, jobs);
+        report.merge(&campaign_summary);
         if let Err(e) = std::fs::write(&path, report.to_json()) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);

@@ -2,6 +2,7 @@
 
 pub mod e11_prefetch;
 pub mod e1_stress;
+pub mod e2_campaign;
 pub mod e2_fuzz;
 pub mod e3_performance;
 pub mod e4_storage;

@@ -68,6 +68,12 @@ pub struct XgConfig {
     pub use_gets_only: bool,
     /// Page permissions for the accelerator (Guarantee 0).
     pub perms: PermissionTable,
+    /// **Test-only planted bug**: silently drop demands that should be
+    /// forwarded to the accelerator as invalidations — the host requester
+    /// never gets an answer and wedges. Exists so the fuzz campaign's
+    /// failure detection and schedule minimization can be demonstrated
+    /// against a known defect; never set outside tests.
+    pub test_swallow_invs: bool,
 }
 
 impl Default for XgConfig {
@@ -80,6 +86,7 @@ impl Default for XgConfig {
             suppress_put_s: false,
             use_gets_only: true,
             perms: PermissionTable::new(),
+            test_swallow_invs: false,
         }
     }
 }

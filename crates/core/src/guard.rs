@@ -610,21 +610,37 @@ impl CrossingGuard {
             }
             XgiKind::CleanWb { ref data } | XgiKind::DirtyWb { ref data } => {
                 let dirty = matches!(kind, XgiKind::DirtyWb { .. });
-                if data.len() != self.k as usize {
-                    self.report_error(Some(a), XgErrorKind::Malformed, ctx);
-                    self.stats.fabricated_responses += 1;
-                    Resolution::Owned {
-                        data: vec![DataBlock::zeroed(); self.k as usize],
-                        dirty: true,
-                    }
-                } else if read_only {
-                    // Guarantee 0b dominates: data from the accelerator for
-                    // a read-only page must never reach the host, not even
-                    // through the Transactional forwarding path. The
-                    // accelerator can have held at most a shared copy here
-                    // (ownership is never granted on read-only pages).
+                if read_only {
+                    // Guarantee 0b dominates — even over well-formedness:
+                    // data from the accelerator for a read-only page must
+                    // never reach the host, not even through the
+                    // Transactional forwarding path, and neither may a
+                    // *fabricated* owned response (the fuzz campaign found
+                    // that fabricating one here answers the host's recall
+                    // with owner data from a node that was only ever a
+                    // sharer — zeroed RespData under Hammer, an unsolicited
+                    // OwnerWb under MESI). The accelerator can have held at
+                    // most a shared copy (ownership is never granted on
+                    // read-only pages), so a shared resolution is the only
+                    // safe answer regardless of the payload's shape.
                     self.report_error(Some(a), XgErrorKind::PermissionWrite, ctx);
                     Resolution::Shared
+                } else if data.len() != self.k as usize {
+                    // Malformed payload. Fabricate the zeroed writeback the
+                    // host is waiting for only when it actually expects
+                    // owner data; if the accelerator was merely a sharer, a
+                    // fabricated owned response would itself break the host
+                    // (owner data from a non-owner), so resolve as shared.
+                    self.report_error(Some(a), XgErrorKind::Malformed, ctx);
+                    if expects_owned {
+                        self.stats.fabricated_responses += 1;
+                        Resolution::Owned {
+                            data: vec![DataBlock::zeroed(); self.k as usize],
+                            dirty: true,
+                        }
+                    } else {
+                        Resolution::Shared
+                    }
                 } else if !expects_owned {
                     // 2a: a writeback from a non-owner. With Full State we
                     // correct it locally; Transactional forwards it and the
@@ -1089,6 +1105,12 @@ impl CrossingGuard {
     }
 
     fn forward_inv(&mut self, a: BlockAddr, h: BlockAddr, kind: DemandKind, ctx: &mut Ctx<'_>) {
+        if self.cfg.test_swallow_invs {
+            // Planted bug (see [`XgConfig::test_swallow_invs`]): the demand
+            // is neither answered nor forwarded, so the host requester
+            // hangs — the defect the campaign's minimizer demo hunts.
+            return;
+        }
         if let Some(ip) = self.inv_pending.get_mut(&a) {
             ip.reasons.push((h, kind));
             return;

@@ -3,6 +3,7 @@
 use xg_accel::Prefetch;
 use xg_core::{XgConfig, XgVariant};
 use xg_mem::PermissionTable;
+use xg_sim::FaultSpec;
 
 /// Which host coherence protocol the system runs (paper §3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +113,11 @@ pub struct SystemConfig {
     /// Run the *unmodified* host protocol (strict ack counting, no nack
     /// sinking, no ack/data interchange) — the §3.2 ablation.
     pub strict_host: bool,
+    /// Fault-injection plan applied to the (unordered) guard ↔ home links.
+    /// Zeroed by default; the fuzz campaign turns on delay spikes and
+    /// reorder bursts here to attack the guard's timeout paths without
+    /// breaking the host network's reliable-delivery assumption.
+    pub host_faults: FaultSpec,
 }
 
 impl Default for SystemConfig {
@@ -135,6 +141,7 @@ impl Default for SystemConfig {
             weak_accel_sharing: false,
             xg: XgConfig::default(),
             strict_host: false,
+            host_faults: FaultSpec::NONE,
         }
     }
 }

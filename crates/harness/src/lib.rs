@@ -16,6 +16,10 @@
 //!   invalidations randomly or not at all.
 //! * [`FuzzHostCache`] — the same bombardment aimed directly at the host
 //!   protocol, for the unsafe accelerator-side baseline.
+//! * [`campaign`] — the coverage-guided adversarial campaign: evolves
+//!   deterministic injection [`Schedule`]s using transition-coverage deltas
+//!   as feedback, injects link faults, and delta-debugs any failure down
+//!   to a minimal committed reproducer.
 //! * [`WorkloadCore`] / [`Pattern`] — synthetic traffic generators standing
 //!   in for the paper's Rodinia workloads on gem5-gpu (see `DESIGN.md` for
 //!   the substitution rationale): streaming, stencil, blocked,
@@ -27,6 +31,7 @@
 //!   `(SystemConfig, seed)` shards across cores, with results returned in
 //!   submission order so parallel sweeps are byte-identical to serial ones.
 
+pub mod campaign;
 pub mod config;
 pub mod fuzz;
 pub mod runner;
@@ -35,8 +40,12 @@ pub mod system;
 pub mod tester;
 pub mod workloads;
 
+pub use campaign::{
+    guarantee_probe, minimize, run_blind, run_campaign, run_schedule, BlindOutcome,
+    CampaignFailure, CampaignOpts, CampaignOutcome, CorpusEntry, FailureKind,
+};
 pub use config::{AccelOrg, HostProtocol, SystemConfig};
-pub use fuzz::{FuzzAccel, FuzzHostCache, FuzzOpts};
+pub use fuzz::{FuzzAccel, FuzzHostCache, FuzzOpts, Schedule};
 pub use runner::{
     run_fuzz, run_stress, run_workload, FuzzOutcome, PerfOutcome, StressOpts, StressOutcome,
 };

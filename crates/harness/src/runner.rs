@@ -231,6 +231,13 @@ fn run_fuzz_traced(
     for page in 0..=last_page {
         perms.set(xg_mem::PageAddr::new(page), xg_mem::PagePerm::ReadWrite);
     }
+    // Campaign mode can additionally take *read-only* views of pages it must
+    // never modify (typically the CPU testers' working set): shared copies
+    // are legal there, writes are guarantee-0b rejections, and the host's
+    // demand traffic for those blocks now has to cross the guard.
+    for &page in &fuzz.read_only_pages {
+        perms.set(xg_mem::PageAddr::new(page), xg_mem::PagePerm::Read);
+    }
     cfg.xg.perms = perms;
     let cfg = &cfg;
     let shared = TesterShared::new(cfg.cpu_cores, cpu_ops);

@@ -266,6 +266,7 @@ pub fn build_system(
             let id = b.add(guard);
             assert_eq!(id, xg);
             xg_node = Some(xg);
+            link_guard_to_home(&mut b, cfg, xg, home);
             b.link_bidi(xg, top, Link::ordered(cfg.crossing.0, cfg.crossing.1));
             if two_level {
                 let l2 = b.add(Box::new(AccelL2::new(
@@ -315,6 +316,7 @@ pub fn build_system(
             let id = b.add(guard);
             assert_eq!(id, xg);
             xg_node = Some(xg);
+            link_guard_to_home(&mut b, cfg, xg, home);
             let opts = fuzz.clone().expect("FuzzXg needs FuzzOpts");
             let fz = b.add(Box::new(FuzzAccel::new("fuzz_accel", xg, opts)));
             assert_eq!(fz, fuzzer);
@@ -378,6 +380,19 @@ pub fn build_system(
         xg: xg_node,
         fuzzer: fuzzer_node,
     }
+}
+
+/// Wires the guard ↔ home pair. Without faults the pair simply rides the
+/// default (unordered host-network) link, exactly as before; with a fault
+/// plan configured, both directions get an explicit unordered link carrying
+/// the plan. The guard ↔ accelerator side stays ordered and fault-free
+/// either way (§2.1).
+fn link_guard_to_home(b: &mut SimBuilder, cfg: &SystemConfig, xg: NodeId, home: NodeId) {
+    if cfg.host_faults.is_none() {
+        return;
+    }
+    let link = Link::unordered(cfg.host_link.0, cfg.host_link.1).with_faults(cfg.host_faults);
+    b.link_bidi(xg, home, link);
 }
 
 /// Internal: node layout per accelerator organization.

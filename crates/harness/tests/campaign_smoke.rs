@@ -1,0 +1,80 @@
+//! End-to-end smoke test for the coverage-guided campaign: a tiny
+//! campaign against one guarded configuration must run clean, build a
+//! corpus, and summarize itself in the report's `fuzz` section.
+
+use xg_core::XgVariant;
+use xg_harness::{run_campaign, AccelOrg, CampaignOpts, HostProtocol, SystemConfig};
+
+#[test]
+fn tiny_campaign_runs_clean_and_builds_a_corpus() {
+    let base = SystemConfig {
+        host: HostProtocol::Hammer,
+        accel: AccelOrg::FuzzXg {
+            variant: XgVariant::FullState,
+        },
+        ..SystemConfig::default()
+    };
+    let opts = CampaignOpts {
+        generations: 3,
+        batch: 3,
+        run_len: 20,
+        cpu_ops: 200,
+        ..CampaignOpts::default()
+    };
+    let out = run_campaign(&base, &opts);
+
+    assert_eq!(out.runs, 9);
+    assert!(out.injected > 0, "schedules inject messages");
+    assert!(
+        out.failures.is_empty(),
+        "guarded host must stay safe: {:?}",
+        out.failures.iter().map(|f| &f.summary).collect::<Vec<_>>()
+    );
+    assert!(out.distinct_pairs() > 0, "coverage feedback is live");
+    assert!(!out.corpus.is_empty(), "first generation always discovers");
+    // The guard should be reporting plenty of OS errors for this garbage.
+    assert!(out.report.get("os.errors_total") > 0);
+
+    // The report's fuzz section carries the campaign summary.
+    assert_eq!(out.report.fuzz_get("campaign_runs"), out.runs);
+    assert_eq!(out.report.fuzz_get("campaign_injected"), out.injected);
+    assert_eq!(
+        out.report.fuzz_get("campaign_distinct_pairs"),
+        out.distinct_pairs()
+    );
+    assert_eq!(out.report.fuzz_get("campaign_violations"), 0);
+    assert_eq!(out.report.fuzz_get("campaign_deadlocks"), 0);
+
+    // And it survives the JSON round trip (what CI artifacts store).
+    let back = xg_sim::Report::from_json(&out.report.to_json()).unwrap();
+    assert_eq!(back.fuzz_get("campaign_runs"), out.runs);
+}
+
+#[test]
+fn campaign_is_deterministic_across_worker_counts() {
+    let base = SystemConfig {
+        host: HostProtocol::Mesi,
+        accel: AccelOrg::FuzzXg {
+            variant: XgVariant::Transactional,
+        },
+        ..SystemConfig::default()
+    };
+    let opts = |jobs| CampaignOpts {
+        generations: 2,
+        batch: 3,
+        run_len: 15,
+        cpu_ops: 150,
+        jobs: Some(jobs),
+        ..CampaignOpts::default()
+    };
+    let serial = run_campaign(&base, &opts(1));
+    let parallel = run_campaign(&base, &opts(4));
+    assert_eq!(serial.runs, parallel.runs);
+    assert_eq!(serial.injected, parallel.injected);
+    assert_eq!(serial.distinct_pairs(), parallel.distinct_pairs());
+    assert_eq!(serial.corpus.len(), parallel.corpus.len());
+    for (a, b) in serial.corpus.iter().zip(&parallel.corpus) {
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.energy, b.energy);
+    }
+}

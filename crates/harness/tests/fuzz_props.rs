@@ -1,0 +1,81 @@
+//! Property tests pinning `FuzzOpts` edge cases the campaign relies on:
+//! `respond_percent` boundaries must be honored *exactly* (0 ⇒ the fuzzer
+//! never answers an invalidation, 100 ⇒ it answers every one), and equal
+//! `gap` bounds must produce a fixed injection cadence.
+//!
+//! Each case runs a full fuzz simulation, so case counts are small.
+
+use proptest::prelude::*;
+use xg_core::XgVariant;
+use xg_harness::campaign::CPU_POOL_PAGE;
+use xg_harness::{run_fuzz, AccelOrg, FuzzOpts, HostProtocol, SystemConfig};
+
+fn host_strategy() -> impl Strategy<Value = HostProtocol> {
+    prop_oneof![Just(HostProtocol::Hammer), Just(HostProtocol::Mesi)]
+}
+
+fn fuzz_cfg(host: HostProtocol, seed: u64) -> SystemConfig {
+    SystemConfig {
+        host,
+        accel: AccelOrg::FuzzXg {
+            variant: XgVariant::FullState,
+        },
+        seed,
+        ..SystemConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 5 })]
+
+    /// `respond_percent: 0` must mean *zero* invalidation responses and
+    /// `respond_percent: 100` must mean *every* invalidation gets one —
+    /// not "approximately none/all". The read-only window over the CPU
+    /// testers' pool guarantees invalidations actually reach the fuzzer.
+    #[test]
+    fn respond_percent_boundaries_are_exact(
+        host in host_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let opts = |respond_percent| FuzzOpts {
+            messages: 600,
+            respond_percent,
+            read_only_pages: vec![CPU_POOL_PAGE],
+            ..FuzzOpts::default()
+        };
+        let never = run_fuzz(&fuzz_cfg(host, seed), &opts(0), 400).report;
+        let always = run_fuzz(&fuzz_cfg(host, seed), &opts(100), 400).report;
+        let invs = never.get("fuzz_accel.invs_seen") + always.get("fuzz_accel.invs_seen");
+        prop_assert!(invs > 0, "{host:?} seed {seed}: no invalidations reached the fuzzer");
+        prop_assert_eq!(never.get("fuzz_accel.inv_responses"), 0);
+        prop_assert_eq!(
+            always.get("fuzz_accel.inv_responses"),
+            always.get("fuzz_accel.invs_seen")
+        );
+    }
+
+    /// `gap.0 == gap.1 == g` pins the injection cadence completely: with a
+    /// fixed per-step delay the k-th injection happens exactly `k * g`
+    /// cycles after the first, so the whole burst spans `(messages-1) * g`.
+    #[test]
+    fn equal_gap_bounds_give_fixed_cadence(
+        host in host_strategy(),
+        seed in 0u64..10_000,
+        g in 1u64..40,
+    ) {
+        let out = run_fuzz(
+            &fuzz_cfg(host, seed),
+            &FuzzOpts {
+                messages: 50,
+                gap: (g, g),
+                ..FuzzOpts::default()
+            },
+            200,
+        );
+        let sent = out.report.get("fuzz_accel.sent");
+        prop_assert_eq!(sent, 50, "{host:?} seed {seed}: injection burst cut short");
+        let first = out.report.get("fuzz_accel.first_inject");
+        let last = out.report.get("fuzz_accel.last_inject");
+        prop_assert_eq!(last - first, (sent - 1) * g);
+    }
+}

@@ -62,6 +62,42 @@ proptest! {
         prop_assert_eq!(serial, permuted);
     }
 
+    /// Machine transition coverage accumulated across parallel sweep
+    /// shards equals the coverage a single thread accumulates over the
+    /// same seeds: same machine set, same `(state, event)` universes,
+    /// same fire counts. This is the invariant the coverage-guided fuzz
+    /// campaign's feedback loop rests on — its frontier must not depend
+    /// on how many workers ran the shards.
+    #[test]
+    fn shard_coverage_merge_equals_single_threaded(
+        seed in 0u64..1_000,
+        jobs in 2usize..5,
+    ) {
+        let items: Vec<(HostProtocol, u64)> = vec![
+            (HostProtocol::Hammer, seed),
+            (HostProtocol::Mesi, seed + 1),
+            (HostProtocol::Mesi, seed + 2),
+        ];
+        // Single-threaded reference: fold each shard's machine coverage
+        // into one table per machine, in order.
+        let mut serial: std::collections::BTreeMap<String, xg_sim::TransitionCoverage> =
+            std::collections::BTreeMap::new();
+        for &(host, s) in &items {
+            for (machine, cov) in shard_report(host, s, 120).fsms() {
+                serial.entry(machine.to_owned()).or_default().merge(cov);
+            }
+        }
+        // Parallel sweep over the same seeds, merged shard-wise.
+        let shards = sweep(items, jobs, |(host, s), _| shard_report(host, s, 120));
+        let merged = Report::merge_shards(&shards);
+        let parallel: std::collections::BTreeMap<String, xg_sim::TransitionCoverage> = merged
+            .fsms()
+            .map(|(m, c)| (m.to_owned(), c.clone()))
+            .collect();
+        prop_assert!(!serial.is_empty(), "stress shards recorded no machine coverage");
+        prop_assert_eq!(serial, parallel);
+    }
+
     /// A parallel sweep returns the same outcomes in the same order as
     /// the serial path, for any seed and any worker count.
     #[test]

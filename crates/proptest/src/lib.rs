@@ -10,9 +10,14 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! * **No shrinking.** A failing case reports its inputs (`Debug`) and the
-//!   deterministic seed, which is enough to reproduce: every run uses a
-//!   fixed per-test seed, so failures are stable across runs.
+//! * **Simplified shrinking.** On failure the runner greedily minimizes the
+//!   counterexample: numeric strategies binary-search toward the low end of
+//!   their range, `collection::vec` removes chunks and single elements
+//!   (respecting the minimum length) and then shrinks surviving elements,
+//!   and tuples shrink one position at a time. [`Just`], `prop_map`, and
+//!   `prop_oneof!` values do not shrink (the pre-map/arm origin of a value
+//!   is not tracked). Failures stay reproducible either way: every run
+//!   uses a fixed per-test seed.
 //! * **No persistence files.** Regression files are ignored.
 
 #![forbid(unsafe_code)]
@@ -49,6 +54,15 @@ pub trait Strategy {
     /// Draws one value.
     fn sample(&self, rng: &mut SmallRng) -> Self::Value;
 
+    /// Proposes strictly "smaller" variants of a failing `value`, most
+    /// aggressive first. The runner keeps any candidate that still fails
+    /// and re-shrinks from there, so returning a handful of candidates per
+    /// round (rather than an exhaustive list) is enough for binary-search
+    /// behaviour. The default is no shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -74,6 +88,9 @@ impl<V> Strategy for BoxedStrategy<V> {
     type Value = V;
     fn sample(&self, rng: &mut SmallRng) -> V {
         (**self).sample(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
     }
 }
 
@@ -138,6 +155,12 @@ macro_rules! impl_range_strategy {
                 use rand::Rng;
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*value as i128, self.start as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
@@ -145,15 +168,120 @@ macro_rules! impl_range_strategy {
                 use rand::Rng;
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*value as i128, *self.start() as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-macro_rules! impl_tuple_strategy {
+/// Binary-search shrink candidates for an integer: the target itself, the
+/// midpoint, and the predecessor. Re-applied greedily by the runner, this
+/// converges on the smallest still-failing value in O(log distance) rounds.
+fn shrink_toward(value: i128, target: i128) -> Vec<i128> {
+    if value <= target {
+        return Vec::new();
+    }
+    let mut out = vec![target];
+    let mid = target + (value - target) / 2;
+    if mid != target && mid != value {
+        out.push(mid);
+    }
+    if value - 1 != target {
+        out.push(value - 1);
+    }
+    out
+}
+
+impl<A: Strategy> Strategy for (A,)
+where
+    A::Value: Clone,
+{
+    type Value = (A::Value,);
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.0.sample(rng),)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        self.0.shrink(&value.0).into_iter().map(|a| (a,)).collect()
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+{
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        // One position at a time, holding the rest fixed.
+        let mut out = Vec::new();
+        out.extend(
+            self.0
+                .shrink(&value.0)
+                .into_iter()
+                .map(|a| (a, value.1.clone())),
+        );
+        out.extend(
+            self.1
+                .shrink(&value.1)
+                .into_iter()
+                .map(|b| (value.0.clone(), b)),
+        );
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+    C::Value: Clone,
+{
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        out.extend(
+            self.0
+                .shrink(&value.0)
+                .into_iter()
+                .map(|a| (a, value.1.clone(), value.2.clone())),
+        );
+        out.extend(
+            self.1
+                .shrink(&value.1)
+                .into_iter()
+                .map(|b| (value.0.clone(), b, value.2.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink(&value.2)
+                .into_iter()
+                .map(|c| (value.0.clone(), value.1.clone(), c)),
+        );
+        out
+    }
+}
+
+// Wider arities sample but do not shrink whole-tuple (no property in the
+// workspace needs cross-field shrinking there; extend with explicit impls
+// like the above when one does).
+macro_rules! impl_wide_tuple_strategy {
     ($(($($n:ident),+)),+) => {$(
         #[allow(non_snake_case)]
-        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+        impl<$($n: Strategy),+> Strategy for ($($n,)+)
+        where
+            $($n::Value: Clone,)+
+        {
             type Value = ($($n::Value,)+);
             fn sample(&self, rng: &mut SmallRng) -> Self::Value {
                 let ($($n,)+) = self;
@@ -162,7 +290,13 @@ macro_rules! impl_tuple_strategy {
         }
     )+};
 }
-impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+impl_wide_tuple_strategy!(
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+    (A, B, C, D, E, F, G),
+    (A, B, C, D, E, F, G, H)
+);
 
 /// `any::<T>()` support (subset of `proptest::arbitrary`).
 pub mod arbitrary {
@@ -220,11 +354,46 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
             let len = rng.gen_range(self.len.clone());
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.len.start;
+            let mut out = Vec::new();
+            // Element removal first: the whole tail, each half, then single
+            // elements — never dipping under the strategy's minimum length.
+            if value.len() > min {
+                if min == 0 && value.len() > 1 {
+                    out.push(Vec::new());
+                }
+                let half = value.len() / 2;
+                if half >= min && half < value.len() {
+                    out.push(value[..half].to_vec());
+                    out.push(value[value.len() - half..].to_vec());
+                }
+                if value.len() > min {
+                    for i in 0..value.len() {
+                        let mut v = value.clone();
+                        v.remove(i);
+                        out.push(v);
+                    }
+                }
+            }
+            // Then shrink surviving elements in place.
+            for (i, elem) in value.iter().enumerate() {
+                for smaller in self.element.shrink(elem) {
+                    let mut v = value.clone();
+                    v[i] = smaller;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -325,15 +494,19 @@ macro_rules! __prop_fns {
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __prop_args {
-    // All args normalized — emit the test function.
+    // All args normalized — emit the test function. Arguments are bundled
+    // into one tuple strategy so the runner can shrink a failing case
+    // (tuples shrink one position at a time).
     ([$config:expr] [$($meta:tt)*] $name:ident $body:tt [$(($arg:ident $strat:expr))+]) => {
         $($meta)*
         fn $name() {
-            $crate::__run_property(
+            let __strategy = ($($strat,)+);
+            $crate::__run_property_shrink(
                 stringify!($name),
                 &$config,
-                |__rng| {
-                    $(let $arg = $crate::Strategy::sample(&$strat, __rng);)+
+                &__strategy,
+                |__value| {
+                    let ($($arg,)+) = ::core::clone::Clone::clone(__value);
                     let __inputs = format!(
                         concat!($(stringify!($arg), " = {:?}, "),+),
                         $(&$arg),+
@@ -390,6 +563,63 @@ pub fn __run_property(
     }
 }
 
+/// Caps total candidate evaluations during shrinking, so pathological
+/// predicates terminate.
+const MAX_SHRINK_ATTEMPTS: u32 = 4096;
+
+#[doc(hidden)]
+pub fn __run_property_shrink<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    mut case: impl FnMut(&S::Value) -> (String, TestCaseResult),
+) where
+    S::Value: Clone,
+{
+    use rand::SeedableRng;
+    // Deterministic per-test seed: failures reproduce on every run.
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
+    for case_index in 0..config.cases {
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ (case_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let value = strategy.sample(&mut rng);
+        let (inputs, result) = case(&value);
+        let Err(TestCaseError(mut msg)) = result else {
+            continue;
+        };
+        // Greedy shrink: take the first candidate that still fails and
+        // restart from it; stop when no candidate fails (a local minimum)
+        // or the attempt budget runs out.
+        let (mut current, mut current_inputs) = (value, inputs);
+        let mut attempts = 0u32;
+        let mut shrunk = 0u32;
+        'shrinking: while attempts < MAX_SHRINK_ATTEMPTS {
+            for candidate in strategy.shrink(&current) {
+                attempts += 1;
+                let (cand_inputs, cand_result) = case(&candidate);
+                if let Err(TestCaseError(cand_msg)) = cand_result {
+                    current = candidate;
+                    current_inputs = cand_inputs;
+                    msg = cand_msg;
+                    shrunk += 1;
+                    continue 'shrinking;
+                }
+                if attempts >= MAX_SHRINK_ATTEMPTS {
+                    break;
+                }
+            }
+            break;
+        }
+        panic!(
+            "property `{name}` failed at case {case_index}/{}: {msg}\n  \
+             minimal inputs (after {shrunk} shrinks): {current_inputs}",
+            config.cases
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
@@ -429,5 +659,72 @@ mod tests {
         crate::__run_property("failing", &ProptestConfig { cases: 5 }, |_rng| {
             ("x = 1".to_owned(), Err(TestCaseError("boom".into())))
         });
+    }
+
+    /// Runs a shrink-aware property expected to fail and returns the panic
+    /// message carrying the minimized inputs.
+    fn failing_property_message<S>(
+        strategy: S,
+        fails: impl Fn(&S::Value) -> bool + std::panic::RefUnwindSafe,
+    ) -> String
+    where
+        S: Strategy + std::panic::RefUnwindSafe,
+        S::Value: Clone + std::fmt::Debug,
+    {
+        let panic = std::panic::catch_unwind(|| {
+            crate::__run_property_shrink("shrunk", &ProptestConfig { cases: 64 }, &strategy, |v| {
+                let inputs = format!("v = {v:?}");
+                let result = if fails(v) {
+                    Err(TestCaseError("counterexample".into()))
+                } else {
+                    Ok(())
+                };
+                (inputs, result)
+            })
+        })
+        .expect_err("property must fail");
+        *panic
+            .downcast::<String>()
+            .expect("panic message is a String")
+    }
+
+    #[test]
+    fn numeric_shrink_binary_searches_to_the_boundary() {
+        // Fails iff x >= 57: the documented minimum counterexample is 57.
+        let msg = failing_property_message(0u64..1000, |&x| x >= 57);
+        assert!(msg.contains("v = 57"), "minimized to the boundary: {msg}");
+    }
+
+    #[test]
+    fn numeric_shrink_respects_the_range_start() {
+        // Everything fails: the minimum is the range's low end, not zero.
+        let msg = failing_property_message(10u64..=500, |_| true);
+        assert!(msg.contains("v = 10"), "floor is the range start: {msg}");
+    }
+
+    #[test]
+    fn vec_shrink_removes_elements_down_to_the_core() {
+        // Fails iff any element >= 100: the documented minimum is [100].
+        let msg = failing_property_message(collection::vec(0u64..1000, 0..20), |v| {
+            v.iter().any(|&e| e >= 100)
+        });
+        assert!(msg.contains("v = [100]"), "minimized to [100]: {msg}");
+    }
+
+    #[test]
+    fn vec_shrink_never_dips_under_the_min_length() {
+        // Fails always; length must stay >= 3 and elements shrink to 0.
+        let msg = failing_property_message(collection::vec(0u32..9, 3..8), |_| true);
+        assert!(
+            msg.contains("v = [0, 0, 0]"),
+            "three zeroed elements survive: {msg}"
+        );
+    }
+
+    #[test]
+    fn tuple_shrink_minimizes_each_position() {
+        // Fails iff a >= 3 and b >= 40: minimum is (3, 40).
+        let msg = failing_property_message((0u8..10, 0u64..100), |&(a, b)| a >= 3 && b >= 40);
+        assert!(msg.contains("v = (3, 40)"), "both positions shrink: {msg}");
     }
 }

@@ -74,8 +74,8 @@ pub fn trace_enabled() -> bool {
 }
 pub use hist::Histogram;
 pub use json::{JsonError, JsonValue};
-pub use link::Link;
+pub use link::{FaultSpec, Link};
 pub use report::{CoverageSet, Report, TransitionCoverage};
-pub use simulator::{Ctx, RunOutcome, SimBuilder, Simulator};
+pub use simulator::{Ctx, LinkFaultCounts, RunOutcome, SimBuilder, Simulator};
 pub use time::Cycle;
 pub use trace::{PostMortemFlag, TraceConfig, TraceEvent, TraceLevel, Tracer};

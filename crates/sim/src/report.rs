@@ -171,6 +171,23 @@ impl TransitionCoverage {
             self.fire(s, e, n);
         }
     }
+
+    /// Rows fired in `self` that never fired in `other` — the coverage
+    /// *frontier* a new run pushed past a baseline. The result contains only
+    /// the newly-fired rows (with their fire counts from `self`); declared
+    /// universes are not copied, so `diff(...).fired_rows()` is the number
+    /// of new `(state, event)` pairs. An empty diff means the run
+    /// discovered nothing, which is exactly the signal the coverage-guided
+    /// fuzz campaign uses to discard uninteresting inputs.
+    pub fn diff(&self, other: &TransitionCoverage) -> TransitionCoverage {
+        let mut out = TransitionCoverage::new();
+        for (s, e, n) in self.iter() {
+            if n > 0 && other.count(s, e) == 0 {
+                out.fire(s, e, n);
+            }
+        }
+        out
+    }
 }
 
 /// Aggregated statistics from a simulation run.
@@ -188,6 +205,10 @@ pub struct Report {
     coverage: BTreeMap<String, CoverageSet>,
     fsm: BTreeMap<String, TransitionCoverage>,
     hists: BTreeMap<String, Histogram>,
+    /// Fuzz-campaign metrics (corpus size, frontier pairs, budgets). Kept
+    /// separate from `scalars` so campaign tooling can enumerate them
+    /// without namespace conventions.
+    fuzz: BTreeMap<String, u64>,
 }
 
 impl Report {
@@ -262,6 +283,26 @@ impl Report {
         self.fsm.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Adds `value` to the fuzz-section counter `key` (creating it at zero).
+    pub fn fuzz_add(&mut self, key: impl Into<String>, value: u64) {
+        *self.fuzz.entry(key.into()).or_insert(0) += value;
+    }
+
+    /// Sets the fuzz-section counter `key`, replacing any prior value.
+    pub fn fuzz_set(&mut self, key: impl Into<String>, value: u64) {
+        self.fuzz.insert(key.into(), value);
+    }
+
+    /// Reads a fuzz-section counter, returning 0 if absent.
+    pub fn fuzz_get(&self, key: &str) -> u64 {
+        self.fuzz.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(key, value)` fuzz-section entries in deterministic order.
+    pub fn fuzz_entries(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.fuzz.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Records one observation into the histogram `key` (creating it empty).
     pub fn observe(&mut self, key: impl Into<String>, value: u64) {
         self.hists.entry(key.into()).or_default().record(value);
@@ -308,6 +349,9 @@ impl Report {
         for (k, v) in other.hists() {
             self.record_hist(k, v);
         }
+        for (k, v) in other.fuzz_entries() {
+            self.fuzz_add(k, v);
+        }
     }
 
     /// Merges a sequence of per-shard reports into one.
@@ -325,7 +369,7 @@ impl Report {
     }
 
     /// Serializes the report as a compact JSON object with `scalars`,
-    /// `coverage`, and `hists` sections.
+    /// `coverage`, `fsm`, `hists`, and `fuzz` sections.
     pub fn to_json(&self) -> String {
         let mut root = BTreeMap::new();
         root.insert(
@@ -405,6 +449,15 @@ impl Report {
                     .collect(),
             ),
         );
+        root.insert(
+            "fuzz".to_owned(),
+            JsonValue::Obj(
+                self.fuzz
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), JsonValue::Num(v)))
+                    .collect(),
+            ),
+        );
         JsonValue::Obj(root).to_string()
     }
 
@@ -475,6 +528,15 @@ impl Report {
                 }
             }
         }
+        if let Some(fuzz) = root.get("fuzz") {
+            let fuzz = fuzz.as_obj().ok_or_else(|| bad("fuzz must be an object"))?;
+            for (k, v) in fuzz {
+                let v = v
+                    .as_num()
+                    .ok_or_else(|| bad("fuzz values must be numbers"))?;
+                report.fuzz_set(k.clone(), v);
+            }
+        }
         if let Some(hists) = root.get("hists") {
             let hists = hists
                 .as_obj()
@@ -536,6 +598,9 @@ impl fmt::Display for Report {
         }
         for (k, h) in &self.hists {
             writeln!(f, "{k}: {h}")?;
+        }
+        for (k, v) in &self.fuzz {
+            writeln!(f, "fuzz.{k} = {v}")?;
         }
         Ok(())
     }
@@ -686,6 +751,49 @@ mod tests {
     }
 
     #[test]
+    fn transition_coverage_diff_finds_the_frontier() {
+        let mut base = TransitionCoverage::new();
+        base.fire("I", "Load", 5);
+        base.declare("S", "Inv");
+        let mut run = TransitionCoverage::new();
+        run.fire("I", "Load", 2); // already known
+        run.fire("S", "Inv", 1); // declared but never fired in base → new
+        run.fire("M", "Store", 4); // entirely new
+        run.declare("M", "Evict"); // declared-only rows never count
+
+        let d = run.diff(&base);
+        assert_eq!(d.fired_rows(), 2);
+        assert_eq!(d.count("S", "Inv"), 1);
+        assert_eq!(d.count("M", "Store"), 4);
+        assert_eq!(d.count("I", "Load"), 0);
+        assert!(base.diff(&base).fired_rows() == 0, "self-diff is empty");
+        assert_eq!(
+            TransitionCoverage::new().diff(&TransitionCoverage::new()),
+            TransitionCoverage::new()
+        );
+    }
+
+    #[test]
+    fn fuzz_section_round_trips_and_merges() {
+        let mut r = Report::new();
+        r.fuzz_set("campaign.pairs", 42);
+        r.fuzz_add("campaign.runs", 3);
+        r.fuzz_add("campaign.runs", 2);
+        assert_eq!(r.fuzz_get("campaign.runs"), 5);
+        assert_eq!(r.fuzz_get("absent"), 0);
+
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.fuzz_get("campaign.pairs"), 42);
+
+        let mut other = Report::new();
+        other.fuzz_add("campaign.runs", 10);
+        r.merge(&other);
+        assert_eq!(r.fuzz_get("campaign.runs"), 15);
+        assert!(r.to_string().contains("fuzz.campaign.pairs = 42"));
+    }
+
+    #[test]
     fn json_round_trip_is_lossless() {
         let mut r = Report::new();
         r.add("guard.reqs", 42);
@@ -703,6 +811,7 @@ mod tests {
         r.observe("lat", 17);
         r.observe("lat", u64::MAX);
         r.observe("other", 3);
+        r.fuzz_set("campaign.budget", 12345);
 
         let json = r.to_json();
         let back = Report::from_json(&json).unwrap();

@@ -12,6 +12,28 @@ use crate::report::Report;
 use crate::time::Cycle;
 use crate::trace::{TraceConfig, Tracer};
 
+/// Tally of link faults injected during a run (see [`crate::FaultSpec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkFaultCounts {
+    /// Messages silently discarded.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages delayed by a spike.
+    pub delay_spikes: u64,
+    /// Reorder bursts opened (the held victim message).
+    pub reorder_bursts: u64,
+    /// Messages fast-tracked past a burst victim.
+    pub burst_overtakes: u64,
+}
+
+impl LinkFaultCounts {
+    /// Total faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.duplicated + self.delay_spikes + self.reorder_bursts
+    }
+}
+
 /// Outcome of a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOutcome {
@@ -232,6 +254,7 @@ impl<M: 'static> SimBuilder<M> {
                         LinkState {
                             link,
                             last_delivery: Cycle::ZERO,
+                            burst: 0,
                         },
                     )
                 })
@@ -245,6 +268,7 @@ impl<M: 'static> SimBuilder<M> {
             last_progress_at: Cycle::ZERO,
             effects: Vec::new(),
             tracer: Tracer::new(self.trace),
+            faults: LinkFaultCounts::default(),
         }
     }
 }
@@ -252,6 +276,16 @@ impl<M: 'static> SimBuilder<M> {
 struct LinkState {
     link: Link,
     last_delivery: Cycle,
+    /// Remaining messages to fast-track past an open reorder burst.
+    burst: u8,
+}
+
+/// Where a routed message ends up: dropped, delivered once, or delivered
+/// twice (duplication faults draw an independent second latency).
+enum Route {
+    Drop,
+    One(Cycle),
+    Two(Cycle, Cycle),
 }
 
 /// A deterministic discrete-event simulator over message type `M`.
@@ -272,9 +306,10 @@ pub struct Simulator<M> {
     last_progress_at: Cycle,
     effects: Vec<Effect<M>>,
     tracer: Tracer,
+    faults: LinkFaultCounts,
 }
 
-impl<M: 'static> Simulator<M> {
+impl<M: Clone + 'static> Simulator<M> {
     /// Current simulated time.
     pub fn now(&self) -> Cycle {
         self.now
@@ -298,8 +333,21 @@ impl<M: 'static> Simulator<M> {
     /// Injects a message from outside the simulation, as if `from` had sent
     /// it to `to` at the current time (link latency applies).
     pub fn post(&mut self, from: NodeId, to: NodeId, msg: M) {
-        let time = self.delivery_time(from, to, 0);
-        self.push_event(time, to, EventKind::Deliver { from, msg });
+        match self.route(from, to, 0) {
+            Route::Drop => {}
+            Route::One(time) => self.push_event(time, to, EventKind::Deliver { from, msg }),
+            Route::Two(t1, t2) => {
+                self.push_event(
+                    t1,
+                    to,
+                    EventKind::Deliver {
+                        from,
+                        msg: msg.clone(),
+                    },
+                );
+                self.push_event(t2, to, EventKind::Deliver { from, msg });
+            }
+        }
     }
 
     /// Schedules a wake-up for `target` at `delay` cycles from now.
@@ -403,17 +451,35 @@ impl<M: 'static> Simulator<M> {
                     to,
                     msg,
                     extra_delay,
-                } => {
-                    let time = self.delivery_time(ev.target, to, extra_delay);
-                    self.push_event(
+                } => match self.route(ev.target, to, extra_delay) {
+                    Route::Drop => {}
+                    Route::One(time) => self.push_event(
                         time,
                         to,
                         EventKind::Deliver {
                             from: ev.target,
                             msg,
                         },
-                    );
-                }
+                    ),
+                    Route::Two(t1, t2) => {
+                        self.push_event(
+                            t1,
+                            to,
+                            EventKind::Deliver {
+                                from: ev.target,
+                                msg: msg.clone(),
+                            },
+                        );
+                        self.push_event(
+                            t2,
+                            to,
+                            EventKind::Deliver {
+                                from: ev.target,
+                                msg,
+                            },
+                        );
+                    }
+                },
                 Effect::Wake { delay, token } => {
                     let time = self.now + delay.max(1);
                     self.push_event(time, ev.target, EventKind::Wake { token });
@@ -426,34 +492,79 @@ impl<M: 'static> Simulator<M> {
         }
     }
 
-    fn delivery_time(&mut self, from: NodeId, to: NodeId, extra: u64) -> Cycle {
-        let key = (from, to);
-        let (link, last) = match self.links.get_mut(&key) {
-            Some(state) => (state.link, Some(&mut state.last_delivery)),
-            None => (
-                self.default_link,
-                if self.default_link.is_ordered() {
-                    Some(self.default_link_state.entry(key).or_insert(Cycle::ZERO))
-                } else {
-                    None
-                },
-            ),
-        };
-        let latency = if link.min_latency() == link.max_latency() {
+    fn draw_latency(&mut self, link: Link) -> u64 {
+        if link.min_latency() == link.max_latency() {
             link.min_latency()
         } else {
             self.rng.gen_range(link.min_latency()..=link.max_latency())
+        }
+    }
+
+    /// Classifies a message against the link's fault plan and returns its
+    /// delivery time(s). The fault path draws RNG only when a non-empty
+    /// [`crate::FaultSpec`] is attached, so fault-free simulations consume
+    /// exactly the random stream they always did.
+    fn route(&mut self, from: NodeId, to: NodeId, extra: u64) -> Route {
+        let key = (from, to);
+        let link = match self.links.get(&key) {
+            Some(state) => state.link,
+            None => self.default_link,
         };
-        let mut time = self.now + latency.max(1) + extra;
-        if link.is_ordered() {
-            if let Some(last) = last {
-                if time <= *last {
-                    time = *last + 1;
+        let spec = link.faults();
+        let mut latency = self.draw_latency(link);
+        let mut duplicate = false;
+        if !spec.is_none() {
+            // Faults need per-link state (the reorder-burst countdown), so a
+            // default link carrying faults is materialized on first use.
+            let state = self.links.entry(key).or_insert(LinkState {
+                link,
+                last_delivery: Cycle::ZERO,
+                burst: 0,
+            });
+            if state.burst > 0 {
+                state.burst -= 1;
+                latency = link.min_latency();
+                self.faults.burst_overtakes += 1;
+            } else {
+                let roll = self.rng.gen_range(0u32..100);
+                let drop_at = spec.drop_pct as u32;
+                let dup_at = drop_at + spec.dup_pct as u32;
+                let spike_at = dup_at + spec.delay_spike_pct as u32;
+                let reorder_at = spike_at + spec.reorder_pct as u32;
+                if roll < drop_at {
+                    self.faults.dropped += 1;
+                    return Route::Drop;
+                } else if roll < dup_at {
+                    duplicate = true;
+                    self.faults.duplicated += 1;
+                } else if roll < spike_at {
+                    latency += spec.spike_cycles;
+                    self.faults.delay_spikes += 1;
+                } else if roll < reorder_at {
+                    latency = link.max_latency() + spec.spike_cycles;
+                    state.burst = spec.burst_len;
+                    self.faults.reorder_bursts += 1;
                 }
-                *last = time;
             }
         }
-        time
+        let mut time = self.now + latency.max(1) + extra;
+        if link.is_ordered() {
+            let last = match self.links.get_mut(&key) {
+                Some(state) => &mut state.last_delivery,
+                None => self.default_link_state.entry(key).or_insert(Cycle::ZERO),
+            };
+            if time <= *last {
+                time = *last + 1;
+            }
+            *last = time;
+        }
+        if duplicate {
+            let lat2 = self.draw_latency(link);
+            let t2 = self.now + lat2.max(1) + extra;
+            Route::Two(time, t2)
+        } else {
+            Route::One(time)
+        }
     }
 
     fn push_event(&mut self, time: Cycle, target: NodeId, kind: EventKind<M>) {
@@ -481,11 +592,29 @@ impl<M: 'static> Simulator<M> {
             .and_then(|c| c.as_any_mut().downcast_mut::<T>())
     }
 
-    /// Collects a [`Report`] from every registered component.
+    /// Link faults injected so far (all zero unless some link carries a
+    /// non-empty [`FaultSpec`]).
+    pub fn link_fault_counts(&self) -> LinkFaultCounts {
+        self.faults
+    }
+
+    /// Collects a [`Report`] from every registered component, plus link
+    /// fault-injection counters when any faults fired (fault-free runs keep
+    /// their report keys unchanged).
     pub fn report(&self) -> Report {
         let mut out = Report::new();
         for comp in self.components.iter().flatten() {
             comp.report(&mut out);
+        }
+        if self.faults.total() + self.faults.burst_overtakes > 0 {
+            out.add("sim.link_faults.dropped", self.faults.dropped);
+            out.add("sim.link_faults.duplicated", self.faults.duplicated);
+            out.add("sim.link_faults.delay_spikes", self.faults.delay_spikes);
+            out.add("sim.link_faults.reorder_bursts", self.faults.reorder_bursts);
+            out.add(
+                "sim.link_faults.burst_overtakes",
+                self.faults.burst_overtakes,
+            );
         }
         out
     }
@@ -517,6 +646,7 @@ impl<M: 'static> Simulator<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::link::FaultSpec;
 
     /// Records every delivery (time, from, payload) it sees.
     struct Recorder {
@@ -795,5 +925,128 @@ mod tests {
         let comp = sim.get::<Stubborn>(s).unwrap();
         assert_eq!(comp.attempts, 3);
         assert!(comp.done_at.unwrap() >= 30);
+    }
+
+    fn faulty_sim(spec: FaultSpec, count: u64, seed: u64) -> (Vec<u64>, LinkFaultCounts, Report) {
+        let mut b = SimBuilder::new(seed);
+        let rec = b.add(Box::new(Recorder::new()));
+        let src = b.add(Box::new(Burst { peer: rec, count }));
+        b.link(src, rec, Link::unordered(1, 20).with_faults(spec));
+        let mut sim = b.build();
+        sim.post(rec, src, 0);
+        assert!(sim.run_to_quiescence(1_000_000).quiescent);
+        let seen = sim.get::<Recorder>(rec).unwrap().seen.clone();
+        (
+            seen.iter().map(|&(_, _, p)| p).collect(),
+            sim.link_fault_counts(),
+            sim.report(),
+        )
+    }
+
+    #[test]
+    fn drop_faults_lose_messages_and_are_counted() {
+        let spec = FaultSpec {
+            drop_pct: 30,
+            ..FaultSpec::NONE
+        };
+        let (payloads, counts, report) = faulty_sim(spec, 200, 5);
+        assert_eq!(payloads.len() as u64 + counts.dropped, 200);
+        assert!(counts.dropped > 0, "30% drop over 200 messages never fired");
+        assert_eq!(report.get("sim.link_faults.dropped"), counts.dropped);
+    }
+
+    #[test]
+    fn duplicate_faults_deliver_twice() {
+        let spec = FaultSpec {
+            dup_pct: 30,
+            ..FaultSpec::NONE
+        };
+        let (payloads, counts, _) = faulty_sim(spec, 200, 5);
+        assert_eq!(payloads.len() as u64, 200 + counts.duplicated);
+        assert!(counts.duplicated > 0);
+    }
+
+    #[test]
+    fn delay_spikes_push_victims_past_the_latency_bound() {
+        let spec = FaultSpec {
+            delay_spike_pct: 20,
+            spike_cycles: 10_000,
+            ..FaultSpec::NONE
+        };
+        let mut b = SimBuilder::new(9);
+        let rec = b.add(Box::new(Recorder::new()));
+        let src = b.add(Box::new(Burst {
+            peer: rec,
+            count: 100,
+        }));
+        b.link(src, rec, Link::unordered(1, 20).with_faults(spec));
+        let mut sim = b.build();
+        sim.post(rec, src, 0);
+        assert!(sim.run_to_quiescence(1_000_000).quiescent);
+        let seen = &sim.get::<Recorder>(rec).unwrap().seen;
+        let spiked = seen.iter().filter(|&&(t, _, _)| t > 10_000).count() as u64;
+        assert_eq!(seen.len(), 100, "spikes must not lose messages");
+        assert_eq!(spiked, sim.link_fault_counts().delay_spikes);
+        assert!(spiked > 0);
+    }
+
+    #[test]
+    fn reorder_bursts_overtake_the_victim() {
+        let spec = FaultSpec {
+            reorder_pct: 10,
+            spike_cycles: 500,
+            burst_len: 4,
+            ..FaultSpec::NONE
+        };
+        let (payloads, counts, _) = faulty_sim(spec, 100, 3);
+        assert_eq!(payloads.len(), 100, "bursts must not lose messages");
+        assert!(counts.reorder_bursts > 0);
+        assert!(counts.burst_overtakes > 0);
+        let sorted: Vec<u64> = (0..100).collect();
+        assert_ne!(payloads, sorted, "bursts should visibly reorder delivery");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let spec = FaultSpec {
+            drop_pct: 10,
+            dup_pct: 10,
+            delay_spike_pct: 10,
+            reorder_pct: 10,
+            spike_cycles: 777,
+            burst_len: 3,
+        };
+        let a = faulty_sim(spec, 150, 42);
+        let b = faulty_sim(spec, 150, 42);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn empty_fault_spec_changes_nothing() {
+        let clean = two_node_sim(Link::unordered(1, 50), 64, 7);
+        let with_empty_spec = {
+            let mut b = SimBuilder::new(7);
+            let rec = b.add(Box::new(Recorder::new()));
+            let src = b.add(Box::new(Burst {
+                peer: rec,
+                count: 64,
+            }));
+            b.link(
+                src,
+                rec,
+                Link::unordered(1, 50).with_faults(FaultSpec::NONE),
+            );
+            let mut sim = b.build();
+            sim.post(rec, src, 0);
+            assert!(sim.run_to_quiescence(100_000).quiescent);
+            assert_eq!(sim.link_fault_counts(), LinkFaultCounts::default());
+            assert_eq!(sim.report().get("sim.link_faults.dropped"), 0);
+            sim.get::<Recorder>(rec).unwrap().seen.clone()
+        };
+        assert_eq!(
+            clean, with_empty_spec,
+            "empty spec must not perturb the RNG stream"
+        );
     }
 }
