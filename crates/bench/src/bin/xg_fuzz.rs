@@ -10,7 +10,11 @@
 //! `--campaign` runs the AFL-style campaign of [`xg_harness::campaign`]
 //! (transition-coverage feedback, structural schedule mutation, link fault
 //! injection) on the guarded configurations — all four by default, or one
-//! selected with `--host hammer|mesi` and `--variant full|tx`. Every
+//! selected with `--host hammer|mesi` and `--variant full|tx`. With
+//! `--accels N` (N ≥ 2) every run adds N−1 *correct* guarded sibling
+//! hierarchies sharing the host, so the campaign simultaneously checks
+//! blast-radius containment: sibling corruption or starvation fails a run
+//! exactly like host corruption does. Every
 //! failure is automatically ddmin-minimized and emitted as a
 //! self-contained `#[test]` plus a JSON artifact; with `--corpus DIR` the
 //! interesting schedules, coverage summary, and repro artifacts are
@@ -167,6 +171,16 @@ fn campaign_mode(args: &[String]) -> i32 {
         None => xg_harness::resolve_jobs(None),
     };
     let corpus_dir = arg_value(args, "--corpus").map(PathBuf::from);
+    let num_accels = arg_value(args, "--accels").map_or(1, |raw| {
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("unparseable --accels {raw} (want a count >= 1)");
+            std::process::exit(2);
+        })
+    });
+    if num_accels == 0 {
+        eprintln!("--accels must be >= 1");
+        return 2;
+    }
     let configs = selected_configs(
         arg_value(args, "--host").as_deref(),
         arg_value(args, "--variant").as_deref(),
@@ -176,12 +190,19 @@ fn campaign_mode(args: &[String]) -> i32 {
         return 2;
     }
 
-    println!("xg-fuzz campaign (scale: {scale:?}, seed: {seed:#x}, jobs: {jobs})");
+    println!(
+        "xg-fuzz campaign (scale: {scale:?}, seed: {seed:#x}, jobs: {jobs}, accels: {num_accels})"
+    );
     let mut total_failures = 0usize;
     for base in configs {
-        let label = base.name();
         let mut opts = e2_campaign::opts(scale, seed);
         opts.jobs = Some(jobs);
+        opts.num_accels = num_accels;
+        let label = if num_accels > 1 {
+            format!("{}+{}sib", base.name(), num_accels - 1)
+        } else {
+            base.name()
+        };
         let out = run_campaign(&base, &opts);
         println!(
             "{label}: {} runs, {} messages injected, {} distinct (state, event) pairs, \
@@ -268,7 +289,7 @@ fn main() {
     } else if args.iter().any(|a| a == "--campaign") {
         campaign_mode(&args)
     } else {
-        eprintln!("usage: xg-fuzz --campaign [quick] [--host H] [--variant V] [--seed N] [--jobs N] [--corpus DIR]");
+        eprintln!("usage: xg-fuzz --campaign [quick] [--host H] [--variant V] [--seed N] [--jobs N] [--accels N] [--corpus DIR]");
         eprintln!("       xg-fuzz --minimize PATH [--host H] [--variant V] [--seed N] [--out DIR]");
         2
     };

@@ -105,9 +105,14 @@ fn main() {
     println!("{}", e11_prefetch::table(&rows));
     gate_failures.extend(e11_prefetch::failures(&rows));
 
+    let (rows, blast_summary) = e12_blast_radius::run_jobs(scale, 12, jobs);
+    println!("{}", e12_blast_radius::table(&rows));
+    gate_failures.extend(e12_blast_radius::failures(&rows));
+
     if let Some(path) = json_path {
         let mut report = xg_bench::collect_report_jobs(scale, jobs);
         report.merge(&campaign_summary);
+        report.merge(&blast_summary);
         if let Err(e) = std::fs::write(&path, report.to_json()) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);

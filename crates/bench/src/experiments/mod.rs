@@ -1,6 +1,7 @@
 //! The experiment index (see `DESIGN.md` §4): one module per table/figure.
 
 pub mod e11_prefetch;
+pub mod e12_blast_radius;
 pub mod e1_stress;
 pub mod e2_campaign;
 pub mod e2_fuzz;

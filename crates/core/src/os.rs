@@ -21,6 +21,10 @@ pub struct Os {
     policy: OsPolicy,
     errors: Vec<XgError>,
     by_kind: BTreeMap<XgErrorKind, u64>,
+    /// Per-guard-instance attribution: which guard reported how many errors
+    /// of each kind. Keyed by the reporting node so a multi-accelerator OS
+    /// can blame the *offending* guard, not the fleet.
+    by_source: BTreeMap<NodeId, BTreeMap<XgErrorKind, u64>>,
     disabled: Vec<NodeId>,
 }
 
@@ -32,6 +36,7 @@ impl Os {
             policy,
             errors: Vec::new(),
             by_kind: BTreeMap::new(),
+            by_source: BTreeMap::new(),
             disabled: Vec::new(),
         }
     }
@@ -51,6 +56,30 @@ impl Os {
         self.errors.len() as u64
     }
 
+    /// Total errors attributed to one guard instance.
+    pub fn errors_from(&self, guard: NodeId) -> u64 {
+        self.by_source
+            .get(&guard)
+            .map_or(0, |kinds| kinds.values().sum())
+    }
+
+    /// Errors of one kind attributed to one guard instance.
+    pub fn count_from(&self, guard: NodeId, kind: XgErrorKind) -> u64 {
+        self.by_source
+            .get(&guard)
+            .and_then(|kinds| kinds.get(&kind))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Iterates `(kind, count)` for one guard in deterministic order.
+    pub fn kinds_from(&self, guard: NodeId) -> impl Iterator<Item = (XgErrorKind, u64)> + '_ {
+        self.by_source
+            .get(&guard)
+            .into_iter()
+            .flat_map(|kinds| kinds.iter().map(|(&k, &n)| (k, n)))
+    }
+
     /// Guards this OS has disabled.
     pub fn disabled_guards(&self) -> &[NodeId] {
         &self.disabled
@@ -67,6 +96,12 @@ impl Component<Message> for Os {
             return;
         };
         *self.by_kind.entry(err.kind).or_insert(0) += 1;
+        *self
+            .by_source
+            .entry(err.guard)
+            .or_default()
+            .entry(err.kind)
+            .or_insert(0) += 1;
         let addr = err.addr.map_or(u64::MAX, |a| a.as_u64());
         ctx.trace(addr, "os", "Error", || format!("{} from {from}", err.kind));
         self.errors.push(err);
@@ -142,6 +177,35 @@ mod tests {
         assert_eq!(osr.count(XgErrorKind::Malformed), 0);
         assert!(osr.disabled_guards().is_empty());
         assert!(!sim.get::<StubGuard>(guard).unwrap().disabled);
+    }
+
+    #[test]
+    fn errors_are_attributed_to_the_offending_guard() {
+        let mut b = SimBuilder::new(1);
+        let guard_a = b.add(Box::new(StubGuard { disabled: false }));
+        let guard_b = b.add(Box::new(StubGuard { disabled: false }));
+        let os = b.add(Box::new(Os::new("os", OsPolicy::ReportOnly)));
+        let mut sim = b.build();
+        sim.post(guard_a, os, err(guard_a, XgErrorKind::PermissionRead));
+        sim.post(guard_a, os, err(guard_a, XgErrorKind::PermissionRead));
+        sim.post(guard_a, os, err(guard_a, XgErrorKind::ResponseTimeout));
+        assert!(sim.run_to_quiescence(1_000).quiescent);
+        let osr = sim.get::<Os>(os).unwrap();
+        assert_eq!(osr.total(), 3);
+        assert_eq!(osr.errors_from(guard_a), 3);
+        assert_eq!(osr.errors_from(guard_b), 0, "sibling stays clean");
+        assert_eq!(osr.count_from(guard_a, XgErrorKind::PermissionRead), 2);
+        assert_eq!(osr.count_from(guard_a, XgErrorKind::ResponseTimeout), 1);
+        assert_eq!(osr.count_from(guard_b, XgErrorKind::PermissionRead), 0);
+        let kinds: Vec<_> = osr.kinds_from(guard_a).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (XgErrorKind::PermissionRead, 2),
+                (XgErrorKind::ResponseTimeout, 1)
+            ]
+        );
+        assert_eq!(osr.kinds_from(guard_b).count(), 0);
     }
 
     #[test]

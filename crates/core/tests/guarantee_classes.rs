@@ -65,6 +65,60 @@ fn assert_classes(host: HostProtocol, variant: XgVariant) {
     }
 }
 
+/// The same probe on a *two-guard* system: every class the attacked guard
+/// fires must be attributed to that guard in the report's per-guard
+/// section, and the correct sibling guard must report zero errors in every
+/// class. An attribution bug that pooled errors globally, or leaked them
+/// to the wrong guard, cannot pass.
+fn assert_two_guard_attribution(host: HostProtocol, variant: XgVariant) {
+    let base = SystemConfig {
+        host,
+        accel: AccelOrg::FuzzXg { variant },
+        ..SystemConfig::default()
+    };
+    let opts = CampaignOpts {
+        cpu_ops: 400,
+        num_accels: 2,
+        ..CampaignOpts::default()
+    };
+    let out = run_schedule(&base, &opts, &guarantee_probe(), 0xF1);
+    assert_eq!(out.host_violations, 0, "{host:?}/{variant:?}: host pierced");
+    assert_eq!(
+        out.cpu_data_errors, 0,
+        "{host:?}/{variant:?}: data corrupted"
+    );
+    assert!(!out.deadlocked, "{host:?}/{variant:?}: host deadlocked");
+    let mut offender_total = 0;
+    for kind in CLASSES {
+        let global = out.report.get(&format!("os.errors.{kind}"));
+        let offender = out.report.guard_get("xg", &format!("os.{kind}"));
+        assert_eq!(
+            offender, global,
+            "{host:?}/{variant:?}: class {kind} not fully attributed to the offending guard"
+        );
+        assert_eq!(
+            out.report.guard_get("a1_xg", &format!("os.{kind}")),
+            0,
+            "{host:?}/{variant:?}: sibling guard blamed for class {kind}"
+        );
+        offender_total += offender;
+    }
+    assert!(
+        offender_total > 0,
+        "{host:?}/{variant:?}: probe fired nothing on the attacked guard"
+    );
+    assert_eq!(
+        out.report.guard_get("a1_xg", "os_errors"),
+        0,
+        "{host:?}/{variant:?}: sibling guard must report zero errors"
+    );
+    assert_eq!(
+        out.report.guard_get("xg", "os_errors"),
+        out.report.get("os.errors_total"),
+        "{host:?}/{variant:?}: per-guard total must equal the global total"
+    );
+}
+
 #[test]
 fn probe_spans_every_class_on_hammer_full_state() {
     assert_classes(HostProtocol::Hammer, XgVariant::FullState);
@@ -83,4 +137,24 @@ fn probe_spans_every_class_on_hammer_transactional() {
 #[test]
 fn probe_spans_every_class_on_mesi_transactional() {
     assert_classes(HostProtocol::Mesi, XgVariant::Transactional);
+}
+
+#[test]
+fn two_guard_errors_attributed_to_offender_on_hammer_full_state() {
+    assert_two_guard_attribution(HostProtocol::Hammer, XgVariant::FullState);
+}
+
+#[test]
+fn two_guard_errors_attributed_to_offender_on_mesi_full_state() {
+    assert_two_guard_attribution(HostProtocol::Mesi, XgVariant::FullState);
+}
+
+#[test]
+fn two_guard_errors_attributed_to_offender_on_hammer_transactional() {
+    assert_two_guard_attribution(HostProtocol::Hammer, XgVariant::Transactional);
+}
+
+#[test]
+fn two_guard_errors_attributed_to_offender_on_mesi_transactional() {
+    assert_two_guard_attribution(HostProtocol::Mesi, XgVariant::Transactional);
 }

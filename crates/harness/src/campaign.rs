@@ -34,7 +34,7 @@ use rand::{Rng, SeedableRng};
 use xg_core::XgVariant;
 use xg_sim::{FaultSpec, Report, TransitionCoverage};
 
-use crate::config::{AccelOrg, HostProtocol, SystemConfig};
+use crate::config::{AccelOrg, AccelSlot, HostProtocol, SystemConfig};
 use crate::fuzz::{FuzzOpts, FuzzStep, InvPolicy, Schedule, FUZZ_KIND_CODES, INV_RESPONSE_CODES};
 use crate::runner::{run_fuzz, FuzzOutcome};
 use crate::sweep::{resolve_jobs, sweep};
@@ -72,6 +72,12 @@ pub struct CampaignOpts {
     pub faults: FaultSpec,
     /// Shrink every cache (frequent replacements reach more states).
     pub shrink_caches: bool,
+    /// Total accelerator hierarchies in the attacked system. Slot 0 is the
+    /// fuzzed one; slots 1.. are *correct* guarded siblings (same variant,
+    /// one-level) sharing the host, so every campaign run doubles as a
+    /// blast-radius check: sibling corruption or starvation is a
+    /// containment failure even when the host itself survives.
+    pub num_accels: usize,
 }
 
 impl Default for CampaignOpts {
@@ -86,6 +92,7 @@ impl Default for CampaignOpts {
             jobs: None,
             faults: FaultSpec::delay_only(25, 10, 800, 3),
             shrink_caches: true,
+            num_accels: 1,
         }
     }
 }
@@ -236,7 +243,10 @@ pub fn guarantee_probe() -> Schedule {
     }
 }
 
-/// Builds the attacked configuration for one campaign run.
+/// Builds the attacked configuration for one campaign run: slot 0 is the
+/// fuzzed organization from `base`, and `opts.num_accels - 1` correct
+/// guarded siblings (same variant, one-level) ride along. Sibling page
+/// tables and tester cores are assigned by [`run_fuzz`].
 fn attack_config(base: &SystemConfig, opts: &CampaignOpts, seed: u64) -> SystemConfig {
     let mut cfg = base.clone();
     if opts.shrink_caches {
@@ -244,6 +254,21 @@ fn attack_config(base: &SystemConfig, opts: &CampaignOpts, seed: u64) -> SystemC
     }
     cfg.host_faults = opts.faults;
     cfg.seed = seed;
+    if opts.num_accels > 1 && cfg.accels.is_empty() {
+        let sibling_variant = match &cfg.accel {
+            AccelOrg::FuzzXg { variant } => *variant,
+            _ => XgVariant::FullState,
+        };
+        let mut slots = vec![AccelSlot::from(cfg.accel.clone())];
+        slots.resize(
+            opts.num_accels,
+            AccelSlot::from(AccelOrg::Xg {
+                variant: sibling_variant,
+                two_level: false,
+            }),
+        );
+        cfg.accels = slots;
+    }
     cfg
 }
 
@@ -636,6 +661,7 @@ pub fn repro_test_source(
          \x20       cpu_ops: {cpu_ops},\n\
          \x20       pool_blocks: {pool},\n\
          \x20       shrink_caches: {shrink},\n\
+         \x20       num_accels: {accels},\n\
          \x20       faults: FaultSpec {{\n\
          \x20           drop_pct: {dp},\n\
          \x20           dup_pct: {up},\n\
@@ -659,6 +685,7 @@ pub fn repro_test_source(
         cpu_ops = opts.cpu_ops,
         pool = opts.pool_blocks,
         shrink = opts.shrink_caches,
+        accels = opts.num_accels.max(1),
         dp = f.drop_pct,
         up = f.dup_pct,
         sp = f.delay_spike_pct,
@@ -675,6 +702,7 @@ pub fn repro_json(base: &SystemConfig, opts: &CampaignOpts, failure: &CampaignFa
         "{{\n  \"config\": \"{config}\",\n  \"kind\": \"{kind}\",\n  \
          \"seed\": {seed},\n  \"summary\": \"{summary}\",\n  \
          \"steps\": {steps},\n  \"cpu_ops\": {cpu_ops},\n  \
+         \"num_accels\": {accels},\n  \
          \"faults\": [{dp}, {up}, {sp}, {rp}, {sc}, {bl}],\n  \
          \"schedule\": \"{sched}\"\n}}\n",
         config = base.name(),
@@ -683,6 +711,7 @@ pub fn repro_json(base: &SystemConfig, opts: &CampaignOpts, failure: &CampaignFa
         summary = escape_literal(&failure.summary),
         steps = failure.schedule.steps.len(),
         cpu_ops = opts.cpu_ops,
+        accels = opts.num_accels.max(1),
         dp = f.drop_pct,
         up = f.dup_pct,
         sp = f.delay_spike_pct,
@@ -792,6 +821,45 @@ mod tests {
         assert!(blocks.contains(&0), "read-write attack pool");
         assert!(blocks.contains(&CPU_POOL_BLOCK), "read-only CPU window");
         assert!(blocks.contains(&FORBIDDEN_BLOCK), "unmapped page");
+    }
+
+    #[test]
+    fn attack_config_grows_correct_guarded_siblings() {
+        let base = SystemConfig {
+            accel: AccelOrg::FuzzXg {
+                variant: XgVariant::Transactional,
+            },
+            ..SystemConfig::default()
+        };
+        let multi = CampaignOpts {
+            num_accels: 3,
+            ..CampaignOpts::default()
+        };
+        let cfg = attack_config(&base, &multi, 7);
+        let slots = cfg.accel_slots();
+        assert_eq!(slots.len(), 3);
+        assert!(matches!(
+            slots[0].org,
+            AccelOrg::FuzzXg {
+                variant: XgVariant::Transactional
+            }
+        ));
+        for s in &slots[1..] {
+            assert!(
+                matches!(
+                    s.org,
+                    AccelOrg::Xg {
+                        variant: XgVariant::Transactional,
+                        two_level: false
+                    }
+                ),
+                "siblings are correct one-level guards of the same variant"
+            );
+        }
+        // The single-accelerator path stays exactly as before.
+        let one = attack_config(&base, &CampaignOpts::default(), 7);
+        assert!(one.accels.is_empty());
+        assert_eq!(one.accel_slots().len(), 1);
     }
 
     #[test]

@@ -78,6 +78,27 @@ impl AccelOrg {
     }
 }
 
+/// One accelerator hierarchy of a (possibly multi-accelerator) system:
+/// its organization plus optional per-instance overrides. Each slot gets
+/// its own guard instance (where guarded), its own cache hierarchy, and
+/// its own host-protocol node identity.
+#[derive(Debug, Clone)]
+pub struct AccelSlot {
+    /// How this hierarchy connects to the host.
+    pub org: AccelOrg,
+    /// Per-instance page permissions programmed into this slot's guard
+    /// (`None` → the shared [`SystemConfig::xg`] table). Lets an OS map
+    /// different pages to different accelerators, the setup the
+    /// blast-radius experiment relies on.
+    pub perms: Option<PermissionTable>,
+}
+
+impl From<AccelOrg> for AccelSlot {
+    fn from(org: AccelOrg) -> Self {
+        AccelSlot { org, perms: None }
+    }
+}
+
 /// Full description of a simulated system.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -85,8 +106,15 @@ pub struct SystemConfig {
     pub host: HostProtocol,
     /// Number of CPU cores (each with a private host cache).
     pub cpu_cores: usize,
-    /// Accelerator organization.
+    /// Accelerator organization (of every instance, unless `accels`
+    /// overrides per slot).
     pub accel: AccelOrg,
+    /// Number of independent accelerator hierarchies sharing this host.
+    /// Ignored when `accels` is non-empty.
+    pub num_accels: usize,
+    /// Heterogeneous per-instance overrides; empty means `num_accels`
+    /// copies of `accel`.
+    pub accels: Vec<AccelSlot>,
     /// Accelerator cores (only >1 for the two-level organization).
     pub accel_cores: usize,
     /// Master seed.
@@ -129,6 +157,8 @@ impl Default for SystemConfig {
                 variant: XgVariant::FullState,
                 two_level: false,
             },
+            num_accels: 1,
+            accels: Vec::new(),
             accel_cores: 1,
             seed: 1,
             host_link: (2, 10),
@@ -147,9 +177,30 @@ impl Default for SystemConfig {
 }
 
 impl SystemConfig {
+    /// The effective per-instance accelerator slots: `accels` verbatim if
+    /// set, otherwise `num_accels` copies of `accel`. Never empty.
+    pub fn accel_slots(&self) -> Vec<AccelSlot> {
+        if !self.accels.is_empty() {
+            return self.accels.clone();
+        }
+        vec![AccelSlot::from(self.accel.clone()); self.num_accels.max(1)]
+    }
+
     /// A human-readable name: `hammer/xg_full_l1`, `mesi/host_side`, ...
+    /// Multi-accelerator systems append the instance count
+    /// (`hammer/xg_full_l1x2`) or join heterogeneous tags
+    /// (`hammer/fuzz_xg_full+xg_full_l1`).
     pub fn name(&self) -> String {
-        format!("{}/{}", self.host.tag(), self.accel.tag())
+        let slots = self.accel_slots();
+        if slots.len() == 1 {
+            return format!("{}/{}", self.host.tag(), slots[0].org.tag());
+        }
+        let tags: Vec<String> = slots.iter().map(|s| s.org.tag()).collect();
+        if tags.windows(2).all(|w| w[0] == w[1]) {
+            format!("{}/{}x{}", self.host.tag(), tags[0], tags.len())
+        } else {
+            format!("{}/{}", self.host.tag(), tags.join("+"))
+        }
     }
 
     /// Shrinks every cache so replacements are frequent — the stress-test
@@ -225,6 +276,38 @@ mod tests {
         assert_eq!(names.len(), 12, "config names must be unique");
         assert!(names.contains("hammer/accel_side"));
         assert!(names.contains("mesi/xg_tx_l2"));
+    }
+
+    #[test]
+    fn accel_slots_expand_num_accels_and_respect_overrides() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.accel_slots().len(), 1);
+        assert_eq!(cfg.name(), "hammer/xg_full_l1");
+
+        let homogeneous = SystemConfig {
+            num_accels: 3,
+            ..SystemConfig::default()
+        };
+        let slots = homogeneous.accel_slots();
+        assert_eq!(slots.len(), 3);
+        assert!(slots.iter().all(|s| s.org == homogeneous.accel));
+        assert_eq!(homogeneous.name(), "hammer/xg_full_l1x3");
+
+        let hetero = SystemConfig {
+            accels: vec![
+                AccelSlot::from(AccelOrg::FuzzXg {
+                    variant: XgVariant::FullState,
+                }),
+                AccelSlot::from(AccelOrg::Xg {
+                    variant: XgVariant::FullState,
+                    two_level: false,
+                }),
+            ],
+            num_accels: 9, // ignored: accels wins
+            ..SystemConfig::default()
+        };
+        assert_eq!(hetero.accel_slots().len(), 2);
+        assert_eq!(hetero.name(), "hammer/fuzz_xg_full+xg_full_l1");
     }
 
     #[test]

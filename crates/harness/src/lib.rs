@@ -44,12 +44,12 @@ pub use campaign::{
     guarantee_probe, minimize, run_blind, run_campaign, run_schedule, BlindOutcome,
     CampaignFailure, CampaignOpts, CampaignOutcome, CorpusEntry, FailureKind,
 };
-pub use config::{AccelOrg, HostProtocol, SystemConfig};
+pub use config::{AccelOrg, AccelSlot, HostProtocol, SystemConfig};
 pub use fuzz::{FuzzAccel, FuzzHostCache, FuzzOpts, Schedule};
 pub use runner::{
     run_fuzz, run_stress, run_workload, FuzzOutcome, PerfOutcome, StressOpts, StressOutcome,
 };
 pub use sweep::{available_jobs, resolve_jobs, sweep};
-pub use system::{build_system, BuiltSystem};
+pub use system::{accel_core_count, build_system, BuiltSystem, GuardInstance};
 pub use tester::{SharedTester, TesterCfg, TesterCore, TesterShared};
 pub use workloads::{Pattern, WorkloadCore};

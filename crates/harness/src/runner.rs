@@ -4,13 +4,13 @@
 //! generators, runs it under a progress watchdog (so protocol deadlock is
 //! *detected*, never hung on), and returns a structured outcome.
 
-use xg_core::OsPolicy;
+use xg_core::{Os, OsPolicy};
 use xg_sim::{Report, TraceConfig};
 
-use crate::config::SystemConfig;
+use crate::config::{AccelOrg, SystemConfig};
 use crate::fuzz::FuzzOpts;
-use crate::system::{build_system, CoreSlot};
-use crate::tester::{word_pool, TesterCfg, TesterCore, TesterShared};
+use crate::system::{accel_core_count, build_system, BuiltSystem, CoreSlot};
+use crate::tester::{word_pool, SharedTester, TesterCfg, TesterCore, TesterShared};
 use crate::workloads::{Pattern, WorkloadCore};
 
 /// Options for a stress run (paper §4.1 methodology).
@@ -106,14 +106,56 @@ pub fn run_stress(cfg: &SystemConfig, opts: &StressOpts) -> StressOutcome {
     out
 }
 
+/// Fills the report's per-guard section from a finished run: OS error
+/// attribution per guard instance (total, per kind, and whether the OS
+/// disabled it) plus per-hierarchy tester results (value-check failures,
+/// completed operations, operations left hanging). All new data lives in
+/// this section — never in `scalars` — so single-accelerator reports stay
+/// byte-identical to their historical form once the section is stripped.
+fn fill_guard_section(report: &mut Report, system: &BuiltSystem, shared: &SharedTester) {
+    let os = system.sim.get::<Os>(system.os);
+    let shared = shared.lock().unwrap();
+    for inst in &system.accels {
+        let label = inst.label.as_str();
+        if let Some(xg) = inst.xg {
+            let Some(os) = os else { continue };
+            report.guard_set(label, "os_errors", os.errors_from(xg));
+            for (kind, count) in os.kinds_from(xg) {
+                report.guard_set(label, format!("os.{kind}"), count);
+            }
+            report.guard_set(
+                label,
+                "disabled",
+                u64::from(os.disabled_guards().contains(&xg)),
+            );
+        }
+        if !inst.cores.is_empty() {
+            let data_errors: u64 = inst
+                .core_indices
+                .iter()
+                .map(|&i| shared.data_errors_of(i))
+                .sum();
+            report.guard_set(label, "data_errors", data_errors);
+            let (mut completed, mut outstanding) = (0u64, 0u64);
+            for &core in &inst.cores {
+                if let Some(t) = system.sim.get::<TesterCore>(core) {
+                    completed += t.completed();
+                    outstanding += t.outstanding() as u64;
+                }
+            }
+            report.guard_set(label, "ops_completed", completed);
+            report.guard_set(label, "outstanding", outstanding);
+        }
+    }
+}
+
 fn run_stress_traced(cfg: &SystemConfig, opts: &StressOpts, trace: TraceConfig) -> StressOutcome {
     let cfg = cfg.clone().shrink_caches();
-    let accel_cores = match &cfg.accel {
-        crate::AccelOrg::Xg {
-            two_level: true, ..
-        } => cfg.accel_cores,
-        _ => 1,
-    };
+    let accel_cores: usize = cfg
+        .accel_slots()
+        .iter()
+        .map(|slot| accel_core_count(&slot.org, cfg.accel_cores))
+        .sum();
     let total_cores = cfg.cpu_cores + accel_cores;
     let shared = TesterShared::new(total_cores, opts.ops);
     let pool = word_pool(0x4000, opts.blocks, opts.words_per_block);
@@ -145,7 +187,8 @@ fn run_stress_traced(cfg: &SystemConfig, opts: &StressOpts, trace: TraceConfig) 
             .collect();
         flag_outstanding(&mut system, &cores, out.now.as_u64());
     }
-    let report = system.sim.report();
+    let mut report = system.sim.report();
+    fill_guard_section(&mut report, &system, &shared);
     let post_mortem = system.sim.post_mortem();
     let shared = shared.lock().unwrap();
     let hung_ops = report.sum_suffix(".outstanding") > 0;
@@ -215,11 +258,10 @@ fn run_fuzz_traced(
     trace: TraceConfig,
 ) -> FuzzOutcome {
     assert!(
-        matches!(
-            cfg.accel,
-            crate::AccelOrg::FuzzXg { .. } | crate::AccelOrg::FuzzAccelSide
-        ),
-        "run_fuzz needs a fuzzing accelerator organization"
+        cfg.accel_slots()
+            .iter()
+            .any(|s| matches!(s.org, AccelOrg::FuzzXg { .. } | AccelOrg::FuzzAccelSide)),
+        "run_fuzz needs at least one fuzzing accelerator slot"
     );
     // Guarantee 0 is grounded in page permissions: give the accelerator
     // read-write access to its own attack range and *nothing else*. What
@@ -239,8 +281,39 @@ fn run_fuzz_traced(
         perms.set(xg_mem::PageAddr::new(page), xg_mem::PagePerm::Read);
     }
     cfg.xg.perms = perms;
+    // Sibling hierarchies — correct guarded accelerators running alongside
+    // the fuzzed one (the blast-radius setup) — get their own page table:
+    // read-write on the CPU testers' pool, which their tester cores share
+    // with the host cores. The attacker never holds write permission
+    // there, so sibling/CPU corruption can only be a containment failure,
+    // never legal traffic.
+    let slots = cfg.accel_slots();
+    if slots.iter().any(|s| matches!(s.org, AccelOrg::Xg { .. })) {
+        let cpu_pool_base = 0x100_0000 / xg_mem::BLOCK_BYTES;
+        let mut sibling_perms = xg_mem::PermissionTable::with_default(xg_mem::PagePerm::None);
+        for blk in 0..fuzz.pool_blocks.max(4) {
+            sibling_perms.set(
+                xg_mem::BlockAddr::new(cpu_pool_base + blk).page(),
+                xg_mem::PagePerm::ReadWrite,
+            );
+        }
+        cfg.accels = slots
+            .into_iter()
+            .map(|mut slot| {
+                if matches!(slot.org, AccelOrg::Xg { .. }) && slot.perms.is_none() {
+                    slot.perms = Some(sibling_perms.clone());
+                }
+                slot
+            })
+            .collect();
+    }
     let cfg = &cfg;
-    let shared = TesterShared::new(cfg.cpu_cores, cpu_ops);
+    let sibling_cores: usize = cfg
+        .accel_slots()
+        .iter()
+        .map(|slot| accel_core_count(&slot.org, cfg.accel_cores))
+        .sum();
+    let shared = TesterShared::new(cfg.cpu_cores + sibling_cores, cpu_ops);
     // CPU testers use a pool *disjoint* from the fuzzer's attack range:
     // the fuzzer has read-write permission on its own pages, so corrupting
     // those is explicitly outside Crossing Guard's threat model (paper
@@ -271,10 +344,16 @@ fn run_fuzz_traced(
     system.start_cores();
     let out = system.sim.run_with_watchdog(50_000_000, 200_000);
     if out.stalled {
-        let cores = system.cpu_cores.clone();
+        let cores: Vec<_> = system
+            .cpu_cores
+            .iter()
+            .chain(&system.accel_cores)
+            .copied()
+            .collect();
         flag_outstanding(&mut system, &cores, out.now.as_u64());
     }
-    let report = system.sim.report();
+    let mut report = system.sim.report();
+    fill_guard_section(&mut report, &system, &shared);
     let post_mortem = system.sim.post_mortem();
     let shared = shared.lock().unwrap();
     let hung_ops = report.sum_suffix(".outstanding") > 0;

@@ -1,4 +1,12 @@
 //! System assembly: builds a simulator for any [`SystemConfig`].
+//!
+//! A system has one host protocol (Hammer directory or MESI shared L2),
+//! `cpu_cores` host caches, one OS model, and *N independent accelerator
+//! hierarchies* ([`SystemConfig::accel_slots`]): each hierarchy gets its
+//! own guard instance (where guarded), its own cache organization, and its
+//! own host-protocol node identity on the home's peer list. Instance 0
+//! keeps the historical single-accelerator component names (`xg`,
+//! `accel_l1`, ...); instance `k > 0` prefixes them with `a{k}_`.
 
 use xg_accel::{AccelL1, AccelL1Config, AccelL2, AccelL2Config};
 use xg_core::{CrossingGuard, Os, OsPolicy, XgConfig};
@@ -7,7 +15,7 @@ use xg_host_mesi::{MesiL1, MesiL1Config, MesiL2, MesiL2Config};
 use xg_proto::{Message, Sim, SimBuilder};
 use xg_sim::{Component, Link, NodeId};
 
-use crate::config::{AccelOrg, HostProtocol, SystemConfig};
+use crate::config::{AccelOrg, AccelSlot, HostProtocol, SystemConfig};
 use crate::fuzz::{FuzzAccel, FuzzHostCache, FuzzOpts};
 
 /// Where a core sits, passed to the core factory.
@@ -15,8 +23,44 @@ use crate::fuzz::{FuzzAccel, FuzzHostCache, FuzzOpts};
 pub enum CoreSlot {
     /// CPU core `i`; its global core index equals `i`.
     Cpu(usize),
-    /// Accelerator core `i`; its global core index is `cpu_cores + i`.
+    /// Accelerator core `i` (numbered across every hierarchy); its global
+    /// core index is `cpu_cores + i`.
     Accel(usize),
+}
+
+/// Number of cores the topology builder attaches to a hierarchy with
+/// organization `org` (fuzzers stand in for the cores; only the two-level
+/// guard fans out to `accel_cores` private L1s).
+pub fn accel_core_count(org: &AccelOrg, accel_cores: usize) -> usize {
+    match org {
+        AccelOrg::FuzzXg { .. } | AccelOrg::FuzzAccelSide => 0,
+        AccelOrg::Xg {
+            two_level: true, ..
+        } => accel_cores,
+        _ => 1,
+    }
+}
+
+/// One accelerator hierarchy of a built system, for per-guard reporting
+/// and blast-radius attribution.
+#[derive(Debug, Clone)]
+pub struct GuardInstance {
+    /// The hierarchy's organization.
+    pub org: AccelOrg,
+    /// Report label: the guard's component name where guarded (`xg`,
+    /// `a1_xg`, ...), the frontend/fuzzer name otherwise.
+    pub label: String,
+    /// The Crossing Guard node, if this hierarchy has one.
+    pub xg: Option<NodeId>,
+    /// The fuzzer node, if this hierarchy is a fuzzing stand-in.
+    pub fuzzer: Option<NodeId>,
+    /// The cache(s) this hierarchy's cores talk to.
+    pub frontends: Vec<NodeId>,
+    /// Core nodes (from the factory), in slot order.
+    pub cores: Vec<NodeId>,
+    /// Global core indices of `cores` (CPU cores first, then accelerator
+    /// cores across all hierarchies).
+    pub core_indices: Vec<usize>,
 }
 
 /// A fully wired system ready to run.
@@ -27,18 +71,21 @@ pub struct BuiltSystem {
     pub cpu_cores: Vec<NodeId>,
     /// CPU cache nodes.
     pub cpu_caches: Vec<NodeId>,
-    /// Accelerator core nodes (empty in fuzz configurations).
+    /// Accelerator core nodes across every hierarchy (empty in fuzz
+    /// configurations).
     pub accel_cores: Vec<NodeId>,
-    /// The cache each accelerator core talks to.
+    /// The cache each accelerator core talks to, across every hierarchy.
     pub accel_frontends: Vec<NodeId>,
     /// Directory (Hammer) or shared L2 (MESI).
     pub home: NodeId,
     /// The OS model.
     pub os: NodeId,
-    /// The Crossing Guard, if this configuration has one.
+    /// The first Crossing Guard, if any configuration slot has one.
     pub xg: Option<NodeId>,
-    /// The fuzzer node, if this is a fuzzing configuration.
+    /// The first fuzzer node, if any slot is a fuzzing configuration.
     pub fuzzer: Option<NodeId>,
+    /// Per-hierarchy breakdown, in slot order.
+    pub accels: Vec<GuardInstance>,
 }
 
 impl BuiltSystem {
@@ -53,18 +100,20 @@ impl BuiltSystem {
         for (i, core) in all.into_iter().enumerate() {
             self.sim.post_wake(core, 1 + i as u64, 0);
         }
-        if let Some(fuzzer) = self.fuzzer {
-            self.sim.post_wake(fuzzer, 1, 0);
+        let fuzzers: Vec<NodeId> = self.accels.iter().filter_map(|a| a.fuzzer).collect();
+        for (k, fuzzer) in fuzzers.into_iter().enumerate() {
+            self.sim.post_wake(fuzzer, 1 + k as u64, 0);
         }
     }
 }
 
 /// Builds the system described by `cfg`. The `make_core` factory produces
 /// each core component given its slot, the cache it should talk to, and
-/// its global core index (CPU cores first, then accelerator cores).
+/// its global core index (CPU cores first, then accelerator cores across
+/// every hierarchy in slot order).
 ///
-/// Fuzzing configurations (`FuzzXg`, `FuzzAccelSide`) need [`FuzzOpts`];
-/// pass `None` otherwise.
+/// Fuzzing slots (`FuzzXg`, `FuzzAccelSide`) need [`FuzzOpts`]; pass
+/// `None` otherwise. Every fuzzing slot shares the same options.
 ///
 /// # Panics
 /// Panics if a fuzzing organization is selected without `fuzz` options.
@@ -76,6 +125,7 @@ pub fn build_system(
 ) -> BuiltSystem {
     let mut b = SimBuilder::new(cfg.seed);
     let n = cfg.cpu_cores;
+    let slots = cfg.accel_slots();
 
     // ---- host caches (ids 0..n) ----
     let hammer_cfg = HammerConfig {
@@ -110,55 +160,56 @@ pub fn build_system(
     // ---- layout bookkeeping for nodes added after the home ----
     let home = NodeId::from_index(n);
     let os_id = NodeId::from_index(n + 1);
-    let next_free = n + 2;
 
-    // Which node speaks the host protocol on the accelerator's behalf
-    // (peer list for the Hammer broadcast).
-    let (accel_host_peer, accel_infra): (Option<NodeId>, AccelInfra) = match &cfg.accel {
-        AccelOrg::AccelSide => (
-            Some(NodeId::from_index(next_free)),
-            AccelInfra::AccelSide {
-                cache: NodeId::from_index(next_free),
-            },
-        ),
-        AccelOrg::HostSide => (
-            Some(NodeId::from_index(next_free)),
-            AccelInfra::HostSide {
-                cache: NodeId::from_index(next_free),
-            },
-        ),
-        AccelOrg::Xg { two_level, .. } => {
-            let xg = NodeId::from_index(next_free);
-            let top = NodeId::from_index(next_free + 1);
-            (
-                Some(xg),
-                AccelInfra::Xg {
+    // Plan every hierarchy's node-id block up front so the home's peer
+    // list (one host-protocol identity per hierarchy) is known before any
+    // accelerator node exists.
+    let mut next_free = n + 2;
+    let mut plans: Vec<(NodeId, AccelInfra)> = Vec::new();
+    for slot in &slots {
+        let start = next_free;
+        let (host_peer, infra, size) = match &slot.org {
+            AccelOrg::AccelSide => {
+                let cache = NodeId::from_index(start);
+                (cache, AccelInfra::AccelSide { cache }, 1)
+            }
+            AccelOrg::HostSide => {
+                let cache = NodeId::from_index(start);
+                (cache, AccelInfra::HostSide { cache }, 1)
+            }
+            AccelOrg::Xg { two_level, .. } => {
+                let xg = NodeId::from_index(start);
+                let top = NodeId::from_index(start + 1);
+                let size = if *two_level { 2 + cfg.accel_cores } else { 2 };
+                (
                     xg,
-                    top,
-                    two_level: *two_level,
-                },
-            )
-        }
-        AccelOrg::FuzzXg { .. } => {
-            let xg = NodeId::from_index(next_free);
-            let fz = NodeId::from_index(next_free + 1);
-            (Some(xg), AccelInfra::FuzzXg { xg, fuzzer: fz })
-        }
-        AccelOrg::FuzzAccelSide => (
-            Some(NodeId::from_index(next_free)),
-            AccelInfra::FuzzHost {
-                fuzzer: NodeId::from_index(next_free),
-            },
-        ),
-    };
+                    AccelInfra::Xg {
+                        xg,
+                        top,
+                        two_level: *two_level,
+                    },
+                    size,
+                )
+            }
+            AccelOrg::FuzzXg { .. } => {
+                let xg = NodeId::from_index(start);
+                let fz = NodeId::from_index(start + 1);
+                (xg, AccelInfra::FuzzXg { xg, fuzzer: fz }, 2)
+            }
+            AccelOrg::FuzzAccelSide => {
+                let fz = NodeId::from_index(start);
+                (fz, AccelInfra::FuzzHost { fuzzer: fz }, 1)
+            }
+        };
+        plans.push((host_peer, infra));
+        next_free += size;
+    }
 
     // ---- home node ----
     match cfg.host {
         HostProtocol::Hammer => {
             let mut peers = cpu_caches.clone();
-            if let Some(p) = accel_host_peer {
-                peers.push(p);
-            }
+            peers.extend(plans.iter().map(|(peer, _)| *peer));
             let dir = b.add(Box::new(HammerDirectory::new(
                 "dir",
                 peers,
@@ -185,7 +236,7 @@ pub fn build_system(
     let os = b.add(Box::new(Os::new("os", os_policy)));
     assert_eq!(os, os_id);
 
-    // ---- accelerator infrastructure ----
+    // ---- accelerator hierarchies, in slot order ----
     let accel_l1_cfg = AccelL1Config {
         sets: cfg.accel_cache.0,
         ways: cfg.accel_cache.1,
@@ -193,150 +244,208 @@ pub fn build_system(
         prefetch: cfg.prefetch,
         ..AccelL1Config::default()
     };
-    let xg_config = |variant| XgConfig {
-        variant,
-        ..cfg.xg.clone()
+    let xg_config = |variant, slot: &AccelSlot| {
+        let mut c = XgConfig {
+            variant,
+            ..cfg.xg.clone()
+        };
+        if let Some(perms) = &slot.perms {
+            c.perms = perms.clone();
+        }
+        c
     };
 
-    let mut xg_node = None;
-    let mut fuzzer_node = None;
-    let mut accel_frontends: Vec<NodeId> = Vec::new();
-    // Per-frontend crossing link handled below; collect (node, is_ordered).
-    match (&cfg.accel, accel_infra) {
-        (AccelOrg::AccelSide, AccelInfra::AccelSide { cache }) => {
-            let c: Box<dyn Component<Message>> = match cfg.host {
-                HostProtocol::Hammer => Box::new(HammerCache::new(
-                    "accel_cache",
+    let mut instances: Vec<GuardInstance> = Vec::new();
+    for (k, (slot, (host_peer, infra))) in slots.iter().zip(&plans).enumerate() {
+        // Instance 0 keeps the historical names so single-accelerator
+        // reports stay byte-identical; later instances get `a{k}_`.
+        let prefix = if k == 0 {
+            String::new()
+        } else {
+            format!("a{k}_")
+        };
+        let mut inst = GuardInstance {
+            org: slot.org.clone(),
+            label: String::new(),
+            xg: None,
+            fuzzer: None,
+            frontends: Vec::new(),
+            cores: Vec::new(),
+            core_indices: Vec::new(),
+        };
+        match (&slot.org, infra) {
+            (AccelOrg::AccelSide, AccelInfra::AccelSide { cache }) => {
+                let name = format!("{prefix}accel_cache");
+                let c: Box<dyn Component<Message>> = match cfg.host {
+                    HostProtocol::Hammer => Box::new(HammerCache::new(
+                        name.clone(),
+                        home,
+                        HammerConfig {
+                            sets: cfg.accel_cache.0,
+                            ways: cfg.accel_cache.1,
+                            ..hammer_cfg.clone()
+                        },
+                    )),
+                    HostProtocol::Mesi => Box::new(MesiL1::new(
+                        name.clone(),
+                        home,
+                        MesiL1Config {
+                            sets: cfg.accel_cache.0,
+                            ways: cfg.accel_cache.1,
+                            ..MesiL1Config::default()
+                        },
+                    )),
+                };
+                let id = b.add(c);
+                assert_eq!(id, *cache);
+                // The accelerator-side cache reaches the host over the chip
+                // crossing.
+                b.link_bidi(
+                    *cache,
                     home,
-                    HammerConfig {
-                        sets: cfg.accel_cache.0,
-                        ways: cfg.accel_cache.1,
-                        ..hammer_cfg.clone()
-                    },
-                )),
-                HostProtocol::Mesi => Box::new(MesiL1::new(
-                    "accel_cache",
-                    home,
-                    MesiL1Config {
-                        sets: cfg.accel_cache.0,
-                        ways: cfg.accel_cache.1,
-                        ..MesiL1Config::default()
-                    },
-                )),
-            };
-            let id = b.add(c);
-            assert_eq!(id, cache);
-            // The accelerator-side cache reaches the host over the chip
-            // crossing.
-            b.link_bidi(cache, home, Link::unordered(cfg.crossing.0, cfg.crossing.1));
-            accel_frontends.push(cache);
-        }
-        (AccelOrg::HostSide, AccelInfra::HostSide { cache }) => {
-            let c: Box<dyn Component<Message>> = match cfg.host {
-                HostProtocol::Hammer => {
-                    Box::new(HammerCache::new("hostside_cache", home, hammer_cfg.clone()))
-                }
-                HostProtocol::Mesi => {
-                    Box::new(MesiL1::new("hostside_cache", home, MesiL1Config::default()))
-                }
-            };
-            let id = b.add(c);
-            assert_eq!(id, cache);
-            accel_frontends.push(cache);
-            // The *core↔cache* link carries the crossing latency here: the
-            // accelerator has no cache of its own (Figure 2(b)).
-        }
-        (AccelOrg::Xg { variant, .. }, AccelInfra::Xg { xg, top, two_level }) => {
-            let guard: Box<dyn Component<Message>> = match cfg.host {
-                HostProtocol::Hammer => Box::new(CrossingGuard::new_hammer(
-                    "xg",
-                    top,
-                    home,
-                    os_id,
-                    xg_config(*variant),
-                )),
-                HostProtocol::Mesi => Box::new(CrossingGuard::new_mesi(
-                    "xg",
-                    top,
-                    home,
-                    os_id,
-                    xg_config(*variant),
-                )),
-            };
-            let id = b.add(guard);
-            assert_eq!(id, xg);
-            xg_node = Some(xg);
-            link_guard_to_home(&mut b, cfg, xg, home);
-            b.link_bidi(xg, top, Link::ordered(cfg.crossing.0, cfg.crossing.1));
-            if two_level {
-                let l2 = b.add(Box::new(AccelL2::new(
-                    "accel_l2",
-                    xg,
-                    AccelL2Config {
-                        sets: cfg.l2_cache.0,
-                        ways: cfg.l2_cache.1,
-                        block_blocks: cfg.xg.block_blocks,
-                        weak_sharing: cfg.weak_accel_sharing,
-                        ..AccelL2Config::default()
-                    },
-                )));
-                assert_eq!(l2, top);
-                for i in 0..cfg.accel_cores {
+                    Link::unordered(cfg.crossing.0, cfg.crossing.1),
+                );
+                inst.label = name;
+                inst.frontends.push(*cache);
+            }
+            (AccelOrg::HostSide, AccelInfra::HostSide { cache }) => {
+                let name = format!("{prefix}hostside_cache");
+                let c: Box<dyn Component<Message>> = match cfg.host {
+                    HostProtocol::Hammer => {
+                        Box::new(HammerCache::new(name.clone(), home, hammer_cfg.clone()))
+                    }
+                    HostProtocol::Mesi => {
+                        Box::new(MesiL1::new(name.clone(), home, MesiL1Config::default()))
+                    }
+                };
+                let id = b.add(c);
+                assert_eq!(id, *cache);
+                inst.label = name;
+                inst.frontends.push(*cache);
+                // The *core↔cache* link carries the crossing latency here:
+                // the accelerator has no cache of its own (Figure 2(b)).
+            }
+            (AccelOrg::Xg { variant, .. }, AccelInfra::Xg { xg, top, two_level }) => {
+                let name = format!("{prefix}xg");
+                let guard: Box<dyn Component<Message>> = match cfg.host {
+                    HostProtocol::Hammer => Box::new(CrossingGuard::new_hammer(
+                        name.clone(),
+                        *top,
+                        home,
+                        os_id,
+                        xg_config(*variant, slot),
+                    )),
+                    HostProtocol::Mesi => Box::new(CrossingGuard::new_mesi(
+                        name.clone(),
+                        *top,
+                        home,
+                        os_id,
+                        xg_config(*variant, slot),
+                    )),
+                };
+                let id = b.add(guard);
+                assert_eq!(id, *xg);
+                inst.label = name;
+                inst.xg = Some(*xg);
+                link_guard_to_home(&mut b, cfg, *xg, home);
+                b.link_bidi(*xg, *top, Link::ordered(cfg.crossing.0, cfg.crossing.1));
+                if *two_level {
+                    let l2 = b.add(Box::new(AccelL2::new(
+                        format!("{prefix}accel_l2"),
+                        *xg,
+                        AccelL2Config {
+                            sets: cfg.l2_cache.0,
+                            ways: cfg.l2_cache.1,
+                            block_blocks: cfg.xg.block_blocks,
+                            weak_sharing: cfg.weak_accel_sharing,
+                            ..AccelL2Config::default()
+                        },
+                    )));
+                    assert_eq!(l2, *top);
+                    for i in 0..cfg.accel_cores {
+                        let l1 = b.add(Box::new(AccelL1::new(
+                            format!("{prefix}accel_l1_{i}"),
+                            l2,
+                            accel_l1_cfg.clone(),
+                        )));
+                        b.link_bidi(l1, l2, Link::ordered(1, 3));
+                        inst.frontends.push(l1);
+                    }
+                } else {
                     let l1 = b.add(Box::new(AccelL1::new(
-                        format!("accel_l1_{i}"),
-                        l2,
+                        format!("{prefix}accel_l1"),
+                        *xg,
                         accel_l1_cfg.clone(),
                     )));
-                    b.link_bidi(l1, l2, Link::ordered(1, 3));
-                    accel_frontends.push(l1);
+                    assert_eq!(l1, *top);
+                    inst.frontends.push(l1);
                 }
-            } else {
-                let l1 = b.add(Box::new(AccelL1::new("accel_l1", xg, accel_l1_cfg.clone())));
-                assert_eq!(l1, top);
-                accel_frontends.push(l1);
             }
-        }
-        (AccelOrg::FuzzXg { variant }, AccelInfra::FuzzXg { xg, fuzzer }) => {
-            let guard: Box<dyn Component<Message>> = match cfg.host {
-                HostProtocol::Hammer => Box::new(CrossingGuard::new_hammer(
-                    "xg",
-                    fuzzer,
+            (AccelOrg::FuzzXg { variant }, AccelInfra::FuzzXg { xg, fuzzer }) => {
+                let name = format!("{prefix}xg");
+                let guard: Box<dyn Component<Message>> = match cfg.host {
+                    HostProtocol::Hammer => Box::new(CrossingGuard::new_hammer(
+                        name.clone(),
+                        *fuzzer,
+                        home,
+                        os_id,
+                        xg_config(*variant, slot),
+                    )),
+                    HostProtocol::Mesi => Box::new(CrossingGuard::new_mesi(
+                        name.clone(),
+                        *fuzzer,
+                        home,
+                        os_id,
+                        xg_config(*variant, slot),
+                    )),
+                };
+                let id = b.add(guard);
+                assert_eq!(id, *xg);
+                inst.label = name;
+                inst.xg = Some(*xg);
+                link_guard_to_home(&mut b, cfg, *xg, home);
+                let opts = fuzz.clone().expect("FuzzXg needs FuzzOpts");
+                let fz = b.add(Box::new(FuzzAccel::new(
+                    format!("{prefix}fuzz_accel"),
+                    *xg,
+                    opts,
+                )));
+                assert_eq!(fz, *fuzzer);
+                inst.fuzzer = Some(fz);
+                b.link_bidi(*xg, fz, Link::ordered(cfg.crossing.0, cfg.crossing.1));
+            }
+            (AccelOrg::FuzzAccelSide, AccelInfra::FuzzHost { fuzzer }) => {
+                let opts = fuzz.clone().expect("FuzzAccelSide needs FuzzOpts");
+                // This fuzzer speaks raw host protocol at the CPU caches and
+                // every *other* hierarchy's host identity.
+                let mut peers = cpu_caches.clone();
+                peers.extend(
+                    plans
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != k)
+                        .map(|(_, (peer, _))| *peer),
+                );
+                let name = format!("{prefix}fuzz_host");
+                let fz = b.add(Box::new(FuzzHostCache::new(
+                    name.clone(),
+                    cfg.host,
                     home,
-                    os_id,
-                    xg_config(*variant),
-                )),
-                HostProtocol::Mesi => Box::new(CrossingGuard::new_mesi(
-                    "xg",
-                    fuzzer,
-                    home,
-                    os_id,
-                    xg_config(*variant),
-                )),
-            };
-            let id = b.add(guard);
-            assert_eq!(id, xg);
-            xg_node = Some(xg);
-            link_guard_to_home(&mut b, cfg, xg, home);
-            let opts = fuzz.clone().expect("FuzzXg needs FuzzOpts");
-            let fz = b.add(Box::new(FuzzAccel::new("fuzz_accel", xg, opts)));
-            assert_eq!(fz, fuzzer);
-            fuzzer_node = Some(fz);
-            b.link_bidi(xg, fz, Link::ordered(cfg.crossing.0, cfg.crossing.1));
+                    peers,
+                    opts,
+                )));
+                assert_eq!(fz, *fuzzer);
+                inst.label = name;
+                inst.fuzzer = Some(fz);
+                b.link_bidi(fz, home, Link::unordered(cfg.crossing.0, cfg.crossing.1));
+            }
+            _ => unreachable!("accel org / infra mismatch"),
         }
-        (AccelOrg::FuzzAccelSide, AccelInfra::FuzzHost { fuzzer }) => {
-            let opts = fuzz.clone().expect("FuzzAccelSide needs FuzzOpts");
-            let fz = b.add(Box::new(FuzzHostCache::new(
-                "fuzz_host",
-                cfg.host,
-                home,
-                cpu_caches.clone(),
-                opts,
-            )));
-            assert_eq!(fz, fuzzer);
-            fuzzer_node = Some(fz);
-            b.link_bidi(fz, home, Link::unordered(cfg.crossing.0, cfg.crossing.1));
-        }
-        _ => unreachable!("accel org / infra mismatch"),
+        debug_assert!(
+            inst.xg.is_none() || inst.xg == Some(*host_peer),
+            "a guarded hierarchy's host identity is its guard"
+        );
+        instances.push(inst);
     }
 
     // ---- cores, added last so every frontend id is known ----
@@ -347,24 +456,23 @@ pub fn build_system(
         cpu_cores.push(core);
     }
     let mut accel_cores = Vec::new();
-    let accel_core_count = match &cfg.accel {
-        AccelOrg::FuzzXg { .. } | AccelOrg::FuzzAccelSide => 0,
-        AccelOrg::Xg {
-            two_level: true, ..
-        } => cfg.accel_cores,
-        _ => 1,
-    };
-    for i in 0..accel_core_count {
-        let frontend = accel_frontends[i.min(accel_frontends.len() - 1)];
-        let core = b.add(make_core(CoreSlot::Accel(i), frontend, n + i));
-        let link = if matches!(cfg.accel, AccelOrg::HostSide) {
-            // Figure 2(b): every access crosses the chip boundary.
-            Link::ordered(cfg.crossing.0, cfg.crossing.1)
-        } else {
-            Link::ordered(1, 1)
-        };
-        b.link_bidi(core, frontend, link);
-        accel_cores.push(core);
+    let mut ai = 0usize; // accelerator core index across hierarchies
+    for inst in &mut instances {
+        for i in 0..accel_core_count(&inst.org, cfg.accel_cores) {
+            let frontend = inst.frontends[i.min(inst.frontends.len() - 1)];
+            let core = b.add(make_core(CoreSlot::Accel(ai), frontend, n + ai));
+            let link = if matches!(inst.org, AccelOrg::HostSide) {
+                // Figure 2(b): every access crosses the chip boundary.
+                Link::ordered(cfg.crossing.0, cfg.crossing.1)
+            } else {
+                Link::ordered(1, 1)
+            };
+            b.link_bidi(core, frontend, link);
+            inst.cores.push(core);
+            inst.core_indices.push(n + ai);
+            accel_cores.push(core);
+            ai += 1;
+        }
     }
 
     b.default_link(Link::unordered(cfg.host_link.0, cfg.host_link.1));
@@ -374,11 +482,15 @@ pub fn build_system(
         cpu_cores,
         cpu_caches,
         accel_cores,
-        accel_frontends,
+        accel_frontends: instances
+            .iter()
+            .flat_map(|inst| inst.frontends.iter().copied())
+            .collect(),
         home,
         os,
-        xg: xg_node,
-        fuzzer: fuzzer_node,
+        xg: instances.iter().find_map(|inst| inst.xg),
+        fuzzer: instances.iter().find_map(|inst| inst.fuzzer),
+        accels: instances,
     }
 }
 

@@ -41,6 +41,9 @@ pub struct TesterShared {
     pub target_ops: u64,
     completed: u64,
     data_errors: u64,
+    /// Value-check failures per observing core index, for multi-accelerator
+    /// blast-radius attribution (which hierarchy saw corrupted data).
+    errors_by_core: HashMap<usize, u64>,
     error_log: Vec<String>,
     /// Word addresses whose value checks failed, in detection order.
     corrupted: Vec<u64>,
@@ -57,6 +60,7 @@ impl TesterShared {
             target_ops,
             completed: 0,
             data_errors: 0,
+            errors_by_core: HashMap::new(),
             error_log: Vec::new(),
             corrupted: Vec::new(),
             issued: HashMap::new(),
@@ -87,6 +91,11 @@ impl TesterShared {
         self.data_errors
     }
 
+    /// Value-check failures observed by one core (by global core index).
+    pub fn data_errors_of(&self, core: usize) -> u64 {
+        self.errors_by_core.get(&core).copied().unwrap_or(0)
+    }
+
     /// Human-readable description of the first few failures.
     pub fn error_log(&self) -> &[String] {
         &self.error_log
@@ -97,8 +106,9 @@ impl TesterShared {
         &self.corrupted
     }
 
-    fn record_error(&mut self, word_addr: u64, msg: String) {
+    fn record_error(&mut self, core: usize, word_addr: u64, msg: String) {
         self.data_errors += 1;
+        *self.errors_by_core.entry(core).or_insert(0) += 1;
         if self.error_log.len() < 16 {
             self.error_log.push(msg);
         }
@@ -111,6 +121,7 @@ impl TesterShared {
         let issued = self.issued.get(&word_addr).copied().unwrap_or(0);
         if value > issued {
             self.record_error(
+                core,
                 word_addr,
                 format!(
                     "core {core} read {value} at {word_addr:#x} but only {issued} were written"
@@ -121,6 +132,7 @@ impl TesterShared {
         let prev = self.last_seen.get(&key).copied().unwrap_or(0);
         if value < prev {
             self.record_error(
+                core,
                 word_addr,
                 format!(
                     "core {core} read {value} at {word_addr:#x} after having read {prev} (went backwards)"
@@ -366,6 +378,8 @@ mod tests {
         assert_eq!(s.data_errors(), 1);
         s.check_load(0, 0x100, 2); // went backwards (saw 3 before)
         assert_eq!(s.data_errors(), 2);
+        assert_eq!(s.data_errors_of(0), 2, "both failures blame core 0");
+        assert_eq!(s.data_errors_of(1), 0, "core 1 saw nothing");
         assert!(
             s.error_log()[1].contains("went backwards") || s.error_log()[0].contains("written")
         );

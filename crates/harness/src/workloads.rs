@@ -40,6 +40,14 @@ pub enum Pattern {
     /// Alternates between a private region and a region shared with other
     /// cores (fine-grained host↔accelerator sharing).
     ProducerConsumer,
+    /// Two hot words in one block, alternating store/load: every hierarchy
+    /// running this pattern fights for exclusive ownership of the same
+    /// block, so it migrates back and forth across the crossing.
+    PingPong,
+    /// Logically independent words packed into a single block: each store
+    /// invalidates every other hierarchy's copy even though no word is
+    /// actually shared.
+    FalseSharing,
 }
 
 impl Pattern {
@@ -53,6 +61,10 @@ impl Pattern {
         Pattern::ProducerConsumer,
     ];
 
+    /// Cross-hierarchy sharing patterns for multi-accelerator runs. Kept
+    /// out of [`Pattern::ALL`] so single-accelerator sweeps are unchanged.
+    pub const SHARING: [Pattern; 2] = [Pattern::PingPong, Pattern::FalseSharing];
+
     /// Short name for tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -62,6 +74,8 @@ impl Pattern {
             Pattern::GraphWalk => "graph",
             Pattern::Reduction => "reduction",
             Pattern::ProducerConsumer => "prodcons",
+            Pattern::PingPong => "pingpong",
+            Pattern::FalseSharing => "fsharing",
         }
     }
 
@@ -69,7 +83,7 @@ impl Pattern {
     /// dependence).
     pub fn max_in_flight(self) -> usize {
         match self {
-            Pattern::GraphWalk => 1,
+            Pattern::GraphWalk | Pattern::PingPong => 1,
             _ => 4,
         }
     }
@@ -112,6 +126,11 @@ impl Pattern {
                     (fp / 2 + scramble(n) % (fp / 2).min(32), n.is_multiple_of(3))
                 }
             }
+            // 8 words = one 64-byte block: both sharing patterns confine
+            // all traffic to a single line so it has to migrate between
+            // hierarchies.
+            Pattern::PingPong => ((n / 2) % 2, n.is_multiple_of(2)),
+            Pattern::FalseSharing => (scramble(n) % 8, n.is_multiple_of(2)),
         }
     }
 }
@@ -260,7 +279,7 @@ mod tests {
 
     #[test]
     fn patterns_stay_in_footprint() {
-        for p in Pattern::ALL {
+        for p in Pattern::ALL.iter().chain(&Pattern::SHARING) {
             for n in 0..10_000u64 {
                 let (word, _) = p.access(n, 256);
                 assert!(word < 256, "{p:?} escaped at n={n}: {word}");
@@ -269,8 +288,29 @@ mod tests {
     }
 
     #[test]
+    fn sharing_patterns_confine_traffic_to_one_block() {
+        // 8 words of 8 bytes = one 64-byte block; both cross-hierarchy
+        // sharing patterns must keep every access inside it so the block
+        // bounces between hierarchies.
+        for p in Pattern::SHARING {
+            let mut stores = 0;
+            for n in 0..1_000u64 {
+                let (word, store) = p.access(n, 256);
+                assert!(word < 8, "{p:?} left the shared block at n={n}: {word}");
+                stores += u64::from(store);
+            }
+            assert!(stores > 0, "{p:?} never writes — nothing to ping-pong");
+        }
+        // Ping-pong is dependent (one outstanding); false sharing is not.
+        assert_eq!(Pattern::PingPong.max_in_flight(), 1);
+        assert!(Pattern::FalseSharing.max_in_flight() > 1);
+        // ALL stays at six entries so existing sweeps are unperturbed.
+        assert_eq!(Pattern::ALL.len(), 6);
+    }
+
+    #[test]
     fn patterns_are_deterministic() {
-        for p in Pattern::ALL {
+        for &p in Pattern::ALL.iter().chain(&Pattern::SHARING) {
             for n in [0u64, 7, 123, 9999] {
                 assert_eq!(p.access(n, 128), p.access(n, 128));
             }
@@ -305,7 +345,11 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let names: std::collections::HashSet<_> = Pattern::ALL.iter().map(|p| p.name()).collect();
-        assert_eq!(names.len(), Pattern::ALL.len());
+        let names: std::collections::HashSet<_> = Pattern::ALL
+            .iter()
+            .chain(&Pattern::SHARING)
+            .map(|p| p.name())
+            .collect();
+        assert_eq!(names.len(), Pattern::ALL.len() + Pattern::SHARING.len());
     }
 }

@@ -50,6 +50,51 @@ fn tiny_campaign_runs_clean_and_builds_a_corpus() {
     assert_eq!(back.fuzz_get("campaign_runs"), out.runs);
 }
 
+/// The multi-guard campaign path: with `num_accels = 2` every run carries
+/// a correct guarded sibling. The campaign must still run clean, and the
+/// merged per-guard section must pin every OS error on the attacked guard
+/// while the sibling stays spotless and alive.
+#[test]
+fn two_guard_campaign_contains_the_blast() {
+    let base = SystemConfig {
+        host: HostProtocol::Hammer,
+        accel: AccelOrg::FuzzXg {
+            variant: XgVariant::FullState,
+        },
+        ..SystemConfig::default()
+    };
+    let opts = CampaignOpts {
+        generations: 2,
+        batch: 3,
+        run_len: 15,
+        cpu_ops: 150,
+        num_accels: 2,
+        ..CampaignOpts::default()
+    };
+    let out = run_campaign(&base, &opts);
+
+    assert_eq!(out.runs, 6);
+    assert!(
+        out.failures.is_empty(),
+        "two-guard campaign must stay safe: {:?}",
+        out.failures.iter().map(|f| &f.summary).collect::<Vec<_>>()
+    );
+    // Attribution: the attacked guard rejected the garbage; the sibling
+    // guard had nothing to reject and its tester saw clean data while
+    // still making progress.
+    assert!(
+        out.report.guard_get("xg", "os_errors") > 0,
+        "attack engaged"
+    );
+    assert_eq!(out.report.guard_get("a1_xg", "os_errors"), 0);
+    assert_eq!(out.report.guard_get("a1_xg", "data_errors"), 0);
+    assert!(out.report.guard_get("a1_xg", "ops_completed") > 0);
+    // Totals still line up with the single-guard bookkeeping.
+    assert_eq!(out.report.fuzz_get("campaign_runs"), out.runs);
+    assert_eq!(out.report.fuzz_get("campaign_violations"), 0);
+    assert_eq!(out.report.fuzz_get("campaign_deadlocks"), 0);
+}
+
 #[test]
 fn campaign_is_deterministic_across_worker_counts() {
     let base = SystemConfig {

@@ -209,6 +209,12 @@ pub struct Report {
     /// separate from `scalars` so campaign tooling can enumerate them
     /// without namespace conventions.
     fuzz: BTreeMap<String, u64>,
+    /// Per-guard-instance metrics (`guard label → counter → value`), the
+    /// multi-accelerator attribution section: which guard instance the OS
+    /// blamed for each error, per-instance tester results, and so on. Kept
+    /// out of `scalars` so single-accelerator reports stay byte-identical
+    /// to their pre-multi-accelerator form once this section is stripped.
+    guards: BTreeMap<String, BTreeMap<String, u64>>,
 }
 
 impl Report {
@@ -303,6 +309,56 @@ impl Report {
         self.fuzz.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Adds `value` to counter `key` of guard instance `guard` (creating
+    /// it at zero).
+    pub fn guard_add(&mut self, guard: impl Into<String>, key: impl Into<String>, value: u64) {
+        *self
+            .guards
+            .entry(guard.into())
+            .or_default()
+            .entry(key.into())
+            .or_insert(0) += value;
+    }
+
+    /// Sets counter `key` of guard instance `guard`, replacing any prior
+    /// value.
+    pub fn guard_set(&mut self, guard: impl Into<String>, key: impl Into<String>, value: u64) {
+        self.guards
+            .entry(guard.into())
+            .or_default()
+            .insert(key.into(), value);
+    }
+
+    /// Reads a per-guard counter, returning 0 if the guard or key is absent.
+    pub fn guard_get(&self, guard: &str, key: &str) -> u64 {
+        self.guards
+            .get(guard)
+            .and_then(|m| m.get(key))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Iterates guard instance labels in deterministic order.
+    pub fn guard_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.guards.keys().map(String::as_str)
+    }
+
+    /// Iterates `(key, value)` counters of one guard in deterministic order.
+    pub fn guard_entries(&self, guard: &str) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.guards
+            .get(guard)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(k, v)| (k.as_str(), *v)))
+    }
+
+    /// A copy of this report with the per-guard section removed — the
+    /// single-accelerator differential shape (see the harness golden test).
+    pub fn without_guards(&self) -> Report {
+        let mut out = self.clone();
+        out.guards.clear();
+        out
+    }
+
     /// Records one observation into the histogram `key` (creating it empty).
     pub fn observe(&mut self, key: impl Into<String>, value: u64) {
         self.hists.entry(key.into()).or_default().record(value);
@@ -351,6 +407,11 @@ impl Report {
         }
         for (k, v) in other.fuzz_entries() {
             self.fuzz_add(k, v);
+        }
+        for (guard, counters) in &other.guards {
+            for (k, &v) in counters {
+                self.guard_add(guard.clone(), k.clone(), v);
+            }
         }
     }
 
@@ -458,6 +519,25 @@ impl Report {
                     .collect(),
             ),
         );
+        // Only present when a guard instance reported something, so reports
+        // from single-section-era runs keep their exact serialized form.
+        if !self.guards.is_empty() {
+            root.insert(
+                "guards".to_owned(),
+                JsonValue::Obj(
+                    self.guards
+                        .iter()
+                        .map(|(guard, counters)| {
+                            let m = counters
+                                .iter()
+                                .map(|(k, &v)| (k.clone(), JsonValue::Num(v)))
+                                .collect();
+                            (guard.clone(), JsonValue::Obj(m))
+                        })
+                        .collect(),
+                ),
+            );
+        }
         JsonValue::Obj(root).to_string()
     }
 
@@ -537,6 +617,22 @@ impl Report {
                 report.fuzz_set(k.clone(), v);
             }
         }
+        if let Some(guards) = root.get("guards") {
+            let guards = guards
+                .as_obj()
+                .ok_or_else(|| bad("guards must be an object"))?;
+            for (guard, counters) in guards {
+                let counters = counters
+                    .as_obj()
+                    .ok_or_else(|| bad("guard entries must be objects"))?;
+                for (k, v) in counters {
+                    let v = v
+                        .as_num()
+                        .ok_or_else(|| bad("guard counters must be numbers"))?;
+                    report.guard_set(guard.clone(), k.clone(), v);
+                }
+            }
+        }
         if let Some(hists) = root.get("hists") {
             let hists = hists
                 .as_obj()
@@ -601,6 +697,11 @@ impl fmt::Display for Report {
         }
         for (k, v) in &self.fuzz {
             writeln!(f, "fuzz.{k} = {v}")?;
+        }
+        for (guard, counters) in &self.guards {
+            for (k, v) in counters {
+                writeln!(f, "guard.{guard}.{k} = {v}")?;
+            }
         }
         Ok(())
     }
@@ -794,6 +895,54 @@ mod tests {
     }
 
     #[test]
+    fn guard_section_round_trips_merges_and_strips() {
+        let mut r = Report::new();
+        r.guard_set("xg", "os_errors", 7);
+        r.guard_add("xg", "data_errors", 0);
+        r.guard_add("a1_xg", "os_errors", 0);
+        r.add("os.errors_total", 7);
+        assert_eq!(r.guard_get("xg", "os_errors"), 7);
+        assert_eq!(r.guard_get("a1_xg", "os_errors"), 0);
+        assert_eq!(r.guard_get("absent", "os_errors"), 0);
+        let names: Vec<&str> = r.guard_names().collect();
+        assert_eq!(names, vec!["a1_xg", "xg"]);
+
+        // JSON round trip is lossless and the section is present.
+        let json = r.to_json();
+        assert!(json.contains("\"guards\""));
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), json);
+
+        // Merge sums per-guard counters commutatively.
+        let mut other = Report::new();
+        other.guard_add("xg", "os_errors", 3);
+        other.guard_add("a2_xg", "os_errors", 1);
+        let mut ab = r.clone();
+        ab.merge(&other);
+        let mut ba = other.clone();
+        ba.merge(&r);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.guard_get("xg", "os_errors"), 10);
+        assert_eq!(ab.guard_get("a2_xg", "os_errors"), 1);
+
+        // Stripping restores the single-accelerator shape byte-for-byte.
+        let mut single = Report::new();
+        single.add("os.errors_total", 7);
+        assert_eq!(r.without_guards().to_json(), single.to_json());
+        assert!(!r.without_guards().to_json().contains("guards"));
+        assert!(r.to_string().contains("guard.xg.os_errors = 7"));
+    }
+
+    #[test]
+    fn empty_guard_section_is_not_serialized() {
+        let r = Report::new();
+        assert!(!r.to_json().contains("guards"));
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
     fn json_round_trip_is_lossless() {
         let mut r = Report::new();
         r.add("guard.reqs", 42);
@@ -836,6 +985,9 @@ mod tests {
             "{\"hists\": {\"h\": {\"count\": 1}}}",
             "{\"hists\": {\"h\": {\"count\":1,\"sum\":1,\"min\":1,\"max\":1,\"buckets\":{\"99\":1}}}}",
             "{\"hists\": {\"h\": {\"count\":2,\"sum\":1,\"min\":1,\"max\":1,\"buckets\":{\"1\":1}}}}",
+            "{\"guards\": 3}",
+            "{\"guards\": {\"g\": 3}}",
+            "{\"guards\": {\"g\": {\"k\": \"str\"}}}",
         ] {
             assert!(Report::from_json(bad).is_err(), "accepted {bad}");
         }
