@@ -433,6 +433,7 @@ impl AccelL1 {
                 self.stats
                     .lat_miss
                     .record(ctx.now().saturating_since(p.started));
+                ctx.span(la.as_u64(), "miss", p.started);
                 let is_prefetch = p.is_prefetch;
                 self.install(
                     la,

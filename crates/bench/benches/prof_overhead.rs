@@ -1,0 +1,118 @@
+//! Profiling-overhead micro-benchmark, with an optional CI gate.
+//!
+//! Times the E1 stress configuration (hammer/xg_full_l1) three ways:
+//!
+//! * `baseline` — the legacy [`run_stress`] entry point;
+//! * `disabled` — [`run_stress_with`] carrying [`Instrumentation::off`],
+//!   i.e. the new plumbing with every probe dark (one branch per event);
+//! * `profiled` — the same run with kernel profiling on (dispatch
+//!   counters, sampled host-time attribution, epoch series).
+//!
+//! With `XG_PROF_GATE=1` in the environment, the bench *asserts* the
+//! overhead contract the observability subsystem makes: disabled
+//! instrumentation costs at most 1% over baseline, and enabled profiling
+//! costs at most 10% over disabled. Minimum-of-N wall times are compared
+//! (the minimum is the estimator least sensitive to scheduler noise), with
+//! a small absolute slack so sub-millisecond timer jitter cannot trip the
+//! gate on very fast runs.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xg_harness::{run_stress, run_stress_with, Instrumentation, StressOpts, SystemConfig};
+
+/// Ops per timed run: long enough that per-event overhead dominates setup.
+const OPS: u64 = 500;
+/// Timed samples per variant when gating.
+const GATE_SAMPLES: usize = 15;
+/// Absolute slack absorbing timer jitter, in seconds (0.5 ms).
+const GATE_SLACK: f64 = 0.0005;
+
+fn e1_cfg() -> SystemConfig {
+    SystemConfig::matrix(1)[2].clone() // hammer/xg_full_l1
+}
+
+fn opts() -> StressOpts {
+    StressOpts {
+        ops: OPS,
+        ..StressOpts::default()
+    }
+}
+
+/// Minimum wall-clock seconds over `samples` runs of `f` (after one
+/// warm-up run).
+fn min_secs(mut f: impl FnMut(), samples: usize) -> f64 {
+    f();
+    (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = e1_cfg();
+    c.bench_function("prof_overhead/baseline_500ops", |b| {
+        b.iter(|| run_stress(&cfg, &opts()).cycles)
+    });
+    c.bench_function("prof_overhead/disabled_500ops", |b| {
+        b.iter(|| run_stress_with(&cfg, &opts(), &Instrumentation::off()).cycles)
+    });
+    c.bench_function("prof_overhead/profiled_500ops", |b| {
+        b.iter(|| run_stress_with(&cfg, &opts(), &Instrumentation::profiled()).cycles)
+    });
+
+    if std::env::var("XG_PROF_GATE").as_deref() == Ok("1") {
+        let baseline = min_secs(
+            || {
+                black_box(run_stress(&cfg, &opts()).cycles);
+            },
+            GATE_SAMPLES,
+        );
+        let disabled = min_secs(
+            || {
+                black_box(run_stress_with(&cfg, &opts(), &Instrumentation::off()).cycles);
+            },
+            GATE_SAMPLES,
+        );
+        let profiled = min_secs(
+            || {
+                black_box(run_stress_with(&cfg, &opts(), &Instrumentation::profiled()).cycles);
+            },
+            GATE_SAMPLES,
+        );
+        println!(
+            "gate: baseline {:.3} ms, disabled {:.3} ms ({:+.2}%), profiled {:.3} ms ({:+.2}% over disabled)",
+            baseline * 1e3,
+            disabled * 1e3,
+            (disabled / baseline - 1.0) * 100.0,
+            profiled * 1e3,
+            (profiled / disabled - 1.0) * 100.0,
+        );
+        assert!(
+            disabled <= baseline * 1.01 + GATE_SLACK,
+            "disabled-instrumentation overhead gate failed: {:.3} ms vs baseline {:.3} ms (limit 1%)",
+            disabled * 1e3,
+            baseline * 1e3,
+        );
+        assert!(
+            profiled <= disabled * 1.10 + GATE_SLACK,
+            "enabled-profiling overhead gate failed: {:.3} ms vs disabled {:.3} ms (limit 10%)",
+            profiled * 1e3,
+            disabled * 1e3,
+        );
+        println!("gate: overhead within limits (disabled <= 1%, profiled <= 10%)");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -25,8 +25,11 @@
 //! `--minimize PATH` reads an `xg-schedule v1` text file (e.g. a corpus
 //! entry or a failure dumped by `--campaign`), replays it under `--seed`,
 //! shrinks it to a minimal failing reproducer, and prints the regression
-//! test; `--out DIR` also writes the `.rs`/`.json` artifacts. Exits `2` if
-//! the schedule does not fail in the first place.
+//! test; `--out DIR` also writes the `.rs`/`.json` artifacts, and
+//! `--timeline PATH` writes the failure replay's transaction timeline as
+//! Perfetto-loadable Chrome trace-event JSON. Exits `2` if the schedule
+//! does not fail in the first place. (Campaign repros written to a
+//! `--corpus` directory get a `.trace.json` timeline automatically.)
 
 use std::path::{Path, PathBuf};
 
@@ -98,12 +101,17 @@ fn write_or_die(path: &Path, contents: &str) {
 }
 
 /// Minimizes one campaign failure and renders/writes its repro artifacts.
+/// With `timeline_path` set (or an `--corpus`/`--out` directory), the
+/// minimized schedule is replayed once more and the failure replay's
+/// transaction timeline (Chrome trace-event JSON, Perfetto-loadable) is
+/// written alongside the repro.
 fn emit_repro(
     base: &SystemConfig,
     opts: &CampaignOpts,
     failure: &CampaignFailure,
     index: usize,
     out_dir: Option<&Path>,
+    timeline_path: Option<&Path>,
 ) {
     let shrunk = minimize(&failure.schedule, |s| {
         let out = run_schedule(base, opts, s, failure.seed);
@@ -134,6 +142,21 @@ fn emit_repro(
             println!("  repro artifacts written to {}", dir.display());
         }
         None => print!("{test_src}"),
+    }
+    let trace_dest = timeline_path
+        .map(Path::to_path_buf)
+        .or_else(|| out_dir.map(|d| d.join(format!("{name}.trace.json"))));
+    if let Some(dest) = trace_dest {
+        // The failure replay inside run_schedule re-runs the failing seed
+        // with ring tracing and timelines on; its trace is the artifact.
+        let replay = run_schedule(base, opts, &minimized.schedule, failure.seed);
+        match replay.timeline {
+            Some(trace) => {
+                write_or_die(&dest, &trace);
+                println!("  failure timeline written to {}", dest.display());
+            }
+            None => eprintln!("  minimized schedule no longer fails; no timeline recorded"),
+        }
     }
 }
 
@@ -218,7 +241,7 @@ fn campaign_mode(args: &[String]) -> i32 {
             dump_corpus(dir, &out);
         }
         for (i, failure) in out.failures.iter().enumerate() {
-            emit_repro(&base, &opts, failure, i, config_dir.as_deref());
+            emit_repro(&base, &opts, failure, i, config_dir.as_deref(), None);
         }
         total_failures += out.failures.len();
     }
@@ -233,6 +256,7 @@ fn campaign_mode(args: &[String]) -> i32 {
 fn minimize_mode(args: &[String], path: &str) -> i32 {
     let seed = arg_value(args, "--seed").map_or(0xC4A55, |s| parse_seed(&s));
     let out_dir = arg_value(args, "--out").map(PathBuf::from);
+    let timeline = arg_value(args, "--timeline").map(PathBuf::from);
     let configs = selected_configs(
         arg_value(args, "--host").as_deref(),
         arg_value(args, "--variant").as_deref(),
@@ -278,7 +302,14 @@ fn minimize_mode(args: &[String], path: &str) -> i32 {
         }
     }
     println!("xg-fuzz minimize ({}, seed {seed:#x})", base.name());
-    emit_repro(&base, &opts, &failure, 0, out_dir.as_deref());
+    emit_repro(
+        &base,
+        &opts,
+        &failure,
+        0,
+        out_dir.as_deref(),
+        timeline.as_deref(),
+    );
     0
 }
 
@@ -290,7 +321,7 @@ fn main() {
         campaign_mode(&args)
     } else {
         eprintln!("usage: xg-fuzz --campaign [quick] [--host H] [--variant V] [--seed N] [--jobs N] [--accels N] [--corpus DIR]");
-        eprintln!("       xg-fuzz --minimize PATH [--host H] [--variant V] [--seed N] [--out DIR]");
+        eprintln!("       xg-fuzz --minimize PATH [--host H] [--variant V] [--seed N] [--out DIR] [--timeline PATH]");
         2
     };
     std::process::exit(code);

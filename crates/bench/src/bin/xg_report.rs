@@ -6,6 +6,8 @@
 //! cargo run --release -p xg-bench --bin xg-report -- quick --json out.json
 //! cargo run --release -p xg-bench --bin xg-report -- quick --jobs 4
 //! cargo run --release -p xg-bench --bin xg-report -- quick --coverage
+//! cargo run --release -p xg-bench --bin xg-report -- quick --profile
+//! cargo run --release -p xg-bench --bin xg-report -- quick --timeline trace.json
 //! ```
 //!
 //! Output feeds `EXPERIMENTS.md`. With `--json <path>`, a machine-readable
@@ -16,6 +18,16 @@
 //! many declared `(state, event)` rows of each table-driven controller
 //! fired, and which never did. Combine with `--json` to also write the
 //! machine-readable report (the same data under its `fsm` key).
+//!
+//! `--profile` runs the 12-configuration stress matrix with kernel
+//! profiling enabled and prints the hot-path attribution table: the top
+//! event types by dispatch count, with sampled host-time attribution.
+//! Combine with `--json` to write the full profiled report.
+//!
+//! `--timeline PATH` records one representative guarded stress run with
+//! per-address transaction timelines on and writes Chrome trace-event
+//! JSON to PATH — load it in Perfetto (ui.perfetto.dev) or
+//! `chrome://tracing`.
 //!
 //! `--jobs N` (or `XG_JOBS=N`) fans the independent simulations of each
 //! experiment across N worker threads; `0` or omitted means all available
@@ -52,6 +64,27 @@ fn main() {
         Some(raw) => xg_harness::resolve_jobs(Some(xg_harness::sweep::parse_jobs(&raw))),
         None => xg_harness::resolve_jobs(None),
     };
+    if args.iter().any(|a| a == "--profile") {
+        let report = xg_bench::profile::collect_profile_jobs(scale, jobs);
+        print!("{}", xg_bench::profile::profile_table(&report, 12));
+        if let Some(path) = json_path {
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("machine-readable report written to {path}");
+        }
+        return;
+    }
+    if let Some(path) = arg_value(&args, "--timeline") {
+        let trace = xg_bench::profile::capture_timeline(scale, 11);
+        if let Err(e) = std::fs::write(&path, &trace) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("timeline written to {path} — open it in Perfetto (ui.perfetto.dev) or chrome://tracing");
+        return;
+    }
     if args.iter().any(|a| a == "--coverage") {
         let report = xg_bench::collect_report_jobs(scale, jobs);
         print!("{}", xg_bench::coverage_tables(&report));

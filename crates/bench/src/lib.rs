@@ -14,6 +14,7 @@
 //! for the report.
 
 pub mod experiments;
+pub mod profile;
 pub mod table;
 
 /// Runs one representative stress configuration per host protocol and

@@ -787,6 +787,7 @@ impl CrossingGuard {
             self.stats
                 .lat_inv_resp
                 .record(ctx.now().saturating_since(ip.started));
+            ctx.span(a.as_u64(), "inv", ip.started);
         }
         self.drain_queue(a, ctx);
     }
@@ -902,6 +903,7 @@ impl CrossingGuard {
         self.stats
             .lat_grant
             .record(ctx.now().saturating_since(started));
+        ctx.span(a.as_u64(), "grant", started);
         let mut blocks = Vec::with_capacity(self.k as usize);
         let mut all_owned = true;
         let mut any_m = false;
@@ -981,6 +983,7 @@ impl CrossingGuard {
                 self.stats
                     .lat_wback
                     .record(ctx.now().saturating_since(started));
+                ctx.span(a.as_u64(), "wback", started);
             }
             self.stats.wbacks += 1;
             self.send_accel(a, XgiKind::WbAck, ctx);

@@ -374,6 +374,7 @@ impl HammerPersona {
         self.stats
             .host_rtt
             .record(ctx.now().saturating_since(started));
+        ctx.span(h.as_u64(), "host_rtt", started);
         let (state, dirty, data) = match kind {
             GetReq::M => {
                 let (data, dirty) = peer.map(|(d, dy, _)| (d, dy)).unwrap_or((mem, false));
@@ -525,6 +526,7 @@ impl<'a, 'b, 'e> Controller<PState, PEvent, PAction, PCx<'a, 'b, 'e>> for Hammer
                 self.stats
                     .host_rtt
                     .record(cx.ctx.now().saturating_since(started));
+                cx.ctx.span(h.as_u64(), "host_rtt", started);
                 cx.events.push(PersonaEvent::PutDone { h });
             }
             PAction::CompletePutNack => {
@@ -535,6 +537,7 @@ impl<'a, 'b, 'e> Controller<PState, PEvent, PAction, PCx<'a, 'b, 'e>> for Hammer
                 self.stats
                     .host_rtt
                     .record(cx.ctx.now().saturating_since(started));
+                cx.ctx.span(h.as_u64(), "host_rtt", started);
                 cx.events.push(PersonaEvent::PutDone { h });
             }
             PAction::NoteUnexpectedNack => self.stats.violations += 1,

@@ -480,6 +480,7 @@ impl MesiPersona {
             self.stats
                 .host_rtt
                 .record(ctx.now().saturating_since(started));
+            ctx.span(h.as_u64(), "host_rtt", started);
         }
         events.push(PersonaEvent::PutDone { h });
     }
@@ -512,6 +513,7 @@ impl MesiPersona {
         self.stats
             .host_rtt
             .record(ctx.now().saturating_since(started));
+        ctx.span(h.as_u64(), "host_rtt", started);
         events.push(PersonaEvent::Granted {
             h,
             state,

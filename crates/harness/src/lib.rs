@@ -47,7 +47,8 @@ pub use campaign::{
 pub use config::{AccelOrg, AccelSlot, HostProtocol, SystemConfig};
 pub use fuzz::{FuzzAccel, FuzzHostCache, FuzzOpts, Schedule};
 pub use runner::{
-    run_fuzz, run_stress, run_workload, FuzzOutcome, PerfOutcome, StressOpts, StressOutcome,
+    run_fuzz, run_fuzz_with, run_stress, run_stress_with, run_workload, FuzzOutcome,
+    Instrumentation, PerfOutcome, StressOpts, StressOutcome,
 };
 pub use sweep::{available_jobs, resolve_jobs, sweep};
 pub use system::{accel_core_count, build_system, BuiltSystem, GuardInstance};

@@ -5,13 +5,62 @@
 //! *detected*, never hung on), and returns a structured outcome.
 
 use xg_core::{Os, OsPolicy};
-use xg_sim::{Report, TraceConfig};
+use xg_sim::{ProfileConfig, Report, TimelineConfig, TraceConfig};
 
 use crate::config::{AccelOrg, SystemConfig};
 use crate::fuzz::FuzzOpts;
 use crate::system::{accel_core_count, build_system, BuiltSystem, CoreSlot};
 use crate::tester::{word_pool, SharedTester, TesterCfg, TesterCore, TesterShared};
 use crate::workloads::{Pattern, WorkloadCore};
+
+/// Instrumentation attached to a run: post-mortem ring tracing, kernel
+/// profiling, and transaction timelines. The default is everything off —
+/// zero per-event overhead beyond one branch, and reports byte-identical
+/// to uninstrumented runs.
+#[derive(Debug, Clone, Default)]
+pub struct Instrumentation {
+    /// Per-address ring tracing for post-mortem dumps.
+    pub trace: TraceConfig,
+    /// Kernel profiling: dispatch counters, host-time attribution, queue
+    /// high-water marks, and the epoch time-series (lands in the report's
+    /// `profile` section).
+    pub profile: ProfileConfig,
+    /// Transaction timeline recording (Chrome trace-event JSON).
+    pub timeline: Option<TimelineConfig>,
+}
+
+impl Instrumentation {
+    /// Everything off (the default).
+    pub fn off() -> Self {
+        Instrumentation::default()
+    }
+
+    /// Kernel profiling on, tracing and timelines off.
+    pub fn profiled() -> Self {
+        Instrumentation {
+            profile: ProfileConfig::on(),
+            ..Instrumentation::default()
+        }
+    }
+
+    /// What a failure replay records: ring tracing for the post-mortem
+    /// dump plus a transaction timeline of the failing run.
+    pub fn replay() -> Self {
+        Instrumentation {
+            trace: TraceConfig::ring(),
+            timeline: Some(TimelineConfig::default()),
+            ..Instrumentation::default()
+        }
+    }
+
+    fn apply(&self, system: &mut BuiltSystem) {
+        system.sim.tracer_mut().set_config(self.trace);
+        system.sim.profiler_mut().set_config(self.profile);
+        if let Some(tl) = self.timeline {
+            system.sim.enable_timeline(tl);
+        }
+    }
+}
 
 /// Options for a stress run (paper §4.1 methodology).
 #[derive(Debug, Clone)]
@@ -62,6 +111,9 @@ pub struct StressOutcome {
     /// Post-mortem trace dump from a deterministic replay of a failed run
     /// (None when the run passed).
     pub post_mortem: Option<String>,
+    /// Chrome trace-event JSON of the run, when a timeline was requested
+    /// (or from the failure replay, for a failed run).
+    pub timeline: Option<String>,
     /// Full statistics.
     pub report: Report,
 }
@@ -96,10 +148,11 @@ fn flag_outstanding(system: &mut crate::system::BuiltSystem, cores: &[xg_sim::No
 /// attached to the outcome — the fast run costs nothing, the slow run only
 /// happens when there is something to explain.
 pub fn run_stress(cfg: &SystemConfig, opts: &StressOpts) -> StressOutcome {
-    let mut out = run_stress_traced(cfg, opts, TraceConfig::off());
+    let mut out = run_stress_with(cfg, opts, &Instrumentation::off());
     if out.data_errors > 0 || out.deadlocked {
-        let replay = run_stress_traced(cfg, opts, TraceConfig::ring());
+        let replay = run_stress_with(cfg, opts, &Instrumentation::replay());
         out.post_mortem = replay.post_mortem;
+        out.timeline = replay.timeline;
     } else {
         out.post_mortem = None;
     }
@@ -149,7 +202,14 @@ fn fill_guard_section(report: &mut Report, system: &BuiltSystem, shared: &Shared
     }
 }
 
-fn run_stress_traced(cfg: &SystemConfig, opts: &StressOpts, trace: TraceConfig) -> StressOutcome {
+/// Runs the stress test once with explicit [`Instrumentation`] — no
+/// automatic failure replay. This is the entry point for profiled runs
+/// (`xg-report --profile`) and timeline captures (`--timeline`).
+pub fn run_stress_with(
+    cfg: &SystemConfig,
+    opts: &StressOpts,
+    instr: &Instrumentation,
+) -> StressOutcome {
     let cfg = cfg.clone().shrink_caches();
     let accel_cores: usize = cfg
         .accel_slots()
@@ -173,7 +233,7 @@ fn run_stress_traced(cfg: &SystemConfig, opts: &StressOpts, trace: TraceConfig) 
             opts.tester.clone(),
         ))
     });
-    system.sim.tracer_mut().set_config(trace);
+    instr.apply(&mut system);
     system.start_cores();
     let out = system
         .sim
@@ -190,6 +250,7 @@ fn run_stress_traced(cfg: &SystemConfig, opts: &StressOpts, trace: TraceConfig) 
     let mut report = system.sim.report();
     fill_guard_section(&mut report, &system, &shared);
     let post_mortem = system.sim.post_mortem();
+    let timeline = system.sim.timeline_json();
     let shared = shared.lock().unwrap();
     let hung_ops = report.sum_suffix(".outstanding") > 0;
     let transitions: usize = report.coverages().map(|(_, c)| c.len()).sum();
@@ -201,6 +262,7 @@ fn run_stress_traced(cfg: &SystemConfig, opts: &StressOpts, trace: TraceConfig) 
         deadlocked: out.stalled || (!shared.done() && !out.quiescent) || hung_ops,
         transitions,
         post_mortem,
+        timeline,
         report,
     }
 }
@@ -230,6 +292,9 @@ pub struct FuzzOutcome {
     /// deadlock): the last events touching each offending address, across
     /// the guard and every host controller. None when nothing was flagged.
     pub post_mortem: Option<String>,
+    /// Chrome trace-event JSON of the run, when a timeline was requested
+    /// (or from the failure replay, for a flagged run).
+    pub timeline: Option<String>,
     /// Full statistics.
     pub report: Report,
 }
@@ -241,21 +306,24 @@ pub struct FuzzOutcome {
 /// is replayed with ring tracing enabled and the post-mortem dump naming the
 /// offending addresses is attached to the outcome.
 pub fn run_fuzz(cfg: &SystemConfig, fuzz: &FuzzOpts, cpu_ops: u64) -> FuzzOutcome {
-    let mut out = run_fuzz_traced(cfg, fuzz, cpu_ops, TraceConfig::off());
+    let mut out = run_fuzz_with(cfg, fuzz, cpu_ops, &Instrumentation::off());
     if out.cpu_data_errors > 0 || out.host_violations > 0 || out.os_errors > 0 || out.deadlocked {
-        let replay = run_fuzz_traced(cfg, fuzz, cpu_ops, TraceConfig::ring());
+        let replay = run_fuzz_with(cfg, fuzz, cpu_ops, &Instrumentation::replay());
         out.post_mortem = replay.post_mortem;
+        out.timeline = replay.timeline;
     } else {
         out.post_mortem = None;
     }
     out
 }
 
-fn run_fuzz_traced(
+/// Runs a fuzz attack once with explicit [`Instrumentation`] — no
+/// automatic failure replay.
+pub fn run_fuzz_with(
     cfg: &SystemConfig,
     fuzz: &FuzzOpts,
     cpu_ops: u64,
-    trace: TraceConfig,
+    instr: &Instrumentation,
 ) -> FuzzOutcome {
     assert!(
         cfg.accel_slots()
@@ -340,7 +408,7 @@ fn run_fuzz_traced(
             ))
         },
     );
-    system.sim.tracer_mut().set_config(trace);
+    instr.apply(&mut system);
     system.start_cores();
     let out = system.sim.run_with_watchdog(50_000_000, 200_000);
     if out.stalled {
@@ -355,6 +423,7 @@ fn run_fuzz_traced(
     let mut report = system.sim.report();
     fill_guard_section(&mut report, &system, &shared);
     let post_mortem = system.sim.post_mortem();
+    let timeline = system.sim.timeline_json();
     let shared = shared.lock().unwrap();
     let hung_ops = report.sum_suffix(".outstanding") > 0;
     FuzzOutcome {
@@ -366,6 +435,7 @@ fn run_fuzz_traced(
         cpu_ops_completed: shared.completed(),
         cpu_data_errors: shared.data_errors(),
         post_mortem,
+        timeline,
         report,
     }
 }

@@ -124,6 +124,10 @@ pub fn build_system(
     mut make_core: impl FnMut(CoreSlot, NodeId, usize) -> Box<dyn Component<Message>>,
 ) -> BuiltSystem {
     let mut b = SimBuilder::new(cfg.seed);
+    // Label dispatched events by protocol-qualified message class so the
+    // profiler can attribute hot paths (one function pointer; free when
+    // profiling is off).
+    b.event_label(Message::class);
     let n = cfg.cpu_cores;
     let slots = cfg.accel_slots();
 

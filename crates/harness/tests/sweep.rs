@@ -8,7 +8,9 @@
 
 use proptest::prelude::*;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
-use xg_harness::{run_stress, sweep, HostProtocol, StressOpts, SystemConfig};
+use xg_harness::{
+    run_stress, run_stress_with, sweep, HostProtocol, Instrumentation, StressOpts, SystemConfig,
+};
 use xg_sim::Report;
 
 /// Runs one small stress shard and returns its report.
@@ -24,6 +26,26 @@ fn shard_report(host: HostProtocol, seed: u64, ops: u64) -> Report {
             ops,
             ..StressOpts::default()
         },
+    )
+    .report
+}
+
+/// Like [`shard_report`] but with kernel profiling enabled, so the report
+/// carries a populated `profile` section (dispatch counters, `.hwm` keys,
+/// the epoch series).
+fn profiled_shard_report(host: HostProtocol, seed: u64, ops: u64) -> Report {
+    let cfg = SystemConfig {
+        host,
+        seed,
+        ..SystemConfig::default()
+    };
+    run_stress_with(
+        &cfg,
+        &StressOpts {
+            ops,
+            ..StressOpts::default()
+        },
+        &Instrumentation::profiled(),
     )
     .report
 }
@@ -96,6 +118,45 @@ proptest! {
             .collect();
         prop_assert!(!serial.is_empty(), "stress shards recorded no machine coverage");
         prop_assert_eq!(serial, parallel);
+    }
+
+    /// Profiled shard reports merged in a random permutation serialize to
+    /// exactly the JSON of the serial in-order merge: dispatch counters
+    /// and epoch series *sum* (commutative), `.hwm`-suffixed keys take
+    /// the *max* (commutative and idempotent), so the profile section —
+    /// like every other section — is permutation-invariant. The merged
+    /// high-water marks also dominate every shard's own mark.
+    #[test]
+    fn profile_merge_is_permutation_invariant(
+        seed in 0u64..1_000,
+        perm_seed in any::<u64>(),
+    ) {
+        let mut shards = Vec::new();
+        for (i, host) in [HostProtocol::Hammer, HostProtocol::Mesi, HostProtocol::Hammer]
+            .into_iter()
+            .enumerate()
+        {
+            shards.push(profiled_shard_report(host, seed + i as u64, 120));
+        }
+        for r in &shards {
+            prop_assert!(
+                r.profile_get("events.total") > 0,
+                "profiled shard recorded no dispatches"
+            );
+        }
+        let merged = Report::merge_shards(&shards);
+        let serial = merged.to_json();
+        for r in &shards {
+            prop_assert!(merged.profile_get("queue.hwm") >= r.profile_get("queue.hwm"));
+            prop_assert!(merged.profile_get("events.total") >= r.profile_get("events.total"));
+        }
+        prop_assert_eq!(
+            merged.profile_get("events.total"),
+            shards.iter().map(|r| r.profile_get("events.total")).sum::<u64>()
+        );
+        shuffle(&mut shards, perm_seed);
+        let permuted = Report::merge_shards(&shards).to_json();
+        prop_assert_eq!(serial, permuted);
     }
 
     /// A parallel sweep returns the same outcomes in the same order as

@@ -728,6 +728,7 @@ impl HammerCache {
             self.stats
                 .lat_miss
                 .record(ctx.now().saturating_since(started));
+            ctx.span(addr.as_u64(), "miss", started);
         }
 
         let mem = mem_data.expect("checked above");

@@ -767,6 +767,7 @@ impl MesiL1 {
             self.stats
                 .lat_miss
                 .record(ctx.now().saturating_since(started));
+            ctx.span(addr.as_u64(), "miss", started);
         }
         let (data, state, dirty) = grant.expect("checked above");
 

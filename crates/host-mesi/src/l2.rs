@@ -447,9 +447,12 @@ impl MesiL2 {
     }
 
     /// Marks the end of a transient episode, recording its duration.
-    fn busy_closed(&mut self, addr: BlockAddr, now: Cycle) {
+    fn busy_closed(&mut self, addr: BlockAddr, ctx: &mut Ctx<'_>) {
         if let Some(since) = self.busy_since.remove(&addr) {
-            self.stats.lat_busy.record(now.saturating_since(since));
+            self.stats
+                .lat_busy
+                .record(ctx.now().saturating_since(since));
+            ctx.span(addr.as_u64(), "l2_busy", since);
         }
     }
 
@@ -496,7 +499,7 @@ impl MesiL2 {
             let Some(Busy::Recall { line, .. }) = self.busy.remove(&addr) else {
                 return;
             };
-            self.busy_closed(addr, ctx.now());
+            self.busy_closed(addr, ctx);
             self.finish_eviction(addr, line, ctx);
         }
     }
@@ -561,7 +564,7 @@ impl MesiL2 {
         else {
             return;
         };
-        self.busy_closed(addr, ctx.now());
+        self.busy_closed(addr, ctx);
         self.array.insert(addr, L2Line::fresh(data));
         // Grant through the normal path (line now resident, not busy).
         let get = match kind {
@@ -791,7 +794,7 @@ impl<'a, 'b> Controller<L2State, L2Event, L2Action, L2Cx<'a, 'b>> for MesiL2 {
                 let Some(Busy::FwdS { requestor, .. }) = self.busy.remove(&addr) else {
                     return;
                 };
-                self.busy_closed(addr, cx.ctx.now());
+                self.busy_closed(addr, cx.ctx);
                 let (data, dirty) = put_payload(&cx.kind);
                 if let Some(line) = self.array.get_mut(addr) {
                     if let Some(d) = data {

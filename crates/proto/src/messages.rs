@@ -36,6 +36,78 @@ impl Message {
             Message::Os(_) => None,
         }
     }
+
+    /// A short static `"<protocol>.<kind>"` label for kernel profiling —
+    /// the event-class vocabulary of `xg-prof` dispatch counters (install
+    /// with `SimBuilder::event_label(Message::class)`).
+    pub fn class(&self) -> &'static str {
+        match self {
+            Message::Core(m) => match m.kind {
+                CoreKind::Load => "Core.Load",
+                CoreKind::Store { .. } => "Core.Store",
+                CoreKind::LoadResp { .. } => "Core.LoadResp",
+                CoreKind::StoreResp => "Core.StoreResp",
+                CoreKind::Flush => "Core.Flush",
+                CoreKind::FlushResp => "Core.FlushResp",
+            },
+            Message::Hammer(m) => match m.kind {
+                HammerKind::GetS => "Hammer.GetS",
+                HammerKind::GetSOnly => "Hammer.GetSOnly",
+                HammerKind::GetM => "Hammer.GetM",
+                HammerKind::Put => "Hammer.Put",
+                HammerKind::FwdGetS { .. } => "Hammer.FwdGetS",
+                HammerKind::FwdGetSOnly { .. } => "Hammer.FwdGetSOnly",
+                HammerKind::FwdGetM { .. } => "Hammer.FwdGetM",
+                HammerKind::MemData { .. } => "Hammer.MemData",
+                HammerKind::RespData { .. } => "Hammer.RespData",
+                HammerKind::RespAck { .. } => "Hammer.RespAck",
+                HammerKind::WbAck => "Hammer.WbAck",
+                HammerKind::WbNack => "Hammer.WbNack",
+                HammerKind::WbData { .. } => "Hammer.WbData",
+                HammerKind::Unblock { .. } => "Hammer.Unblock",
+            },
+            Message::Mesi(m) => match m.kind {
+                MesiKind::GetS => "Mesi.GetS",
+                MesiKind::GetSOnly => "Mesi.GetSOnly",
+                MesiKind::GetM => "Mesi.GetM",
+                MesiKind::PutS => "Mesi.PutS",
+                MesiKind::PutE { .. } => "Mesi.PutE",
+                MesiKind::PutM { .. } => "Mesi.PutM",
+                MesiKind::DataS { .. } => "Mesi.DataS",
+                MesiKind::DataE { .. } => "Mesi.DataE",
+                MesiKind::DataM { .. } => "Mesi.DataM",
+                MesiKind::WbAck => "Mesi.WbAck",
+                MesiKind::WbNack => "Mesi.WbNack",
+                MesiKind::Inv { .. } => "Mesi.Inv",
+                MesiKind::FwdGetS { .. } => "Mesi.FwdGetS",
+                MesiKind::FwdGetM { .. } => "Mesi.FwdGetM",
+                MesiKind::Recall => "Mesi.Recall",
+                MesiKind::InvAck => "Mesi.InvAck",
+                MesiKind::FwdData { .. } => "Mesi.FwdData",
+                MesiKind::OwnerWb { .. } => "Mesi.OwnerWb",
+                MesiKind::RecallData { .. } => "Mesi.RecallData",
+            },
+            Message::Xgi(m) => match m.kind {
+                XgiKind::GetS => "Xgi.GetS",
+                XgiKind::GetM => "Xgi.GetM",
+                XgiKind::PutS => "Xgi.PutS",
+                XgiKind::PutE { .. } => "Xgi.PutE",
+                XgiKind::PutM { .. } => "Xgi.PutM",
+                XgiKind::DataS { .. } => "Xgi.DataS",
+                XgiKind::DataE { .. } => "Xgi.DataE",
+                XgiKind::DataM { .. } => "Xgi.DataM",
+                XgiKind::WbAck => "Xgi.WbAck",
+                XgiKind::Inv => "Xgi.Inv",
+                XgiKind::InvAck => "Xgi.InvAck",
+                XgiKind::CleanWb { .. } => "Xgi.CleanWb",
+                XgiKind::DirtyWb { .. } => "Xgi.DirtyWb",
+            },
+            Message::Os(m) => match m {
+                OsMsg::Error(_) => "Os.Error",
+                OsMsg::DisableAccelerator => "Os.DisableAccelerator",
+            },
+        }
+    }
 }
 
 impl From<CoreMsg> for Message {
@@ -608,6 +680,23 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn empty_payload_panics() {
         let _ = XgData::from_blocks(Vec::new());
+    }
+
+    #[test]
+    fn classes_are_protocol_qualified() {
+        let m: Message = HammerMsg::new(BlockAddr::new(1), HammerKind::GetM).into();
+        assert_eq!(m.class(), "Hammer.GetM");
+        let m: Message = XgiMsg::new(BlockAddr::new(1), XgiKind::Inv).into();
+        assert_eq!(m.class(), "Xgi.Inv");
+        let m: Message = OsMsg::DisableAccelerator.into();
+        assert_eq!(m.class(), "Os.DisableAccelerator");
+        let m: Message = CoreMsg {
+            id: 0,
+            addr: Addr::new(0),
+            kind: CoreKind::Flush,
+        }
+        .into();
+        assert_eq!(m.class(), "Core.Flush");
     }
 
     #[test]

@@ -79,3 +79,6 @@ pub use report::{CoverageSet, Report, TransitionCoverage};
 pub use simulator::{Ctx, LinkFaultCounts, RunOutcome, SimBuilder, Simulator};
 pub use time::Cycle;
 pub use trace::{PostMortemFlag, TraceConfig, TraceEvent, TraceLevel, Tracer};
+pub use xg_prof::{
+    EpochSample, ProfileConfig, Profiler, Timeline, TimelineConfig, PID_ADDRESSES, PID_COMPONENTS,
+};

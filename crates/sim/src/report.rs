@@ -215,6 +215,13 @@ pub struct Report {
     /// out of `scalars` so single-accelerator reports stay byte-identical
     /// to their pre-multi-accelerator form once this section is stripped.
     guards: BTreeMap<String, BTreeMap<String, u64>>,
+    /// Kernel-profiling metrics (`xg-prof`): dispatch counters, host-time
+    /// attribution, queue high-water marks, and the epoch time series. Kept
+    /// out of `scalars` so profiling-off reports keep their exact
+    /// serialized form, and merged with section-specific rules — keys
+    /// ending in `.hwm` take the max across shards, everything else sums —
+    /// so shard merges stay permutation-invariant.
+    profile: BTreeMap<String, u64>,
 }
 
 impl Report {
@@ -359,6 +366,46 @@ impl Report {
         out
     }
 
+    /// Adds `value` to the profile-section counter `key` (creating it at
+    /// zero). Note that merges treat `.hwm`-suffixed keys specially — use
+    /// [`profile_max`](Report::profile_max) to combine high-water marks.
+    pub fn profile_add(&mut self, key: impl Into<String>, value: u64) {
+        *self.profile.entry(key.into()).or_insert(0) += value;
+    }
+
+    /// Raises the profile-section counter `key` to at least `value` — the
+    /// combine rule for `.hwm` high-water-mark keys.
+    pub fn profile_max(&mut self, key: impl Into<String>, value: u64) {
+        let slot = self.profile.entry(key.into()).or_insert(0);
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Sets the profile-section counter `key`, replacing any prior value.
+    pub fn profile_set(&mut self, key: impl Into<String>, value: u64) {
+        self.profile.insert(key.into(), value);
+    }
+
+    /// Reads a profile-section counter, returning 0 if absent.
+    pub fn profile_get(&self, key: &str) -> u64 {
+        self.profile.get(key).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(key, value)` profile entries in deterministic order.
+    pub fn profile_entries(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.profile.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// A copy of this report with the profile section removed — the shape
+    /// determinism comparisons use, since host-time attribution is
+    /// wall-clock data and legitimately differs between identical runs.
+    pub fn without_profile(&self) -> Report {
+        let mut out = self.clone();
+        out.profile.clear();
+        out
+    }
+
     /// Records one observation into the histogram `key` (creating it empty).
     pub fn observe(&mut self, key: impl Into<String>, value: u64) {
         self.hists.entry(key.into()).or_default().record(value);
@@ -411,6 +458,17 @@ impl Report {
         for (guard, counters) in &other.guards {
             for (k, &v) in counters {
                 self.guard_add(guard.clone(), k.clone(), v);
+            }
+        }
+        for (k, &v) in &other.profile {
+            // High-water marks combine with max (the deepest any shard got),
+            // counters and time estimates with sum. Both rules are
+            // commutative and associative, preserving permutation-invariant
+            // shard merging.
+            if k.ends_with(".hwm") {
+                self.profile_max(k.clone(), v);
+            } else {
+                self.profile_add(k.clone(), v);
             }
         }
     }
@@ -519,6 +577,20 @@ impl Report {
                     .collect(),
             ),
         );
+        // Only present when profiling recorded something, so profiling-off
+        // runs keep their exact serialized form (the golden-fixture
+        // byte-identity guarantee).
+        if !self.profile.is_empty() {
+            root.insert(
+                "profile".to_owned(),
+                JsonValue::Obj(
+                    self.profile
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), JsonValue::Num(v)))
+                        .collect(),
+                ),
+            );
+        }
         // Only present when a guard instance reported something, so reports
         // from single-section-era runs keep their exact serialized form.
         if !self.guards.is_empty() {
@@ -617,6 +689,17 @@ impl Report {
                 report.fuzz_set(k.clone(), v);
             }
         }
+        if let Some(profile) = root.get("profile") {
+            let profile = profile
+                .as_obj()
+                .ok_or_else(|| bad("profile must be an object"))?;
+            for (k, v) in profile {
+                let v = v
+                    .as_num()
+                    .ok_or_else(|| bad("profile values must be numbers"))?;
+                report.profile_set(k.clone(), v);
+            }
+        }
         if let Some(guards) = root.get("guards") {
             let guards = guards
                 .as_obj()
@@ -702,6 +785,9 @@ impl fmt::Display for Report {
             for (k, v) in counters {
                 writeln!(f, "guard.{guard}.{k} = {v}")?;
             }
+        }
+        for (k, v) in &self.profile {
+            writeln!(f, "profile.{k} = {v}")?;
         }
         Ok(())
     }
@@ -935,6 +1021,62 @@ mod tests {
     }
 
     #[test]
+    fn profile_section_round_trips_merges_and_strips() {
+        let mut r = Report::new();
+        r.profile_add("dispatch.guard.GetM", 5);
+        r.profile_add("dispatch.guard.GetM", 2);
+        r.profile_max("queue.hwm", 9);
+        r.profile_set("events.total", 100);
+        r.add("os.errors_total", 1);
+        assert_eq!(r.profile_get("dispatch.guard.GetM"), 7);
+        assert_eq!(r.profile_get("absent"), 0);
+
+        // JSON round trip is lossless and the section is present.
+        let json = r.to_json();
+        assert!(json.contains("\"profile\""));
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), json);
+
+        // Merge: counters sum, `.hwm` keys take the max, commutatively.
+        let mut other = Report::new();
+        other.profile_add("dispatch.guard.GetM", 3);
+        other.profile_max("queue.hwm", 4);
+        other.profile_set("events.total", 50);
+        let mut ab = r.clone();
+        ab.merge(&other);
+        let mut ba = other.clone();
+        ba.merge(&r);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.profile_get("dispatch.guard.GetM"), 10);
+        assert_eq!(ab.profile_get("queue.hwm"), 9, "hwm merges with max");
+        assert_eq!(ab.profile_get("events.total"), 150);
+
+        // Stripping restores the profiling-off shape byte-for-byte.
+        let mut plain = Report::new();
+        plain.add("os.errors_total", 1);
+        assert_eq!(r.without_profile().to_json(), plain.to_json());
+        assert!(!r.without_profile().to_json().contains("profile"));
+        assert!(r.to_string().contains("profile.queue.hwm = 9"));
+    }
+
+    #[test]
+    fn profile_max_never_lowers() {
+        let mut r = Report::new();
+        r.profile_max("inflight.dir.hwm", 6);
+        r.profile_max("inflight.dir.hwm", 2);
+        assert_eq!(r.profile_get("inflight.dir.hwm"), 6);
+    }
+
+    #[test]
+    fn empty_profile_section_is_not_serialized() {
+        let r = Report::new();
+        assert!(!r.to_json().contains("profile"));
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
     fn empty_guard_section_is_not_serialized() {
         let r = Report::new();
         assert!(!r.to_json().contains("guards"));
@@ -988,6 +1130,8 @@ mod tests {
             "{\"guards\": 3}",
             "{\"guards\": {\"g\": 3}}",
             "{\"guards\": {\"g\": {\"k\": \"str\"}}}",
+            "{\"profile\": 3}",
+            "{\"profile\": {\"k\": \"str\"}}",
         ] {
             assert!(Report::from_json(bad).is_err(), "accepted {bad}");
         }

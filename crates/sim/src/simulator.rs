@@ -1,9 +1,11 @@
 //! The simulator proper: builder, event loop, and component context.
 
 use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use xg_prof::{ProfileConfig, Profiler, Timeline, TimelineConfig, PID_ADDRESSES, PID_COMPONENTS};
 
 use crate::component::{Component, NodeId};
 use crate::event::{Event, EventKind};
@@ -142,26 +144,73 @@ impl<M> Ctx<'_, M> {
         *self.progress += 1;
     }
 
-    /// Whether protocol tracing is recording. Instrumented controllers can
-    /// use this to skip preparing trace-only data.
+    /// Whether protocol tracing (ring recording or a timeline) is
+    /// recording. Instrumented controllers can use this to skip preparing
+    /// trace-only data.
     #[inline]
     pub fn trace_active(&self) -> bool {
-        self.tracer.enabled()
+        self.tracer.enabled() || self.tracer.timeline().is_some()
     }
 
     /// Records a protocol trace event for `addr`. The `detail` closure is
     /// evaluated only when tracing is on, so a disabled tracer costs one
-    /// branch per call site.
+    /// branch per call site. When a timeline is installed, the event also
+    /// lands as an instant on this component's timeline track.
     #[inline]
     pub fn trace(&mut self, addr: u64, state: &str, event: &str, detail: impl FnOnce() -> String) {
-        if self.tracer.enabled() {
+        let ring = self.tracer.enabled();
+        let timeline = self.tracer.timeline().is_some();
+        if !ring && !timeline {
+            return;
+        }
+        let detail = detail();
+        if timeline {
+            let tl = self.tracer.timeline_mut().expect("checked above");
+            tl.instant(
+                self.now.as_u64(),
+                PID_COMPONENTS,
+                self.self_id.index() as u64,
+                event,
+                vec![
+                    ("addr", format!("{addr:#x}")),
+                    ("state", state.to_owned()),
+                    ("detail", detail.clone()),
+                ],
+            );
+        }
+        if ring {
             self.tracer.record(
                 self.now.as_u64(),
                 self.self_name,
                 addr,
                 state,
                 event,
-                detail(),
+                detail,
+            );
+        }
+    }
+
+    /// Records a completed request-lifecycle span for `addr` — started at
+    /// `start`, finished now — on the address's timeline track. This is the
+    /// transaction-timeline counterpart of a latency-histogram observation:
+    /// call it where a controller records `lat_*`, naming the lifecycle
+    /// phase (`"grant"`, `"wback"`, `"inv"`, `"host_rtt"`, `"miss"`, ...).
+    /// No-op (one branch) unless a timeline is installed.
+    #[inline]
+    pub fn span(&mut self, addr: u64, name: &'static str, start: Cycle) {
+        if let Some(tl) = self.tracer.timeline_mut() {
+            let ts = start.as_u64().min(self.now.as_u64());
+            let dur = self.now.as_u64() - ts;
+            tl.complete(
+                ts,
+                dur,
+                PID_ADDRESSES,
+                addr,
+                name,
+                vec![
+                    ("component", self.self_name.to_owned()),
+                    ("addr", format!("{addr:#x}")),
+                ],
             );
         }
     }
@@ -184,6 +233,8 @@ pub struct SimBuilder<M> {
     default_link: Link,
     seed: u64,
     trace: TraceConfig,
+    profile: ProfileConfig,
+    event_label: Option<fn(&M) -> &'static str>,
 }
 
 impl<M: 'static> SimBuilder<M> {
@@ -197,6 +248,8 @@ impl<M: 'static> SimBuilder<M> {
             default_link: Link::default(),
             seed,
             trace: TraceConfig::from_env(),
+            profile: ProfileConfig::off(),
+            event_label: None,
         }
     }
 
@@ -204,6 +257,25 @@ impl<M: 'static> SimBuilder<M> {
     /// [`TraceConfig::from_env`]: off unless `XG_TRACE` is set).
     pub fn trace(&mut self, config: TraceConfig) -> &mut Self {
         self.trace = config;
+        self
+    }
+
+    /// Sets the kernel-profiling configuration (defaults to
+    /// [`ProfileConfig::off`]). Profiling never perturbs the simulation —
+    /// it draws no randomness and schedules nothing — so an otherwise
+    /// identical run produces identical protocol behavior with it on or
+    /// off.
+    pub fn profile(&mut self, config: ProfileConfig) -> &mut Self {
+        self.profile = config;
+        self
+    }
+
+    /// Installs the event-class labeler used by dispatch profiling: a
+    /// function from a message to a short static label (conventionally
+    /// `"<protocol>.<kind>"`). Without one, delivered messages profile
+    /// under the class `"event"`; wake-ups always profile as `"Wake"`.
+    pub fn event_label(&mut self, f: fn(&M) -> &'static str) -> &mut Self {
+        self.event_label = Some(f);
         self
     }
 
@@ -269,6 +341,8 @@ impl<M: 'static> SimBuilder<M> {
             effects: Vec::new(),
             tracer: Tracer::new(self.trace),
             faults: LinkFaultCounts::default(),
+            profiler: Profiler::new(self.profile),
+            event_label: self.event_label,
         }
     }
 }
@@ -307,6 +381,8 @@ pub struct Simulator<M> {
     effects: Vec<Effect<M>>,
     tracer: Tracer,
     faults: LinkFaultCounts,
+    profiler: Profiler,
+    event_label: Option<fn(&M) -> &'static str>,
 }
 
 impl<M: Clone + 'static> Simulator<M> {
@@ -415,9 +491,32 @@ impl<M: Clone + 'static> Simulator<M> {
     }
 
     fn step_one(&mut self) {
+        // One branch when profiling is off; the profiler is never touched.
+        let profiling = self.profiler.enabled();
+        let mut class: &'static str = "event";
+        let mut timer: Option<Instant> = None;
+        if profiling {
+            let depth = self.queue.len();
+            if let Some(ev) = self.queue.peek() {
+                self.profiler.note_pop(ev.target.index());
+                class = match &ev.kind {
+                    EventKind::Deliver { msg, .. } => {
+                        self.event_label.map_or("event", |label| label(msg))
+                    }
+                    EventKind::Wake { .. } => "Wake",
+                };
+            }
+            if self.profiler.begin_event(depth) {
+                timer = Some(Instant::now());
+            }
+        }
         let ev = self.queue.pop().expect("step_one called on empty queue");
         debug_assert!(ev.time >= self.now, "event queue went backwards");
         self.now = ev.time;
+        if profiling {
+            self.profiler
+                .epoch_tick(self.now.as_u64(), self.progress, self.queue.len());
+        }
         let idx = ev.target.index();
         let mut comp = self.components[idx]
             .take()
@@ -489,6 +588,12 @@ impl<M: Clone + 'static> Simulator<M> {
                     self.push_event(time, ev.target, EventKind::Deliver { from, msg });
                 }
             }
+        }
+        if profiling {
+            // The measured window covers the handler plus effect
+            // application — the full kernel cost of the event.
+            let elapsed = timer.map(|t| t.elapsed().as_nanos() as u64);
+            self.profiler.end_event(idx, class, elapsed);
         }
     }
 
@@ -568,6 +673,9 @@ impl<M: Clone + 'static> Simulator<M> {
     }
 
     fn push_event(&mut self, time: Cycle, target: NodeId, kind: EventKind<M>) {
+        if self.profiler.enabled() {
+            self.profiler.note_push(target.index());
+        }
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Event {
@@ -616,6 +724,11 @@ impl<M: Clone + 'static> Simulator<M> {
                 self.faults.burst_overtakes,
             );
         }
+        // The profile section stays absent (and the report byte-identical
+        // to an uninstrumented run's) unless profiling recorded something.
+        for (k, v) in self.profiler.entries(&self.names) {
+            out.profile_set(k, v);
+        }
         out
     }
 
@@ -640,6 +753,38 @@ impl<M: Clone + 'static> Simulator<M> {
     /// nothing was flagged. See [`Ctx::flag_post_mortem`].
     pub fn post_mortem(&self) -> Option<String> {
         self.tracer.post_mortem()
+    }
+
+    /// The kernel profiler (read access: counters, epochs, config).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The kernel profiler, mutably — lets a harness that builds a system
+    /// through a shared constructor opt a specific run into profiling
+    /// before the first event is dispatched.
+    pub fn profiler_mut(&mut self) -> &mut Profiler {
+        &mut self.profiler
+    }
+
+    /// Installs a transaction-timeline recorder and names a track for every
+    /// registered component. From here on, [`Ctx::trace`] records land as
+    /// instants and [`Ctx::span`] records as spans; retrieve the result
+    /// with [`Simulator::timeline_json`].
+    pub fn enable_timeline(&mut self, config: TimelineConfig) {
+        let mut timeline = Timeline::new(config);
+        for (idx, name) in self.names.iter().enumerate() {
+            if !name.is_empty() {
+                timeline.name_track(PID_COMPONENTS, idx as u64, name.clone());
+            }
+        }
+        self.tracer.set_timeline(timeline);
+    }
+
+    /// Renders the recorded timeline as Chrome trace-event JSON (loadable
+    /// in Perfetto), or `None` if no timeline was enabled.
+    pub fn timeline_json(&self) -> Option<String> {
+        self.tracer.timeline().map(Timeline::to_json)
     }
 }
 
@@ -1020,6 +1165,111 @@ mod tests {
         let b = faulty_sim(spec, 150, 42);
         assert_eq!(a.0, b.0);
         assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn profiling_records_dispatch_without_perturbing_the_run() {
+        fn run(profile: bool) -> (Vec<(u64, NodeId, u64)>, Report) {
+            let mut b = SimBuilder::new(11);
+            let rec = b.add(Box::new(Recorder::new()));
+            let src = b.add(Box::new(Burst {
+                peer: rec,
+                count: 16,
+            }));
+            b.link(src, rec, Link::unordered(1, 30));
+            b.event_label(|&msg: &u64| if msg % 2 == 0 { "Even" } else { "Odd" });
+            if profile {
+                b.profile(xg_prof::ProfileConfig::on());
+            }
+            let mut sim = b.build();
+            sim.post(rec, src, 0);
+            sim.post_wake(rec, 5, 1);
+            assert!(sim.run_to_quiescence(100_000).quiescent);
+            (sim.get::<Recorder>(rec).unwrap().seen.clone(), sim.report())
+        }
+        let (plain_seen, plain_report) = run(false);
+        let (prof_seen, prof_report) = run(true);
+        assert_eq!(plain_seen, prof_seen, "profiling must not perturb the run");
+        assert!(
+            !plain_report.to_json().contains("profile"),
+            "profiling off → no profile section"
+        );
+        assert_eq!(
+            prof_report.without_profile().to_json(),
+            plain_report.to_json(),
+            "stripped profiled report matches the plain one byte-for-byte"
+        );
+        assert_eq!(prof_report.profile_get("dispatch.recorder.Even"), 8);
+        assert_eq!(prof_report.profile_get("dispatch.recorder.Odd"), 8);
+        assert_eq!(prof_report.profile_get("dispatch.recorder.Wake"), 1);
+        assert_eq!(prof_report.profile_get("dispatch.burst.Even"), 1);
+        // 16 bursts + 1 trigger + 1 wake.
+        assert_eq!(prof_report.profile_get("events.total"), 18);
+        assert!(prof_report.profile_get("queue.hwm") >= 1);
+        assert!(prof_report.profile_get("inflight.recorder.hwm") >= 1);
+    }
+
+    #[test]
+    fn epoch_series_lands_in_the_report() {
+        let mut b = SimBuilder::new(2);
+        let rec = b.add(Box::new(Recorder::new()));
+        b.profile(xg_prof::ProfileConfig {
+            epoch_cycles: 10,
+            host_time_sample: 0,
+            ..xg_prof::ProfileConfig::on()
+        });
+        let mut sim = b.build();
+        for i in 0..4 {
+            sim.post_wake(rec, 1 + i * 10, 0);
+        }
+        assert!(sim.run_to_quiescence(1_000).quiescent);
+        let report = sim.report();
+        assert!(report.profile_get("epoch.0000.events") > 0);
+        assert!(report
+            .profile_entries()
+            .any(|(k, _)| k.starts_with("epoch.000") && k.ends_with(".qdepth")));
+    }
+
+    #[test]
+    fn timeline_collects_instants_and_spans() {
+        /// Traces deliveries and records a span when payload 2 arrives.
+        struct Spanner {
+            first_at: Option<Cycle>,
+        }
+        impl Component<u64> for Spanner {
+            fn name(&self) -> &str {
+                "spanner"
+            }
+            fn handle(&mut self, _from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+                ctx.trace(0x40, "S", "Deliver", || format!("payload={msg}"));
+                if msg == 0 {
+                    self.first_at = Some(ctx.now());
+                } else if let Some(start) = self.first_at {
+                    ctx.span(0x40, "grant", start);
+                }
+                ctx.note_progress();
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut b = SimBuilder::new(4);
+        let s = b.add(Box::new(Spanner { first_at: None }));
+        let mut sim = b.build();
+        assert!(sim.timeline_json().is_none(), "no timeline by default");
+        sim.enable_timeline(xg_prof::TimelineConfig::new());
+        sim.post(s, s, 0);
+        sim.post(s, s, 1);
+        assert!(sim.run_to_quiescence(1_000).quiescent);
+        let json = sim.timeline_json().expect("timeline enabled");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("spanner"), "component track named: {json}");
+        assert!(json.contains("\"ph\":\"i\""), "instants recorded: {json}");
+        assert!(json.contains("\"ph\":\"X\""), "span recorded: {json}");
+        assert!(json.contains("\"name\":\"grant\""));
     }
 
     #[test]

@@ -19,6 +19,8 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 
+use xg_prof::Timeline;
+
 /// How much the tracer records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum TraceLevel {
@@ -122,6 +124,12 @@ pub struct Tracer {
     rings: BTreeMap<u64, VecDeque<TraceEvent>>,
     flags: Vec<PostMortemFlag>,
     dropped: u64,
+    /// Optional transaction timeline (`xg-prof`). When present, every
+    /// [`crate::Ctx::trace`] record also lands as an instant event on the
+    /// component's timeline track, and [`crate::Ctx::span`] records
+    /// per-address lifecycle spans. `None` (the default) costs one branch
+    /// per call site.
+    timeline: Option<Timeline>,
 }
 
 impl Tracer {
@@ -132,7 +140,30 @@ impl Tracer {
             rings: BTreeMap::new(),
             flags: Vec::new(),
             dropped: 0,
+            timeline: None,
         }
+    }
+
+    /// Installs a timeline recorder. Usually called through
+    /// [`crate::Simulator::enable_timeline`], which also names the
+    /// component tracks.
+    pub fn set_timeline(&mut self, timeline: Timeline) {
+        self.timeline = Some(timeline);
+    }
+
+    /// The timeline recorder, if one is installed.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_ref()
+    }
+
+    /// Mutable access to the timeline recorder, if one is installed.
+    pub fn timeline_mut(&mut self) -> Option<&mut Timeline> {
+        self.timeline.as_mut()
+    }
+
+    /// Removes and returns the timeline recorder.
+    pub fn take_timeline(&mut self) -> Option<Timeline> {
+        self.timeline.take()
     }
 
     /// The active configuration.
