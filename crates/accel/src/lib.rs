@@ -27,6 +27,8 @@
 //! supported end-to-end ([`AccelL1Config::block_blocks`]); Crossing Guard
 //! performs the merge/split (paper §2.5).
 
+#![forbid(unsafe_code)]
+
 pub mod l1;
 pub mod l2;
 

@@ -1,0 +1,410 @@
+//! Kernel hot-path micro-benchmarks, with a CI perf-regression gate.
+//!
+//! Times the three data structures the simulator kernel's event loop
+//! lives in, each against the reference implementation it replaced:
+//!
+//! * **scheduler** — [`CalendarQueue`] push/pop versus a `BinaryHeap`
+//!   ordered by `(time, seq)`, at three horizons: *dense* (deltas 1–8,
+//!   everything in the wheel, heavy same-slot FIFO traffic), *sparse*
+//!   (deltas 1–512, wheel still covers the window but slots are cold),
+//!   and *overflow* (deltas beyond the wheel window, exercising the
+//!   overflow heap and migrate path);
+//! * **slab** — [`Slab`] insert/take recycling versus `Box::new`/drop of
+//!   the same payload (the per-hop allocation the slab eliminated);
+//! * **fsm** — packed-table [`Machine::resolve`] dispatch versus a
+//!   hand-written match over the same toy protocol.
+//!
+//! With `XG_PERF_GATE=1` in the environment, the bench *asserts* against
+//! the committed integer baselines in `BENCH_kernel.json`. The gated keys
+//! are speedup ratios (optimized vs reference, in parts-per-thousand), so
+//! they transfer across machines; a ratio more than [`GATE_TOLERANCE_PCT`]
+//! percent below its committed value fails the run. Raw ns/op numbers are
+//! recorded alongside for humans but never gated. With `XG_PERF_REGEN=1`
+//! the bench rewrites `BENCH_kernel.json` in place.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xg_fsm::{alphabet, Alphabet, Machine, Resolution, Table, TableBuilder};
+use xg_sim::{CalendarQueue, Cycle, Slab};
+
+/// Events per timed scheduler run.
+const SCHED_OPS: usize = 20_000;
+/// Alloc/free pairs per timed slab run.
+const SLAB_OPS: usize = 20_000;
+/// Lookups per timed FSM run.
+const FSM_OPS: usize = 20_000;
+/// Timed samples per measurement when gating or regenerating (the
+/// minimum over samples is the estimator least sensitive to noise).
+const GATE_SAMPLES: usize = 30;
+/// Allowed regression of any gated ratio, in percent.
+const GATE_TOLERANCE_PCT: u64 = 25;
+/// Committed baseline file, relative to the workspace root.
+const BASELINE: &str = "BENCH_kernel.json";
+
+// --- scheduler -----------------------------------------------------------
+
+/// A steady-state scheduler workload: hold ~256 events in flight, each
+/// pop re-pushing one event `delta` cycles ahead (deltas drawn from
+/// `deltas` round-robin, pre-generated so both queues see identical
+/// schedules and the RNG never appears in the timed region).
+struct SchedWorkload {
+    deltas: Vec<u64>,
+}
+
+impl SchedWorkload {
+    fn new(seed: u64, lo: u64, hi: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        SchedWorkload {
+            deltas: (0..SCHED_OPS).map(|_| rng.gen_range(lo..=hi)).collect(),
+        }
+    }
+
+    fn run_calendar(&self) -> u64 {
+        let mut q = CalendarQueue::new();
+        for i in 0..256u64 {
+            q.push(Cycle::new(i % 8), i);
+        }
+        let mut acc = 0u64;
+        for &delta in &self.deltas {
+            let (t, v) = q.pop().expect("steady-state queue never drains");
+            acc ^= t.as_u64().wrapping_add(v);
+            q.push(t + delta, v);
+        }
+        acc
+    }
+
+    fn run_heap(&self) -> u64 {
+        let mut q: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for i in 0..256u64 {
+            q.push(Reverse((i % 8, seq, i)));
+            seq += 1;
+        }
+        let mut acc = 0u64;
+        for &delta in &self.deltas {
+            let Reverse((t, _, v)) = q.pop().expect("steady-state heap never drains");
+            acc ^= t.wrapping_add(v);
+            q.push(Reverse((t + delta, seq, v)));
+            seq += 1;
+        }
+        acc
+    }
+}
+
+// --- slab ----------------------------------------------------------------
+
+/// A stand-in for the simulator's message payloads: big enough that the
+/// allocator does real work, `Clone` like a real message.
+#[derive(Clone)]
+struct Payload {
+    words: [u64; 12],
+}
+
+fn payload(i: u64) -> Payload {
+    Payload { words: [i; 12] }
+}
+
+/// Insert/take churn with ~64 payloads in flight, freeing the oldest —
+/// the simulator's pattern (messages parked for one hop, FIFO-ish).
+fn run_slab() -> u64 {
+    let mut slab = Slab::new();
+    let mut live = std::collections::VecDeque::new();
+    let mut acc = 0u64;
+    for i in 0..SLAB_OPS as u64 {
+        live.push_back(slab.insert(payload(i)));
+        if live.len() > 64 {
+            let id = live.pop_front().expect("nonempty");
+            acc ^= slab.take(id).words[0];
+        }
+    }
+    acc
+}
+
+fn run_boxes() -> u64 {
+    let mut live = std::collections::VecDeque::new();
+    let mut acc = 0u64;
+    for i in 0..SLAB_OPS as u64 {
+        live.push_back(Box::new(payload(i)));
+        if live.len() > 64 {
+            let b = live.pop_front().expect("nonempty");
+            acc ^= b.words[0];
+        }
+    }
+    acc
+}
+
+// --- fsm -----------------------------------------------------------------
+
+alphabet! {
+    enum KSt {
+        Idle,
+        Shared,
+        Excl,
+        Pending,
+    }
+}
+
+alphabet! {
+    enum KEv {
+        Load,
+        Store,
+        Inv,
+        Ack,
+    }
+}
+
+alphabet! {
+    enum KAct {
+        Fwd,
+        Reply,
+        Mark,
+    }
+}
+
+fn kernel_table() -> &'static Table<KSt, KEv, KAct> {
+    static T: std::sync::OnceLock<Table<KSt, KEv, KAct>> = std::sync::OnceLock::new();
+    T.get_or_init(|| {
+        let mut b = TableBuilder::new("bench_kernel");
+        b.on(KSt::Idle, KEv::Load, &[KAct::Fwd], KSt::Shared);
+        b.on(KSt::Idle, KEv::Store, &[KAct::Fwd, KAct::Mark], KSt::Excl);
+        b.on(KSt::Shared, KEv::Load, &[KAct::Reply], KSt::Shared);
+        b.on(
+            KSt::Shared,
+            KEv::Store,
+            &[KAct::Fwd, KAct::Mark],
+            KSt::Pending,
+        );
+        b.on(KSt::Shared, KEv::Inv, &[KAct::Reply], KSt::Idle);
+        b.on(KSt::Excl, KEv::Load, &[KAct::Reply], KSt::Excl);
+        b.on(KSt::Excl, KEv::Store, &[], KSt::Excl);
+        b.on(KSt::Excl, KEv::Inv, &[KAct::Reply, KAct::Mark], KSt::Idle);
+        b.stall(KSt::Pending, KEv::Load);
+        b.stall(KSt::Pending, KEv::Store);
+        b.stall(KSt::Pending, KEv::Inv);
+        b.on(KSt::Pending, KEv::Ack, &[KAct::Mark], KSt::Excl);
+        b.violation_rest();
+        b.build().expect("bench table valid")
+    })
+}
+
+/// The same protocol as a hand-written match — what an unpacked,
+/// non-table-driven controller would compile to.
+fn match_resolve(state: KSt, event: KEv) -> (u8, u64) {
+    match (state, event) {
+        (KSt::Idle, KEv::Load) => (0, 1),
+        (KSt::Idle, KEv::Store) => (0, 2),
+        (KSt::Shared, KEv::Load) => (0, 1),
+        (KSt::Shared, KEv::Store) => (0, 2),
+        (KSt::Shared, KEv::Inv) => (0, 1),
+        (KSt::Excl, KEv::Load) => (0, 1),
+        (KSt::Excl, KEv::Store) => (0, 0),
+        (KSt::Excl, KEv::Inv) => (0, 2),
+        (KSt::Pending, KEv::Ack) => (0, 1),
+        (KSt::Pending, _) => (1, 0),
+        _ => (2, 0),
+    }
+}
+
+/// Pre-generated `(state, event)` stream hitting every row class.
+fn fsm_stream(seed: u64) -> Vec<(KSt, KEv)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..FSM_OPS)
+        .map(|_| {
+            (
+                KSt::ALL[rng.gen_range(0..KSt::ALL.len())],
+                KEv::ALL[rng.gen_range(0..KEv::ALL.len())],
+            )
+        })
+        .collect()
+}
+
+fn run_packed(machine: &mut Machine<KSt, KEv, KAct>, stream: &[(KSt, KEv)]) -> u64 {
+    let mut acc = 0u64;
+    for &(s, e) in stream {
+        acc = acc.wrapping_add(match machine.resolve(s, e) {
+            Resolution::Transition { actions, .. } => actions.len() as u64,
+            Resolution::Stall => 100,
+            Resolution::Violation => 200,
+        });
+    }
+    acc
+}
+
+fn run_match(stream: &[(KSt, KEv)]) -> u64 {
+    let mut acc = 0u64;
+    for &(s, e) in stream {
+        let (kind, n) = match_resolve(s, e);
+        acc = acc.wrapping_add(match kind {
+            0 => n,
+            1 => 100,
+            _ => 200,
+        });
+    }
+    acc
+}
+
+// --- gate ----------------------------------------------------------------
+
+/// Minimum wall-clock seconds over `samples` runs (after one warm-up).
+fn min_secs(mut f: impl FnMut() -> u64, samples: usize) -> f64 {
+    black_box(f());
+    (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Speedup of `fast` over `slow` in parts-per-thousand (1000 = parity).
+fn ratio_ppt(slow: f64, fast: f64) -> u64 {
+    (slow / fast * 1000.0).round() as u64
+}
+
+fn measure_ratios() -> Vec<(&'static str, u64, u64)> {
+    // (key, ratio_ppt, optimized ns/op) per measurement.
+    let mut out = Vec::new();
+    let horizons: [(&str, u64, u64); 3] = [
+        ("dense", 1, 8),
+        ("sparse", 1, 512),
+        ("overflow", 4096, 65_536),
+    ];
+    for (name, lo, hi) in horizons {
+        let w = SchedWorkload::new(0xC0FFEE, lo, hi);
+        let cal = min_secs(|| w.run_calendar(), GATE_SAMPLES);
+        let heap = min_secs(|| w.run_heap(), GATE_SAMPLES);
+        out.push((
+            match name {
+                "dense" => "queue_vs_heap_dense_ppt",
+                "sparse" => "queue_vs_heap_sparse_ppt",
+                _ => "queue_vs_heap_overflow_ppt",
+            },
+            ratio_ppt(heap, cal),
+            (cal * 1e9 / SCHED_OPS as f64).round() as u64,
+        ));
+    }
+    let slab = min_secs(run_slab, GATE_SAMPLES);
+    let boxes = min_secs(run_boxes, GATE_SAMPLES);
+    out.push((
+        "slab_vs_box_ppt",
+        ratio_ppt(boxes, slab),
+        (slab * 1e9 / SLAB_OPS as f64).round() as u64,
+    ));
+    let stream = fsm_stream(0xFACADE);
+    let mut machine = Machine::new(kernel_table());
+    let packed = min_secs(|| run_packed(&mut machine, &stream), GATE_SAMPLES);
+    let matched = min_secs(|| run_match(&stream), GATE_SAMPLES);
+    out.push((
+        "fsm_packed_vs_match_ppt",
+        ratio_ppt(matched, packed),
+        (packed * 1e9 / FSM_OPS as f64).round() as u64,
+    ));
+    out
+}
+
+/// Locates `BENCH_kernel.json` next to the workspace `Cargo.toml` (the
+/// bench runs with the crate as cwd under some invocations).
+fn baseline_path() -> std::path::PathBuf {
+    let mut dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.join(BASELINE)
+}
+
+fn write_baseline(ratios: &[(&'static str, u64, u64)]) {
+    let mut s = String::from("{\n");
+    s.push_str("  \"_comment\": \"Kernel perf-gate baselines. *_ppt keys are optimized-vs-reference speedups in parts-per-thousand (machine-independent, gated at 25% regression by XG_PERF_GATE=1); *_ns_per_op keys are informational only. Regenerate: XG_PERF_REGEN=1 cargo bench -p xg-bench --bench kernel\",\n");
+    for (key, ppt, _) in ratios {
+        s.push_str(&format!("  \"{key}\": {ppt},\n"));
+    }
+    for (i, (key, _, ns)) in ratios.iter().enumerate() {
+        let stem = key.trim_end_matches("_ppt");
+        let comma = if i + 1 == ratios.len() { "" } else { "," };
+        s.push_str(&format!("  \"{stem}_ns_per_op\": {ns}{comma}\n"));
+    }
+    s.push_str("}\n");
+    std::fs::write(baseline_path(), s).expect("write BENCH_kernel.json");
+}
+
+/// Minimal flat-JSON integer extraction (the file is machine-written).
+fn read_baseline_key(text: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let rest = &text[text.find(&tag)? + tag.len()..];
+    let rest = rest.trim_start();
+    let end = rest.find(|c: char| !c.is_ascii_digit())?;
+    rest[..end].parse().ok()
+}
+
+fn gate(ratios: &[(&'static str, u64, u64)]) {
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("perf gate needs {}: {e}", path.display()));
+    let mut failures = Vec::new();
+    for (key, got, _) in ratios {
+        let want = read_baseline_key(&text, key)
+            .unwrap_or_else(|| panic!("baseline missing gated key {key}"));
+        let floor = want * (100 - GATE_TOLERANCE_PCT) / 100;
+        let verdict = if *got < floor { "FAIL" } else { "ok" };
+        eprintln!("perf gate: {key} = {got} (baseline {want}, floor {floor}) {verdict}");
+        if *got < floor {
+            failures.push(format!("{key}: {got} < floor {floor} (baseline {want})"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "kernel perf gate: ratio regressed >{GATE_TOLERANCE_PCT}% vs {BASELINE}:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+// --- criterion entry points ----------------------------------------------
+
+fn bench(c: &mut Criterion) {
+    let dense = SchedWorkload::new(0xC0FFEE, 1, 8);
+    let sparse = SchedWorkload::new(0xC0FFEE, 1, 512);
+    let overflow = SchedWorkload::new(0xC0FFEE, 4096, 65_536);
+    c.bench_function("kernel/queue_dense_20k", |b| {
+        b.iter(|| dense.run_calendar())
+    });
+    c.bench_function("kernel/heap_dense_20k", |b| b.iter(|| dense.run_heap()));
+    c.bench_function("kernel/queue_sparse_20k", |b| {
+        b.iter(|| sparse.run_calendar())
+    });
+    c.bench_function("kernel/heap_sparse_20k", |b| b.iter(|| sparse.run_heap()));
+    c.bench_function("kernel/queue_overflow_20k", |b| {
+        b.iter(|| overflow.run_calendar())
+    });
+    c.bench_function("kernel/heap_overflow_20k", |b| {
+        b.iter(|| overflow.run_heap())
+    });
+    c.bench_function("kernel/slab_churn_20k", |b| b.iter(run_slab));
+    c.bench_function("kernel/box_churn_20k", |b| b.iter(run_boxes));
+    let stream = fsm_stream(0xFACADE);
+    let mut machine = Machine::new(kernel_table());
+    c.bench_function("kernel/fsm_packed_20k", |b| {
+        b.iter(|| run_packed(&mut machine, &stream))
+    });
+    c.bench_function("kernel/fsm_match_20k", |b| b.iter(|| run_match(&stream)));
+
+    let regen = std::env::var("XG_PERF_REGEN").as_deref() == Ok("1");
+    let gate_on = std::env::var("XG_PERF_GATE").as_deref() == Ok("1");
+    if regen || gate_on {
+        let ratios = measure_ratios();
+        if regen {
+            write_baseline(&ratios);
+            eprintln!("perf gate: wrote {}", baseline_path().display());
+        }
+        if gate_on {
+            gate(&ratios);
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

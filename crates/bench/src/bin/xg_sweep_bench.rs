@@ -11,9 +11,10 @@
 //!   marks, epoch series — must match exactly too: the determinism
 //!   guarantee the sweep executor makes);
 //! * writes `BENCH_sweep.json` with wall-clock times, aggregate
-//!   simulated-op throughput, the parallel speedup, and a `profile`
-//!   section (total dispatches, queue high-water mark, top event types)
-//!   so the repo carries a reviewable perf trajectory.
+//!   simulated-op and dispatched-event throughput, the parallel speedup,
+//!   and a `profile` section (total dispatches, queue high-water mark,
+//!   scheduler operation counters, top event types) so the repo carries a
+//!   reviewable perf trajectory.
 //!
 //! ```text
 //! cargo run --release -p xg-bench --bin xg-sweep-bench -- --out BENCH_sweep.json
@@ -106,6 +107,13 @@ fn profile_section(report: &Report) -> JsonValue {
     for (class, count) in ranked {
         top.insert(class, JsonValue::Num(count));
     }
+    let mut sched = BTreeMap::new();
+    for key in ["pushes", "pops", "overflow", "migrated", "rebases"] {
+        sched.insert(
+            key.to_owned(),
+            JsonValue::Num(report.profile_get(&format!("sched.{key}"))),
+        );
+    }
     let mut section = BTreeMap::new();
     section.insert(
         "events_total".to_owned(),
@@ -115,6 +123,7 @@ fn profile_section(report: &Report) -> JsonValue {
         "queue_hwm".to_owned(),
         JsonValue::Num(report.profile_get("queue.hwm")),
     );
+    section.insert("sched".to_owned(), JsonValue::Obj(sched));
     section.insert("top_events".to_owned(), JsonValue::Obj(top));
     JsonValue::Obj(section)
 }
@@ -127,9 +136,11 @@ fn bench_json(
     serial_ms: f64,
     parallel_ms: f64,
     total_ops: u64,
+    total_events: u64,
     profile: JsonValue,
 ) -> JsonValue {
     let ops_per_sec = |ms: f64| (total_ops as f64 / (ms / 1e3).max(1e-9)) as u64;
+    let events_per_sec = |ms: f64| (total_events as f64 / (ms / 1e3).max(1e-9)) as u64;
     let speedup_milli = (serial_ms / parallel_ms.max(1e-9) * 1e3) as u64;
     let mut doc = BTreeMap::new();
     doc.insert(
@@ -155,6 +166,16 @@ fn bench_json(
     doc.insert(
         "parallel_ops_per_sec".to_owned(),
         JsonValue::Num(ops_per_sec(parallel_ms)),
+    );
+    // Kernel throughput in dispatched events (the figure the hot-path
+    // work moves): machine-dependent, informational, never gated.
+    doc.insert(
+        "serial_events_per_sec".to_owned(),
+        JsonValue::Num(events_per_sec(serial_ms)),
+    );
+    doc.insert(
+        "parallel_events_per_sec".to_owned(),
+        JsonValue::Num(events_per_sec(parallel_ms)),
     );
     doc.insert("speedup_milli".to_owned(), JsonValue::Num(speedup_milli));
     doc.insert(
@@ -263,6 +284,7 @@ fn main() {
         serial_ms,
         parallel_ms,
         total_ops,
+        serial_report.profile_get("events.total"),
         profile_section(&serial_report),
     );
 

@@ -13,6 +13,8 @@
 //! Scale is a knob, not a fork: [`Scale::Quick`] for CI, [`Scale::Full`]
 //! for the report.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod profile;
 pub mod table;

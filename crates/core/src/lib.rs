@@ -41,6 +41,8 @@
 //! exactly one response per request whenever it is behaving well enough to
 //! deserve one.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod guard;
 pub mod hammer_side;

@@ -2,7 +2,7 @@
 
 use xg_sim::TransitionCoverage;
 
-use crate::table::{NextState, RowKind, Table};
+use crate::table::{NextState, Table, KIND_STALL, KIND_TRANSITION};
 use crate::Alphabet;
 
 /// The outcome of resolving one `(state, event)` pair.
@@ -50,16 +50,21 @@ impl<S: Alphabet, E: Alphabet, A: Alphabet> Machine<S, E, A> {
     }
 
     /// Resolves `(state, event)` and bumps the row's fired counter.
+    ///
+    /// Hot path: one indexed load of the packed 8-byte row, one slice into
+    /// the table's shared action pool — no match-tree dispatch, no heap.
+    #[inline]
     pub fn resolve(&mut self, state: S, event: E) -> Resolution<S, A> {
         let idx = Table::<S, E, A>::cell_index(state, event);
         self.fired[idx] += 1;
-        match self.table.cell(idx) {
-            RowKind::Transition { actions, next } => Resolution::Transition {
-                actions: actions.as_slice(),
-                next: *next,
+        let row = self.table.packed(idx);
+        match row.kind {
+            KIND_TRANSITION => Resolution::Transition {
+                actions: self.table.pool_actions(row),
+                next: Table::<S, E, A>::unpack_next(row.next),
             },
-            RowKind::Stall => Resolution::Stall,
-            RowKind::Violation => Resolution::Violation,
+            KIND_STALL => Resolution::Stall,
+            _ => Resolution::Violation,
         }
     }
 
@@ -73,7 +78,7 @@ impl<S: Alphabet, E: Alphabet, A: Alphabet> Machine<S, E, A> {
         self.fired
             .iter()
             .enumerate()
-            .filter(|&(i, _)| matches!(self.table.cell(i), RowKind::Violation))
+            .filter(|&(i, _)| self.table.is_violation(i))
             .map(|(_, &n)| n)
             .sum()
     }
@@ -85,7 +90,7 @@ impl<S: Alphabet, E: Alphabet, A: Alphabet> Machine<S, E, A> {
     pub fn coverage(&self) -> TransitionCoverage {
         let mut cov = TransitionCoverage::new();
         for (i, &n) in self.fired.iter().enumerate() {
-            if matches!(self.table.cell(i), RowKind::Violation) {
+            if self.table.is_violation(i) {
                 continue;
             }
             let (s, e) = Table::<S, E, A>::cell_coords(i);

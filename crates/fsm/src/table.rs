@@ -189,27 +189,89 @@ impl<S: Alphabet, E: Alphabet, A: Alphabet> TableBuilder<S, E, A> {
                 missing,
             });
         }
+        // Compile the declared rows into the packed flat form: one 8-byte
+        // row per cell, all action lists concatenated into one pool.
+        assert!(
+            S::ALL.len() < usize::from(NEXT_DYNAMIC),
+            "state alphabet too large for the packed row encoding"
+        );
+        let mut rows = Vec::with_capacity(self.cells.len());
+        let mut pool: Vec<A> = Vec::new();
+        for cell in &self.cells {
+            let row = match cell.as_ref().expect("checked total") {
+                RowKind::Transition { actions, next } => {
+                    let act_off =
+                        u32::try_from(pool.len()).expect("action pool exceeds u32 offsets");
+                    let act_len = u8::try_from(actions.len()).expect("action list longer than 255");
+                    pool.extend(actions.iter().copied());
+                    let next = match next {
+                        NextState::To(s) => s.index() as u16,
+                        NextState::Dynamic => NEXT_DYNAMIC,
+                    };
+                    PackedRow {
+                        kind: KIND_TRANSITION,
+                        act_len,
+                        next,
+                        act_off,
+                    }
+                }
+                RowKind::Stall => PackedRow {
+                    kind: KIND_STALL,
+                    act_len: 0,
+                    next: NEXT_DYNAMIC,
+                    act_off: 0,
+                },
+                RowKind::Violation => PackedRow {
+                    kind: KIND_VIOLATION,
+                    act_len: 0,
+                    next: NEXT_DYNAMIC,
+                    act_off: 0,
+                },
+            };
+            rows.push(row);
+        }
         Ok(Table {
             name: self.name,
-            cells: self
-                .cells
-                .iter()
-                .map(|c| c.clone().expect("checked total"))
-                .collect(),
-            _events: std::marker::PhantomData,
+            rows: rows.into_boxed_slice(),
+            actions: pool.into_boxed_slice(),
+            _marker: std::marker::PhantomData,
         })
     }
 }
 
-/// A validated, immutable `(State, Event) -> RowKind` transition table.
+/// `PackedRow::next` value meaning [`NextState::Dynamic`].
+const NEXT_DYNAMIC: u16 = u16::MAX;
+pub(crate) const KIND_TRANSITION: u8 = 0;
+pub(crate) const KIND_STALL: u8 = 1;
+pub(crate) const KIND_VIOLATION: u8 = 2;
+
+/// One compiled `(state, event)` cell: 8 bytes of plain data, resolved by
+/// direct index lookup with no pointer chase. Action lists live in the
+/// table's shared pool at `act_off .. act_off + act_len`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PackedRow {
+    /// One of [`KIND_TRANSITION`], [`KIND_STALL`], [`KIND_VIOLATION`].
+    pub(crate) kind: u8,
+    pub(crate) act_len: u8,
+    /// Successor state index, or [`NEXT_DYNAMIC`].
+    pub(crate) next: u16,
+    pub(crate) act_off: u32,
+}
+
+/// A validated, immutable `(State, Event) -> RowKind` transition table,
+/// compiled to a flat array of packed 8-byte rows plus one shared action
+/// pool. Resolving a cell is two indexed loads — no per-row heap
+/// allocations, no match-tree dispatch.
 ///
 /// Tables are built once (typically into a `OnceLock` static) and shared by
 /// every controller instance of that machine kind; per-instance fired
 /// counters live in [`Machine`](crate::Machine).
 pub struct Table<S: Alphabet, E: Alphabet, A: Alphabet> {
     name: &'static str,
-    cells: Vec<RowKind<S, A>>,
-    _events: std::marker::PhantomData<E>,
+    rows: Box<[PackedRow]>,
+    /// Concatenated action lists of every transition row.
+    actions: Box<[A]>,
+    _marker: std::marker::PhantomData<fn() -> (S, E)>,
 }
 
 impl<S: Alphabet, E: Alphabet, A: Alphabet> Table<S, E, A> {
@@ -228,36 +290,75 @@ impl<S: Alphabet, E: Alphabet, A: Alphabet> Table<S, E, A> {
 
     /// Number of cells (`|S| * |E|`).
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.rows.len()
     }
 
     /// A table over non-empty alphabets is never empty.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.rows.is_empty()
     }
 
-    /// The resolved row for a `(state, event)` pair.
-    pub fn row(&self, state: S, event: E) -> &RowKind<S, A> {
-        &self.cells[Self::cell_index(state, event)]
+    /// The packed cell at `index` (the hot-path representation).
+    #[inline]
+    pub(crate) fn packed(&self, index: usize) -> PackedRow {
+        self.rows[index]
     }
 
-    pub(crate) fn cell(&self, index: usize) -> &RowKind<S, A> {
-        &self.cells[index]
+    /// The action-pool slice of a packed transition row.
+    #[inline]
+    pub(crate) fn pool_actions(&self, row: PackedRow) -> &[A] {
+        &self.actions[row.act_off as usize..row.act_off as usize + usize::from(row.act_len)]
+    }
+
+    /// Decodes a packed successor-state field.
+    #[inline]
+    pub(crate) fn unpack_next(next: u16) -> NextState<S> {
+        if next == NEXT_DYNAMIC {
+            NextState::Dynamic
+        } else {
+            NextState::To(S::ALL[usize::from(next)])
+        }
+    }
+
+    /// Whether the cell at `index` is a violation row (kind test only — no
+    /// row materialization).
+    #[inline]
+    pub(crate) fn is_violation(&self, index: usize) -> bool {
+        self.rows[index].kind == KIND_VIOLATION
+    }
+
+    /// The resolved row for a `(state, event)` pair, materialized from the
+    /// packed form (introspection/dump path; the hot path resolves through
+    /// [`Machine::resolve`](crate::Machine::resolve) without allocating).
+    pub fn row(&self, state: S, event: E) -> RowKind<S, A> {
+        self.cell(Self::cell_index(state, event))
+    }
+
+    pub(crate) fn cell(&self, index: usize) -> RowKind<S, A> {
+        let row = self.rows[index];
+        match row.kind {
+            KIND_TRANSITION => RowKind::Transition {
+                actions: self.pool_actions(row).to_vec(),
+                next: Self::unpack_next(row.next),
+            },
+            KIND_STALL => RowKind::Stall,
+            _ => RowKind::Violation,
+        }
     }
 
     /// Iterates every cell as `(state, event, row)`, in state-major order.
-    pub fn rows(&self) -> impl Iterator<Item = (S, E, &RowKind<S, A>)> + '_ {
-        self.cells.iter().enumerate().map(|(i, row)| {
+    pub fn rows(&self) -> impl Iterator<Item = (S, E, RowKind<S, A>)> + '_ {
+        (0..self.rows.len()).map(|i| {
             let (s, e) = Self::cell_coords(i);
-            (s, e, row)
+            (s, e, self.cell(i))
         })
     }
 
     /// Number of legal rows (transitions + stalls): the coverage universe.
     pub fn legal_rows(&self) -> usize {
-        self.cells
+        self.rows
             .iter()
-            .filter(|r| !matches!(r, RowKind::Violation))
+            .filter(|r| r.kind != KIND_VIOLATION)
             .count()
     }
 }

@@ -31,6 +31,8 @@
 //!   `(SystemConfig, seed)` shards across cores, with results returned in
 //!   submission order so parallel sweeps are byte-identical to serial ones.
 
+#![forbid(unsafe_code)]
+
 pub mod campaign;
 pub mod config;
 pub mod fuzz;

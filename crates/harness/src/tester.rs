@@ -17,6 +17,7 @@
 //! [`TesterShared::target_ops`] to scale up).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rand::Rng;
@@ -26,12 +27,51 @@ use xg_sim::{Component, NodeId, Report};
 
 /// Handle to the state shared by every tester core in one run.
 ///
-/// An `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>` so tester cores — and
-/// the systems containing them — are [`Send`] and whole simulations can be
-/// fanned across worker threads by [`crate::sweep`]. Within one simulation
-/// the lock is always uncontended (the simulator is single-threaded), so
-/// this costs a few nanoseconds per operation, not a scalability hazard.
-pub type SharedTester = Arc<Mutex<TesterShared>>;
+/// A `Mutex` (not `RefCell`) so tester cores — and the systems containing
+/// them — are [`Send`] and whole simulations can be fanned across worker
+/// threads by [`crate::sweep`]. Within one simulation the lock is always
+/// uncontended (the simulator is single-threaded), so it costs a few
+/// nanoseconds per operation — but the polling wake loop runs hundreds of
+/// times per completed operation, so its done-check reads a lock-free
+/// mirror ([`TesterHub::done_fast`]) instead of taking even an uncontended
+/// lock.
+pub type SharedTester = Arc<TesterHub>;
+
+/// [`TesterShared`] behind its lock, plus hot-path mirrors of the fields
+/// the per-wake polling loop reads.
+///
+/// Derefs to the inner `Mutex`, so `shared.lock().unwrap()` keeps working
+/// for everything off the hot path.
+#[derive(Debug)]
+pub struct TesterHub {
+    inner: Mutex<TesterShared>,
+    /// Mirror of [`TesterShared::done`], refreshed by the single code path
+    /// that bumps `completed` (and therefore exact, not approximate —
+    /// `target_ops` is fixed at construction).
+    done: AtomicBool,
+}
+
+impl TesterHub {
+    /// Lock-free equivalent of `lock().unwrap().done()`.
+    #[inline]
+    pub fn done_fast(&self) -> bool {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Refreshes the lock-free done mirror; call after bumping `completed`.
+    fn publish_done(&self, done: bool) {
+        if done {
+            self.done.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::ops::Deref for TesterHub {
+    type Target = Mutex<TesterShared>;
+    fn deref(&self) -> &Mutex<TesterShared> {
+        &self.inner
+    }
+}
 
 /// State shared by every tester core in one run.
 #[derive(Debug)]
@@ -54,18 +94,22 @@ pub struct TesterShared {
 impl TesterShared {
     /// Creates shared state for `total_cores` testers aiming for
     /// `target_ops` completed operations.
+    #[allow(clippy::new_ret_no_self)] // returns the hub wrapper, by design
     pub fn new(total_cores: usize, target_ops: u64) -> SharedTester {
-        Arc::new(Mutex::new(TesterShared {
-            total_cores,
-            target_ops,
-            completed: 0,
-            data_errors: 0,
-            errors_by_core: HashMap::new(),
-            error_log: Vec::new(),
-            corrupted: Vec::new(),
-            issued: HashMap::new(),
-            last_seen: HashMap::new(),
-        }))
+        Arc::new(TesterHub {
+            inner: Mutex::new(TesterShared {
+                total_cores,
+                target_ops,
+                completed: 0,
+                data_errors: 0,
+                errors_by_core: HashMap::new(),
+                error_log: Vec::new(),
+                corrupted: Vec::new(),
+                issued: HashMap::new(),
+                last_seen: HashMap::new(),
+            }),
+            done: AtomicBool::new(target_ops == 0),
+        })
     }
 
     /// The unique writer core for a word address.
@@ -302,17 +346,20 @@ impl Component<Message> for TesterCore {
         {
             let mut shared = self.shared.lock().unwrap();
             shared.completed += 1;
+            let done = shared.done();
+            drop(shared);
+            self.shared.publish_done(done);
         }
         ctx.note_progress();
         // Immediately consider issuing again (the wake loop also runs).
-        if !self.shared.lock().unwrap().done() && self.in_flight.len() < self.cfg.max_in_flight {
+        if !self.shared.done_fast() && self.in_flight.len() < self.cfg.max_in_flight {
             let delay = ctx.rng().gen_range(self.cfg.think.0..=self.cfg.think.1);
             ctx.wake_in(delay, 0);
         }
     }
 
     fn wake(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
-        if self.shared.lock().unwrap().done() {
+        if self.shared.done_fast() {
             return;
         }
         if self.in_flight.len() < self.cfg.max_in_flight {

@@ -39,6 +39,8 @@
 //! Stable states `M O E S I`; transients `IS ISO IM SM OM WB WB_I`.
 //! See [`cache`] for the full matrix.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod directory;
 

@@ -29,6 +29,8 @@
 //! accelerator's behalf. Toggle with [`MesiL2Config::ack_data_interchange`]
 //! — the ablation benches measure the unmodified baseline failing.
 
+#![forbid(unsafe_code)]
+
 pub mod l1;
 pub mod l2;
 

@@ -25,6 +25,8 @@
 //! assert_eq!(d.read_u64(0), 42);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod addr;
 mod cache;
 mod data;

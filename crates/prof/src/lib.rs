@@ -25,6 +25,8 @@
 //! therefore speaks in component *indices* and lets the simulator supply
 //! component names at dump time.
 
+#![forbid(unsafe_code)]
+
 // ---------------------------------------------------------------------------
 // Profiler
 // ---------------------------------------------------------------------------

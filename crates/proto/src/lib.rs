@@ -19,6 +19,8 @@
 //! that Crossing Guard tolerates arbitrary garbage while host controllers
 //! merely count (rather than crash on) impossible events.
 
+#![forbid(unsafe_code)]
+
 mod error;
 mod messages;
 

@@ -1,83 +1,33 @@
-//! Internal event queue plumbing.
-
-use std::cmp::Ordering;
+//! Internal event plumbing: the payload the scheduler carries.
+//!
+//! Ordering lives in [`crate::queue::CalendarQueue`], which stamps every
+//! push with a global sequence number and pops in ascending `(time, seq)`
+//! order — the payload itself carries no ordering state.
+//!
+//! Message payloads are *not* carried inline: a queued delivery holds a
+//! [`SlabId`] into the simulator's message slab (see [`crate::slab`]).
+//! This keeps the scheduled event small and constant-sized regardless of
+//! the protocol's message type, so the wheel slots move a few dozen bytes
+//! per event instead of a max-variant-sized protocol enum — and timer
+//! wake-ups (the overwhelming majority of traffic in a polling workload)
+//! never pay for a payload they don't have.
 
 use crate::component::NodeId;
-use crate::time::Cycle;
+use crate::slab::SlabId;
 
 /// What happens when an event fires.
-#[derive(Debug)]
-pub(crate) enum EventKind<M> {
-    /// Deliver `msg` (sent by `from`) to the target component.
-    Deliver { from: NodeId, msg: M },
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EventKind {
+    /// Deliver the slab-parked message `msg` (sent by `from`) to the
+    /// target component.
+    Deliver { from: NodeId, msg: SlabId },
     /// Invoke the target component's `wake` with `token`.
     Wake { token: u64 },
 }
 
-/// A scheduled event. Ordered by `(time, seq)`; `seq` is a global counter so
-/// that simultaneous events fire in a deterministic (insertion) order.
-#[derive(Debug)]
-pub(crate) struct Event<M> {
-    pub time: Cycle,
-    pub seq: u64,
+/// A scheduled event: which component fires, and what it receives.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Pending {
     pub target: NodeId,
-    pub kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap and we want earliest-first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::collections::BinaryHeap;
-
-    fn ev(time: u64, seq: u64) -> Event<()> {
-        Event {
-            time: Cycle::new(time),
-            seq,
-            target: NodeId(0),
-            kind: EventKind::Wake { token: 0 },
-        }
-    }
-
-    #[test]
-    fn heap_pops_earliest_first() {
-        let mut h = BinaryHeap::new();
-        h.push(ev(5, 0));
-        h.push(ev(1, 1));
-        h.push(ev(5, 2));
-        h.push(ev(0, 3));
-        let order: Vec<(u64, u64)> = std::iter::from_fn(|| h.pop())
-            .map(|e| (e.time.as_u64(), e.seq))
-            .collect();
-        assert_eq!(order, vec![(0, 3), (1, 1), (5, 0), (5, 2)]);
-    }
-
-    #[test]
-    fn ties_break_by_sequence() {
-        let mut h = BinaryHeap::new();
-        h.push(ev(3, 10));
-        h.push(ev(3, 2));
-        h.push(ev(3, 7));
-        let order: Vec<u64> = std::iter::from_fn(|| h.pop()).map(|e| e.seq).collect();
-        assert_eq!(order, vec![2, 7, 10]);
-    }
+    pub kind: EventKind,
 }

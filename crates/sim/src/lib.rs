@@ -50,13 +50,17 @@
 //! assert!(outcome.quiescent);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod component;
 mod event;
 mod hist;
 mod json;
 mod link;
+pub mod queue;
 mod report;
 mod simulator;
+pub mod slab;
 mod time;
 mod trace;
 
@@ -75,8 +79,10 @@ pub fn trace_enabled() -> bool {
 pub use hist::Histogram;
 pub use json::{JsonError, JsonValue};
 pub use link::{FaultSpec, Link};
+pub use queue::{CalendarQueue, QueueStats};
 pub use report::{CoverageSet, Report, TransitionCoverage};
 pub use simulator::{Ctx, LinkFaultCounts, RunOutcome, SimBuilder, Simulator};
+pub use slab::{Slab, SlabId};
 pub use time::Cycle;
 pub use trace::{PostMortemFlag, TraceConfig, TraceEvent, TraceLevel, Tracer};
 pub use xg_prof::{

@@ -1,6 +1,6 @@
 //! The simulator proper: builder, event loop, and component context.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
@@ -8,9 +8,11 @@ use rand::{Rng, SeedableRng};
 use xg_prof::{ProfileConfig, Profiler, Timeline, TimelineConfig, PID_ADDRESSES, PID_COMPONENTS};
 
 use crate::component::{Component, NodeId};
-use crate::event::{Event, EventKind};
+use crate::event::{EventKind, Pending};
 use crate::link::Link;
+use crate::queue::{CalendarQueue, QueueStats};
 use crate::report::Report;
+use crate::slab::{Slab, SlabId};
 use crate::time::Cycle;
 use crate::trace::{TraceConfig, Tracer};
 
@@ -53,10 +55,14 @@ pub struct RunOutcome {
 }
 
 /// Deferred effect produced by a component while handling an event.
-enum Effect<M> {
+///
+/// Message payloads are parked in the simulator's [`Slab`] the moment the
+/// component emits them (see [`Ctx::send`]), so effects — like queued
+/// events — are small and constant-sized.
+enum Effect {
     Send {
         to: NodeId,
-        msg: M,
+        msg: SlabId,
         extra_delay: u64,
     },
     Wake {
@@ -65,7 +71,7 @@ enum Effect<M> {
     },
     Redeliver {
         from: NodeId,
-        msg: M,
+        msg: SlabId,
         delay: u64,
     },
 }
@@ -80,7 +86,8 @@ pub struct Ctx<'a, M> {
     now: Cycle,
     self_id: NodeId,
     self_name: &'a str,
-    effects: &'a mut Vec<Effect<M>>,
+    effects: &'a mut Vec<Effect>,
+    msgs: &'a mut Slab<M>,
     rng: &'a mut SmallRng,
     progress: &'a mut u64,
     tracer: &'a mut Tracer,
@@ -98,8 +105,11 @@ impl<M> Ctx<'_, M> {
     }
 
     /// Sends `msg` to `to` over the configured link (latency drawn from the
-    /// link's range when the effect is applied).
+    /// link's range when the effect is applied). The payload is parked in
+    /// the simulator's message slab immediately; the effect and the queued
+    /// event carry only its 4-byte handle.
     pub fn send(&mut self, to: NodeId, msg: M) {
+        let msg = self.msgs.insert(msg);
         self.effects.push(Effect::Send {
             to,
             msg,
@@ -111,6 +121,7 @@ impl<M> Ctx<'_, M> {
     /// link latency (used to model lookup/occupancy latency at the sender,
     /// e.g. a memory access before the response leaves the controller).
     pub fn send_after(&mut self, to: NodeId, msg: M, extra_delay: u64) {
+        let msg = self.msgs.insert(msg);
         self.effects.push(Effect::Send {
             to,
             msg,
@@ -128,6 +139,7 @@ impl<M> Ctx<'_, M> {
     /// the original sender. This models a controller stalling/recycling a
     /// message it cannot process in its current state.
     pub fn redeliver(&mut self, from: NodeId, msg: M, delay: u64) {
+        let msg = self.msgs.insert(msg);
         self.effects.push(Effect::Redeliver { from, msg, delay });
     }
 
@@ -228,7 +240,7 @@ impl<M> Ctx<'_, M> {
 /// Builds a [`Simulator`]: register components, configure links, then
 /// [`build`](SimBuilder::build).
 pub struct SimBuilder<M> {
-    components: Vec<Option<Box<dyn Component<M>>>>,
+    components: Vec<Box<dyn Component<M>>>,
     links: HashMap<(NodeId, NodeId), Link>,
     default_link: Link,
     seed: u64,
@@ -282,7 +294,7 @@ impl<M: 'static> SimBuilder<M> {
     /// Registers a component, returning its [`NodeId`].
     pub fn add(&mut self, component: Box<dyn Component<M>>) -> NodeId {
         let id = NodeId(self.components.len() as u32);
-        self.components.push(Some(component));
+        self.components.push(component);
         id
     }
 
@@ -307,34 +319,23 @@ impl<M: 'static> SimBuilder<M> {
     /// Finalizes the builder into a runnable [`Simulator`].
     pub fn build(self) -> Simulator<M> {
         // Names are captured eagerly so the tracer can label events without
-        // touching the (possibly checked-out) component.
+        // borrowing the (possibly checked-out) component.
         let names = self
             .components
             .iter()
-            .map(|c| c.as_ref().map(|c| c.name().to_owned()).unwrap_or_default())
+            .map(|c| c.name().to_owned())
             .collect();
+        let mut links = LinkTable::new(self.components.len(), self.default_link);
+        for ((from, to), link) in self.links {
+            links.configure(from, to, link);
+        }
         Simulator {
             components: self.components,
             names,
-            queue: BinaryHeap::new(),
-            links: self
-                .links
-                .into_iter()
-                .map(|(k, link)| {
-                    (
-                        k,
-                        LinkState {
-                            link,
-                            last_delivery: Cycle::ZERO,
-                            burst: 0,
-                        },
-                    )
-                })
-                .collect(),
-            default_link: self.default_link,
-            default_link_state: HashMap::new(),
+            queue: CalendarQueue::new(),
+            msgs: Slab::new(),
+            links,
             now: Cycle::ZERO,
-            seq: 0,
             rng: SmallRng::seed_from_u64(self.seed),
             progress: 0,
             last_progress_at: Cycle::ZERO,
@@ -347,11 +348,84 @@ impl<M: 'static> SimBuilder<M> {
     }
 }
 
-struct LinkState {
+/// Per-directed-pair link state: the configured link plus the dynamic
+/// fields the router mutates (ordered-delivery FIFO point, reorder-burst
+/// countdown).
+#[derive(Clone, Copy)]
+struct PairState {
     link: Link,
     last_delivery: Cycle,
     /// Remaining messages to fast-track past an open reorder burst.
     burst: u8,
+}
+
+/// Dense `n × n` table of directed link state, indexed by
+/// `from.index() * n + to.index()`.
+///
+/// This replaces the two parallel `HashMap<(NodeId, NodeId), _>` maps the
+/// simulator used to keep (configured links and lazily-materialized
+/// default-link ordering state), which could drift apart: every pair now
+/// has exactly one `PairState`, created by one constructor and cleared by
+/// one reset path. Component counts are small (a simulated system is tens
+/// of controllers), so the quadratic table is a few KiB and a route lookup
+/// is one multiply-add instead of a hash.
+struct LinkTable {
+    n: usize,
+    pairs: Box<[PairState]>,
+    /// Link used when routing between fabricated (unregistered) ids; such
+    /// messages still panic at delivery, as [`NodeId`] documents.
+    default_link: Link,
+}
+
+impl LinkTable {
+    /// A table over `n` registered components, every pair on `default`.
+    fn new(n: usize, default: Link) -> LinkTable {
+        let mut table = LinkTable {
+            n,
+            pairs: vec![
+                PairState {
+                    link: default,
+                    last_delivery: Cycle::ZERO,
+                    burst: 0,
+                };
+                n * n
+            ]
+            .into_boxed_slice(),
+            default_link: default,
+        };
+        table.reset_dynamic();
+        table
+    }
+
+    /// Installs a configured link for `from → to`.
+    fn configure(&mut self, from: NodeId, to: NodeId, link: Link) {
+        let (f, t) = (from.index(), to.index());
+        assert!(
+            f < self.n && t < self.n,
+            "link endpoints must be registered"
+        );
+        self.pairs[f * self.n + t].link = link;
+    }
+
+    /// The single reset path for all dynamic routing state.
+    fn reset_dynamic(&mut self) {
+        for pair in self.pairs.iter_mut() {
+            pair.last_delivery = Cycle::ZERO;
+            pair.burst = 0;
+        }
+    }
+
+    /// Mutable state for `from → to`, or `None` when either id is
+    /// fabricated (out of range).
+    #[inline]
+    fn pair_mut(&mut self, from: NodeId, to: NodeId) -> Option<&mut PairState> {
+        let (f, t) = (from.index(), to.index());
+        if f < self.n && t < self.n {
+            Some(&mut self.pairs[f * self.n + t])
+        } else {
+            None
+        }
+    }
 }
 
 /// Where a routed message ends up: dropped, delivered once, or delivered
@@ -362,23 +436,32 @@ enum Route {
     Two(Cycle, Cycle),
 }
 
+/// Draws a delivery latency from `link`'s range; fixed-latency links
+/// consume no randomness.
+fn draw_latency(rng: &mut SmallRng, link: Link) -> u64 {
+    if link.min_latency() == link.max_latency() {
+        link.min_latency()
+    } else {
+        rng.gen_range(link.min_latency()..=link.max_latency())
+    }
+}
+
 /// A deterministic discrete-event simulator over message type `M`.
 ///
 /// See the [crate docs](crate) for the execution model and an example.
 pub struct Simulator<M> {
-    components: Vec<Option<Box<dyn Component<M>>>>,
+    components: Vec<Box<dyn Component<M>>>,
     names: Vec<String>,
-    queue: BinaryHeap<Event<M>>,
-    links: HashMap<(NodeId, NodeId), LinkState>,
-    default_link: Link,
-    /// Lazily-created ordered-state for pairs using the default link.
-    default_link_state: HashMap<(NodeId, NodeId), Cycle>,
+    queue: CalendarQueue<Pending>,
+    /// In-flight message payloads, referenced by [`SlabId`] from queued
+    /// events and pending effects.
+    msgs: Slab<M>,
+    links: LinkTable,
     now: Cycle,
-    seq: u64,
     rng: SmallRng,
     progress: u64,
     last_progress_at: Cycle,
-    effects: Vec<Effect<M>>,
+    effects: Vec<Effect>,
     tracer: Tracer,
     faults: LinkFaultCounts,
     profiler: Profiler,
@@ -411,16 +494,14 @@ impl<M: Clone + 'static> Simulator<M> {
     pub fn post(&mut self, from: NodeId, to: NodeId, msg: M) {
         match self.route(from, to, 0) {
             Route::Drop => {}
-            Route::One(time) => self.push_event(time, to, EventKind::Deliver { from, msg }),
+            Route::One(time) => {
+                let msg = self.msgs.insert(msg);
+                self.push_event(time, to, EventKind::Deliver { from, msg });
+            }
             Route::Two(t1, t2) => {
-                self.push_event(
-                    t1,
-                    to,
-                    EventKind::Deliver {
-                        from,
-                        msg: msg.clone(),
-                    },
-                );
+                let copy = self.msgs.insert(msg.clone());
+                let msg = self.msgs.insert(msg);
+                self.push_event(t1, to, EventKind::Deliver { from, msg: copy });
                 self.push_event(t2, to, EventKind::Deliver { from, msg });
             }
         }
@@ -449,7 +530,7 @@ impl<M: Clone + 'static> Simulator<M> {
     fn run_inner(&mut self, deadline: Cycle, stall_bound: Option<u64>) -> RunOutcome {
         let mut events = 0u64;
         loop {
-            let Some(head_time) = self.queue.peek().map(|e| e.time) else {
+            let Some(head_time) = self.queue.peek_time() else {
                 return RunOutcome {
                     quiescent: true,
                     stalled: false,
@@ -493,65 +574,88 @@ impl<M: Clone + 'static> Simulator<M> {
     fn step_one(&mut self) {
         // One branch when profiling is off; the profiler is never touched.
         let profiling = self.profiler.enabled();
+        let depth_before = if profiling { self.queue.len() } else { 0 };
+        let (time, ev) = self.queue.pop().expect("step_one called on empty queue");
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
         let mut class: &'static str = "event";
         let mut timer: Option<Instant> = None;
         if profiling {
-            let depth = self.queue.len();
-            if let Some(ev) = self.queue.peek() {
-                self.profiler.note_pop(ev.target.index());
-                class = match &ev.kind {
-                    EventKind::Deliver { msg, .. } => {
-                        self.event_label.map_or("event", |label| label(msg))
-                    }
-                    EventKind::Wake { .. } => "Wake",
-                };
-            }
-            if self.profiler.begin_event(depth) {
+            self.profiler.note_pop(ev.target.index());
+            class = match ev.kind {
+                EventKind::Deliver { msg, .. } => self
+                    .event_label
+                    .map_or("event", |label| label(self.msgs.get(msg))),
+                EventKind::Wake { .. } => "Wake",
+            };
+            if self.profiler.begin_event(depth_before) {
                 timer = Some(Instant::now());
             }
-        }
-        let ev = self.queue.pop().expect("step_one called on empty queue");
-        debug_assert!(ev.time >= self.now, "event queue went backwards");
-        self.now = ev.time;
-        if profiling {
             self.profiler
                 .epoch_tick(self.now.as_u64(), self.progress, self.queue.len());
         }
         let idx = ev.target.index();
-        let mut comp = self.components[idx]
-            .take()
-            .unwrap_or_else(|| panic!("message delivered to unregistered node {}", ev.target));
-
         let progress_before = self.progress;
         {
+            // Destructure so the handler's borrow of its component is
+            // disjoint from the context's borrows of the kernel state — no
+            // per-event move of the component box in and out of the slot.
+            let Simulator {
+                components,
+                names,
+                effects,
+                msgs,
+                rng,
+                progress,
+                tracer,
+                ..
+            } = self;
+            let Some(comp) = components.get_mut(idx) else {
+                panic!("message delivered to unregistered node {}", ev.target)
+            };
+            // A delivery reclaims its payload (and slab slot) before the
+            // handler runs; the handler receives the message by value,
+            // exactly as if it had been carried inline.
+            let payload = match ev.kind {
+                EventKind::Deliver { msg, .. } => Some(msgs.take(msg)),
+                EventKind::Wake { .. } => None,
+            };
             let mut ctx = Ctx {
-                now: self.now,
+                now: time,
                 self_id: ev.target,
-                self_name: &self.names[idx],
-                effects: &mut self.effects,
-                rng: &mut self.rng,
-                progress: &mut self.progress,
-                tracer: &mut self.tracer,
+                self_name: &names[idx],
+                effects,
+                msgs,
+                rng,
+                progress,
+                tracer,
             };
             match ev.kind {
-                EventKind::Deliver { from, msg } => comp.handle(from, msg, &mut ctx),
+                EventKind::Deliver { from, .. } => {
+                    comp.handle(from, payload.expect("deliver has payload"), &mut ctx)
+                }
                 EventKind::Wake { token } => comp.wake(token, &mut ctx),
             }
         }
-        self.components[idx] = Some(comp);
         if self.progress > progress_before {
             self.last_progress_at = self.now;
         }
 
-        let effects = std::mem::take(&mut self.effects);
-        for effect in effects {
+        // Drain into a local so the simulator's buffer (and its capacity)
+        // survives for the next event — no per-event Vec alloc/free.
+        let mut effects = std::mem::take(&mut self.effects);
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send {
                     to,
                     msg,
                     extra_delay,
                 } => match self.route(ev.target, to, extra_delay) {
-                    Route::Drop => {}
+                    Route::Drop => {
+                        // Dropped by fault injection: reclaim the parked
+                        // payload's slot.
+                        drop(self.msgs.take(msg));
+                    }
                     Route::One(time) => self.push_event(
                         time,
                         to,
@@ -561,12 +665,15 @@ impl<M: Clone + 'static> Simulator<M> {
                         },
                     ),
                     Route::Two(t1, t2) => {
+                        // Duplicate delivery: the second copy gets its own
+                        // slab slot.
+                        let copy = self.msgs.insert(self.msgs.get(msg).clone());
                         self.push_event(
                             t1,
                             to,
                             EventKind::Deliver {
                                 from: ev.target,
-                                msg: msg.clone(),
+                                msg: copy,
                             },
                         );
                         self.push_event(
@@ -589,6 +696,11 @@ impl<M: Clone + 'static> Simulator<M> {
                 }
             }
         }
+        debug_assert!(
+            self.effects.is_empty(),
+            "effects produced outside a handler"
+        );
+        self.effects = effects;
         if profiling {
             // The measured window covers the handler plus effect
             // application — the full kernel cost of the event.
@@ -597,107 +709,91 @@ impl<M: Clone + 'static> Simulator<M> {
         }
     }
 
-    fn draw_latency(&mut self, link: Link) -> u64 {
-        if link.min_latency() == link.max_latency() {
-            link.min_latency()
-        } else {
-            self.rng.gen_range(link.min_latency()..=link.max_latency())
-        }
-    }
-
     /// Classifies a message against the link's fault plan and returns its
     /// delivery time(s). The fault path draws RNG only when a non-empty
     /// [`crate::FaultSpec`] is attached, so fault-free simulations consume
     /// exactly the random stream they always did.
     fn route(&mut self, from: NodeId, to: NodeId, extra: u64) -> Route {
-        let key = (from, to);
-        let link = match self.links.get(&key) {
-            Some(state) => state.link,
-            None => self.default_link,
-        };
+        let now = self.now;
+        let Simulator {
+            links, rng, faults, ..
+        } = self;
+        if links.pair_mut(from, to).is_none() {
+            // A fabricated endpoint: route statelessly over the default
+            // link (delivery will panic, as NodeId documents).
+            let latency = draw_latency(rng, links.default_link);
+            return Route::One(now + latency.max(1) + extra);
+        }
+        let state = links.pair_mut(from, to).expect("checked above");
+        let link = state.link;
         let spec = link.faults();
-        let mut latency = self.draw_latency(link);
+        let mut latency = draw_latency(rng, link);
         let mut duplicate = false;
         if !spec.is_none() {
-            // Faults need per-link state (the reorder-burst countdown), so a
-            // default link carrying faults is materialized on first use.
-            let state = self.links.entry(key).or_insert(LinkState {
-                link,
-                last_delivery: Cycle::ZERO,
-                burst: 0,
-            });
             if state.burst > 0 {
                 state.burst -= 1;
                 latency = link.min_latency();
-                self.faults.burst_overtakes += 1;
+                faults.burst_overtakes += 1;
             } else {
-                let roll = self.rng.gen_range(0u32..100);
+                let roll = rng.gen_range(0u32..100);
                 let drop_at = spec.drop_pct as u32;
                 let dup_at = drop_at + spec.dup_pct as u32;
                 let spike_at = dup_at + spec.delay_spike_pct as u32;
                 let reorder_at = spike_at + spec.reorder_pct as u32;
                 if roll < drop_at {
-                    self.faults.dropped += 1;
+                    faults.dropped += 1;
                     return Route::Drop;
                 } else if roll < dup_at {
                     duplicate = true;
-                    self.faults.duplicated += 1;
+                    faults.duplicated += 1;
                 } else if roll < spike_at {
                     latency += spec.spike_cycles;
-                    self.faults.delay_spikes += 1;
+                    faults.delay_spikes += 1;
                 } else if roll < reorder_at {
                     latency = link.max_latency() + spec.spike_cycles;
                     state.burst = spec.burst_len;
-                    self.faults.reorder_bursts += 1;
+                    faults.reorder_bursts += 1;
                 }
             }
         }
-        let mut time = self.now + latency.max(1) + extra;
+        let mut time = now + latency.max(1) + extra;
         if link.is_ordered() {
-            let last = match self.links.get_mut(&key) {
-                Some(state) => &mut state.last_delivery,
-                None => self.default_link_state.entry(key).or_insert(Cycle::ZERO),
-            };
-            if time <= *last {
-                time = *last + 1;
+            if time <= state.last_delivery {
+                time = state.last_delivery + 1;
             }
-            *last = time;
+            state.last_delivery = time;
         }
         if duplicate {
-            let lat2 = self.draw_latency(link);
-            let t2 = self.now + lat2.max(1) + extra;
+            let lat2 = draw_latency(rng, link);
+            let t2 = now + lat2.max(1) + extra;
             Route::Two(time, t2)
         } else {
             Route::One(time)
         }
     }
 
-    fn push_event(&mut self, time: Cycle, target: NodeId, kind: EventKind<M>) {
+    fn push_event(&mut self, time: Cycle, target: NodeId, kind: EventKind) {
         if self.profiler.enabled() {
             self.profiler.note_push(target.index());
         }
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Event {
-            time,
-            seq,
-            target,
-            kind,
-        });
+        self.queue.push(time, Pending { target, kind });
+    }
+
+    /// Scheduler-operation counters (pushes, pops, overflow traffic) for
+    /// the run so far. Deterministic: they depend only on the simulated
+    /// workload, never on the host machine.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     /// Downcasts a registered component to a concrete type for inspection.
     pub fn get<T: 'static>(&self, id: NodeId) -> Option<&T> {
-        self.components[id.index()]
-            .as_ref()
-            .and_then(|c| c.as_any().downcast_ref::<T>())
+        self.components[id.index()].as_any().downcast_ref::<T>()
     }
 
     /// Downcasts a registered component to a concrete type, mutably.
     pub fn get_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
-        self.components[id.index()]
-            .as_mut()
-            .and_then(|c| c.as_any_mut().downcast_mut::<T>())
+        self.components[id.index()].as_any_mut().downcast_mut::<T>()
     }
 
     /// Link faults injected so far (all zero unless some link carries a
@@ -711,7 +807,7 @@ impl<M: Clone + 'static> Simulator<M> {
     /// their report keys unchanged).
     pub fn report(&self) -> Report {
         let mut out = Report::new();
-        for comp in self.components.iter().flatten() {
+        for comp in self.components.iter() {
             comp.report(&mut out);
         }
         if self.faults.total() + self.faults.burst_overtakes > 0 {
@@ -726,7 +822,19 @@ impl<M: Clone + 'static> Simulator<M> {
         }
         // The profile section stays absent (and the report byte-identical
         // to an uninstrumented run's) unless profiling recorded something.
-        for (k, v) in self.profiler.entries(&self.names) {
+        let entries = self.profiler.entries(&self.names);
+        if !entries.is_empty() {
+            // Scheduler-operation counters ride along with the profile:
+            // deterministic (workload-only), but kept out of unprofiled
+            // reports so goldens stay byte-identical.
+            let stats = self.queue.stats();
+            out.profile_set("sched.pushes", stats.pushes);
+            out.profile_set("sched.pops", stats.pops);
+            out.profile_set("sched.overflow", stats.overflow_pushes);
+            out.profile_set("sched.migrated", stats.migrated);
+            out.profile_set("sched.rebases", stats.rebases);
+        }
+        for (k, v) in entries {
             out.profile_set(k, v);
         }
         out

@@ -1,0 +1,261 @@
+//! Property tests for the kernel's hot-path data structures, against
+//! reference oracles.
+//!
+//! * [`CalendarQueue`] is checked against a `BinaryHeap` ordered by
+//!   `(time, seq)` — the exact scheduler the calendar queue replaced. Every
+//!   schedule (random and adversarial) must pop in the identical order,
+//!   including same-cycle FIFO ties, across the wheel/overflow boundary,
+//!   across window wraps, and through rebase-triggering pushes into the
+//!   past.
+//! * [`Slab`] is checked against a `HashMap` model under random alloc/free
+//!   interleavings: every live handle reads back its value, freed slots are
+//!   recycled before the arena grows, and the id sequence is a pure
+//!   function of the alloc/free history.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use xg_sim::queue::WHEEL_SLOTS;
+use xg_sim::{CalendarQueue, Cycle, Slab};
+
+/// Reference scheduler: a binary heap popping ascending `(time, seq)`.
+#[derive(Default)]
+struct OracleQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    seq: u64,
+}
+
+impl OracleQueue {
+    fn push(&mut self, time: u64, item: u32) {
+        self.heap.push(Reverse((time, self.seq, item)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        self.heap.pop().map(|Reverse((t, _, v))| (t, v))
+    }
+}
+
+/// One step of a schedule: push at an absolute time, or pop.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u64),
+    Pop,
+}
+
+/// Runs `ops` through both queues, checking each pop and every peek.
+fn check_schedule(ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut cal = CalendarQueue::new();
+    let mut oracle = OracleQueue::default();
+    let mut item = 0u32;
+    for &op in ops {
+        match op {
+            Op::Push(time) => {
+                cal.push(Cycle::new(time), item);
+                oracle.push(time, item);
+                item += 1;
+            }
+            Op::Pop => {
+                let expect = oracle.pop();
+                let peek = cal.peek_time();
+                let got = cal.pop();
+                prop_assert_eq!(
+                    got.map(|(t, v)| (t.as_u64(), v)),
+                    expect,
+                    "pop order diverged from the (time, seq) oracle"
+                );
+                prop_assert_eq!(
+                    peek,
+                    got.map(|(t, _)| t),
+                    "peek_time disagreed with the following pop"
+                );
+            }
+        }
+        prop_assert_eq!(cal.len(), oracle.heap.len());
+    }
+    // Drain whatever is left: the tails must agree too.
+    while let Some(expect) = oracle.pop() {
+        let got = cal.pop();
+        prop_assert_eq!(got.map(|(t, v)| (t.as_u64(), v)), Some(expect));
+    }
+    prop_assert!(cal.is_empty());
+    prop_assert_eq!(cal.pop(), None);
+    Ok(())
+}
+
+/// Interprets `(kind, raw)` pairs as a monotone-ish schedule the simulator
+/// could produce: pushes land `raw` cycles after the last popped time.
+fn future_schedule(steps: &[(bool, u64)], horizon: u64) -> Vec<Op> {
+    steps
+        .iter()
+        .map(|&(is_pop, raw)| {
+            if is_pop {
+                Op::Pop
+            } else {
+                Op::Push(raw % horizon)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Random schedules over a dense near-future horizon (everything lands
+    /// in the wheel): identical pop order, including same-cycle ties —
+    /// `raw % 64` makes collisions common.
+    #[test]
+    fn dense_schedules_match_oracle(steps in vec((any::<bool>(), 0u64..1 << 16), 1..300)) {
+        check_schedule(&future_schedule(&steps, 64))?;
+    }
+
+    /// Random schedules spanning several window lengths: events split
+    /// between wheel and overflow, and migrate back as the window slides.
+    #[test]
+    fn overflow_schedules_match_oracle(
+        steps in vec((any::<bool>(), 0u64..1 << 32), 1..300),
+    ) {
+        check_schedule(&future_schedule(&steps, WHEEL_SLOTS as u64 * 5))?;
+    }
+
+    /// Fully adversarial schedules: arbitrary absolute times, including
+    /// pushes before the cursor (rebase path) and times that alias the
+    /// same slot across different rotations.
+    #[test]
+    fn adversarial_schedules_match_oracle(
+        steps in vec((any::<bool>(), any::<u64>()), 1..200),
+        times in vec(0u64..WHEEL_SLOTS as u64 * 3, 4..12),
+    ) {
+        let mut ops: Vec<Op> = Vec::new();
+        // A prefix that advances the cursor, so later small times rebase.
+        for &t in &times {
+            ops.push(Op::Push(t));
+        }
+        ops.push(Op::Pop);
+        ops.push(Op::Pop);
+        for &(is_pop, raw) in &steps {
+            if is_pop {
+                ops.push(Op::Pop);
+            } else {
+                // Bias toward slot-aliasing times: the same residue, one
+                // window apart, must never interleave out of order.
+                ops.push(Op::Push(raw % (WHEEL_SLOTS as u64 * 4)));
+            }
+        }
+        check_schedule(&ops)?;
+    }
+
+    /// Same-cycle FIFO ties, concentrated: many pushes to very few distinct
+    /// times, popped in between. Seq order is the whole story here.
+    #[test]
+    fn tie_heavy_schedules_match_oracle(
+        steps in vec((any::<bool>(), 0u64..4), 1..200),
+    ) {
+        check_schedule(&future_schedule(&steps, 4))?;
+    }
+}
+
+/// One step of a slab workload.
+#[derive(Debug, Clone, Copy)]
+enum SlabOp {
+    Insert(u64),
+    /// Free the nth-oldest live handle (modulo the live count).
+    TakeNth(usize),
+}
+
+proptest! {
+    /// The slab against a `HashMap` model: every live id reads back its
+    /// value, take returns it, len/capacity track the model, and the arena
+    /// never grows while a freed slot exists.
+    #[test]
+    fn slab_matches_model(
+        steps in vec(
+            prop_oneof![
+                (any::<u64>()).prop_map(SlabOp::Insert),
+                (0usize..64).prop_map(SlabOp::TakeNth),
+            ],
+            1..300,
+        ),
+    ) {
+        let mut slab = Slab::new();
+        let mut model: HashMap<u64, u64> = HashMap::new(); // raw id -> value
+        let mut live: Vec<(xg_sim::SlabId, u64)> = Vec::new();
+        let mut hwm = 0usize;
+        for step in steps {
+            match step {
+                SlabOp::Insert(v) => {
+                    let before = slab.capacity();
+                    let had_free = slab.capacity() > slab.len();
+                    let id = slab.insert(v);
+                    prop_assert!(
+                        model.insert(id.index() as u64, v).is_none(),
+                        "slab handed out a live id twice"
+                    );
+                    live.push((id, v));
+                    if had_free {
+                        prop_assert_eq!(
+                            slab.capacity(), before,
+                            "arena grew while free slots existed"
+                        );
+                    }
+                }
+                SlabOp::TakeNth(n) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (id, v) = live.remove(n % live.len());
+                    prop_assert_eq!(*slab.get(id), v);
+                    prop_assert_eq!(slab.take(id), v);
+                    prop_assert_eq!(model.remove(&(id.index() as u64)), Some(v));
+                }
+            }
+            hwm = hwm.max(model.len());
+            prop_assert_eq!(slab.len(), model.len());
+            prop_assert!(slab.is_empty() == model.is_empty());
+            for &(id, v) in &live {
+                prop_assert_eq!(*slab.get(id), v);
+            }
+        }
+        prop_assert!(
+            slab.capacity() >= hwm,
+            "arena smaller than the live high-water mark"
+        );
+    }
+
+    /// Slab id assignment is deterministic: replaying the same alloc/free
+    /// history yields the same id sequence.
+    #[test]
+    fn slab_ids_replay_identically(
+        steps in vec(
+            prop_oneof![
+                (any::<u64>()).prop_map(SlabOp::Insert),
+                (0usize..16).prop_map(SlabOp::TakeNth),
+            ],
+            1..100,
+        ),
+    ) {
+        let run = |steps: &[SlabOp]| {
+            let mut slab = Slab::new();
+            let mut live = Vec::new();
+            let mut ids = Vec::new();
+            for &step in steps {
+                match step {
+                    SlabOp::Insert(v) => {
+                        let id = slab.insert(v);
+                        ids.push(id);
+                        live.push(id);
+                    }
+                    SlabOp::TakeNth(n) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let id = live.remove(n % live.len());
+                        slab.take(id);
+                    }
+                }
+            }
+            ids
+        };
+        prop_assert_eq!(run(&steps), run(&steps));
+    }
+}

@@ -59,6 +59,8 @@
 //! pathologically buggy accelerator being contained), and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the paper-reproduction inventory.
 
+#![forbid(unsafe_code)]
+
 pub use xg_accel as accel;
 pub use xg_core as core;
 pub use xg_harness as harness;
