@@ -2,6 +2,7 @@
 
 pub mod e11_prefetch;
 pub mod e12_blast_radius;
+pub mod e13_scaling;
 pub mod e1_stress;
 pub mod e2_campaign;
 pub mod e2_fuzz;

@@ -24,7 +24,9 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use xg_mem::{BlockAddr, DataBlock, PagePerm};
-use xg_proto::{Ctx, HammerKind, Message, OsMsg, XgData, XgError, XgErrorKind, XgiKind, XgiMsg};
+use xg_proto::{
+    Ctx, HammerKind, HomeMap, Message, OsMsg, XgData, XgError, XgErrorKind, XgiKind, XgiMsg,
+};
 use xg_sim::{Component, Cycle, Histogram, NodeId, Report};
 
 use crate::config::{XgConfig, XgVariant};
@@ -131,27 +133,34 @@ pub struct CrossingGuard {
 
 impl CrossingGuard {
     /// Creates a guard for a Hammer-protocol host; `dir` is the host
-    /// directory, `accel` the accelerator-side cache, `os` the OS model.
+    /// directory (a single node or a [`HomeMap`] of address-interleaved
+    /// banks), `accel` the accelerator-side cache, `os` the OS model.
     pub fn new_hammer(
         name: impl Into<String>,
         accel: NodeId,
-        dir: NodeId,
+        dir: impl Into<HomeMap>,
         os: NodeId,
         cfg: XgConfig,
     ) -> Self {
-        Self::new(name, accel, os, Box::new(HammerPersona::new(dir)), cfg)
+        Self::new(
+            name,
+            accel,
+            os,
+            Box::new(HammerPersona::new(dir.into())),
+            cfg,
+        )
     }
 
     /// Creates a guard for an inclusive-MESI host; `l2` is the shared host
-    /// L2.
+    /// L2 (a single node or a [`HomeMap`] of address-interleaved banks).
     pub fn new_mesi(
         name: impl Into<String>,
         accel: NodeId,
-        l2: NodeId,
+        l2: impl Into<HomeMap>,
         os: NodeId,
         cfg: XgConfig,
     ) -> Self {
-        Self::new(name, accel, os, Box::new(MesiPersona::new(l2)), cfg)
+        Self::new(name, accel, os, Box::new(MesiPersona::new(l2.into())), cfg)
     }
 
     fn new(

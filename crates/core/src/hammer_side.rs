@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use xg_fsm::{alphabet, Controller, Machine, Step, Table, TableBuilder};
 use xg_mem::{BlockAddr, DataBlock};
-use xg_proto::{Ctx, HammerKind, HammerMsg};
+use xg_proto::{Ctx, HammerKind, HammerMsg, HomeMap};
 use xg_sim::{Cycle, NodeId, Report};
 
 use crate::persona::{
@@ -164,7 +164,7 @@ pub struct PCx<'a, 'b, 'e> {
 
 /// Crossing Guard's Hammer-protocol half.
 pub(crate) struct HammerPersona {
-    dir: NodeId,
+    dir: HomeMap,
     txns: HashMap<BlockAddr, Txn>,
     demands: HashMap<BlockAddr, DemandCtx>,
     pub(crate) stats: PersonaStats,
@@ -172,7 +172,7 @@ pub(crate) struct HammerPersona {
 }
 
 impl HammerPersona {
-    pub(crate) fn new(dir: NodeId) -> Self {
+    pub(crate) fn new(dir: HomeMap) -> Self {
         HammerPersona {
             dir,
             txns: HashMap::new(),
@@ -255,7 +255,7 @@ impl HammerPersona {
             GetReq::SOnly => HammerKind::GetSOnly,
             GetReq::M => HammerKind::GetM,
         };
-        self.send(self.dir, h, req, ctx);
+        self.send(self.dir.for_block(h), h, req, ctx);
     }
 
     pub(crate) fn issue_put(&mut self, h: BlockAddr, put: PutReq, ctx: &mut Ctx<'_>) {
@@ -275,7 +275,7 @@ impl HammerPersona {
                         started: ctx.now(),
                     },
                 );
-                self.send(self.dir, h, HammerKind::Put, ctx);
+                self.send(self.dir.for_block(h), h, HammerKind::Put, ctx);
             }
         }
     }
@@ -397,7 +397,12 @@ impl HammerPersona {
             }
         };
         let new_owner = matches!(state, GrantState::E | GrantState::M);
-        self.send(self.dir, h, HammerKind::Unblock { new_owner }, ctx);
+        self.send(
+            self.dir.for_block(h),
+            h,
+            HammerKind::Unblock { new_owner },
+            ctx,
+        );
         events.push(PersonaEvent::Granted {
             h,
             state,
@@ -522,7 +527,12 @@ impl<'a, 'b, 'e> Controller<PState, PEvent, PAction, PCx<'a, 'b, 'e>> for Hammer
                     self.stats.violations += 1;
                     return;
                 };
-                self.send(self.dir, h, HammerKind::WbData { data, dirty }, cx.ctx);
+                self.send(
+                    self.dir.for_block(h),
+                    h,
+                    HammerKind::WbData { data, dirty },
+                    cx.ctx,
+                );
                 self.stats
                     .host_rtt
                     .record(cx.ctx.now().saturating_since(started));

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use xg_fsm::{alphabet, Controller, Machine, Step, Table, TableBuilder};
 use xg_mem::{BlockAddr, DataBlock};
-use xg_proto::{Ctx, MesiKind, MesiMsg};
+use xg_proto::{Ctx, HomeMap, MesiKind, MesiMsg};
 use xg_sim::{Cycle, NodeId, Report};
 
 use crate::persona::{
@@ -203,7 +203,7 @@ pub struct PCx<'a, 'b, 'e> {
 
 /// Crossing Guard's MESI-protocol half.
 pub(crate) struct MesiPersona {
-    l2: NodeId,
+    l2: HomeMap,
     txns: HashMap<BlockAddr, Txn>,
     demands: HashMap<BlockAddr, DemandCtx>,
     pub(crate) stats: PersonaStats,
@@ -211,7 +211,7 @@ pub(crate) struct MesiPersona {
 }
 
 impl MesiPersona {
-    pub(crate) fn new(l2: NodeId) -> Self {
+    pub(crate) fn new(l2: HomeMap) -> Self {
         MesiPersona {
             l2,
             txns: HashMap::new(),
@@ -323,7 +323,7 @@ impl MesiPersona {
             GetReq::SOnly => MesiKind::GetSOnly,
             GetReq::M => MesiKind::GetM,
         };
-        self.send(self.l2, h, req, ctx);
+        self.send(self.l2.for_block(h), h, req, ctx);
     }
 
     pub(crate) fn issue_put(&mut self, h: BlockAddr, put: PutReq, ctx: &mut Ctx<'_>) {
@@ -349,7 +349,7 @@ impl MesiPersona {
                 started: ctx.now(),
             },
         );
-        self.send(self.l2, h, req, ctx);
+        self.send(self.l2.for_block(h), h, req, ctx);
     }
 
     pub(crate) fn respond_demand(&mut self, h: BlockAddr, resp: DemandResponse, ctx: &mut Ctx<'_>) {
@@ -370,7 +370,12 @@ impl MesiPersona {
                         // §3.2.2: the accelerator answered an Inv with data.
                         // Forward it to the L2, whose host modification acks
                         // the requestor on our behalf.
-                        self.send(self.l2, h, MesiKind::OwnerWb { data, dirty }, ctx);
+                        self.send(
+                            self.l2.for_block(h),
+                            h,
+                            MesiKind::OwnerWb { data, dirty },
+                            ctx,
+                        );
                     }
                 }
             }
@@ -397,7 +402,12 @@ impl MesiPersona {
                         ctx,
                     );
                 }
-                self.send(self.l2, h, MesiKind::OwnerWb { data, dirty }, ctx);
+                self.send(
+                    self.l2.for_block(h),
+                    h,
+                    MesiKind::OwnerWb { data, dirty },
+                    ctx,
+                );
             }
             DemandKind::Write { to_owner: true } => {
                 let (data, dirty) = match resp {
@@ -427,7 +437,12 @@ impl MesiPersona {
                         (DataBlock::zeroed(), false)
                     }
                 };
-                self.send(self.l2, h, MesiKind::RecallData { data, dirty }, ctx);
+                self.send(
+                    self.l2.for_block(h),
+                    h,
+                    MesiKind::RecallData { data, dirty },
+                    ctx,
+                );
             }
         }
     }
@@ -649,7 +664,12 @@ impl<'a, 'b, 'e> Controller<PState, PEvent, PAction, PCx<'a, 'b, 'e>> for MesiPe
                         cx.ctx,
                     );
                 }
-                self.send(self.l2, h, MesiKind::OwnerWb { data, dirty }, cx.ctx);
+                self.send(
+                    self.l2.for_block(h),
+                    h,
+                    MesiKind::OwnerWb { data, dirty },
+                    cx.ctx,
+                );
                 if let Some(Txn::Put { is_s, .. }) = self.txns.get_mut(&h) {
                     *is_s = true;
                 }
@@ -697,7 +717,12 @@ impl<'a, 'b, 'e> Controller<PState, PEvent, PAction, PCx<'a, 'b, 'e>> for MesiPe
                     return;
                 };
                 let (data, dirty, was_nacked) = (*data, *dirty, *nacked);
-                self.send(self.l2, h, MesiKind::RecallData { data, dirty }, cx.ctx);
+                self.send(
+                    self.l2.for_block(h),
+                    h,
+                    MesiKind::RecallData { data, dirty },
+                    cx.ctx,
+                );
                 if was_nacked {
                     self.finish_put(h, cx.events, cx.ctx);
                 } else if let Some(Txn::Put { invalidated, .. }) = self.txns.get_mut(&h) {

@@ -15,7 +15,9 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 use xg_mem::{BlockAddr, DataBlock};
-use xg_proto::{Ctx, HammerKind, HammerMsg, MesiKind, MesiMsg, Message, XgData, XgiKind, XgiMsg};
+use xg_proto::{
+    Ctx, HammerKind, HammerMsg, HomeMap, MesiKind, MesiMsg, Message, XgData, XgiKind, XgiMsg,
+};
 use xg_sim::{Component, NodeId, Report};
 
 use crate::config::HostProtocol;
@@ -440,26 +442,26 @@ impl Component<Message> for FuzzAccel {
 pub struct FuzzHostCache {
     name: String,
     host: HostProtocol,
-    home: NodeId,
+    home: HomeMap,
     peers: Vec<NodeId>,
     opts: FuzzOpts,
     sent: u64,
 }
 
 impl FuzzHostCache {
-    /// Creates a host-protocol fuzzer: requests go to `home`, responses to
-    /// random `peers`.
+    /// Creates a host-protocol fuzzer: requests go to the owning home
+    /// bank of `home`, responses to random `peers`.
     pub fn new(
         name: impl Into<String>,
         host: HostProtocol,
-        home: NodeId,
+        home: impl Into<HomeMap>,
         peers: Vec<NodeId>,
         opts: FuzzOpts,
     ) -> Self {
         FuzzHostCache {
             name: name.into(),
             host,
-            home,
+            home: home.into(),
             peers,
             opts,
             sent: 0,
@@ -552,7 +554,7 @@ impl Component<Message> for FuzzHostCache {
             HostProtocol::Hammer => {
                 let (kind, at_home) = self.random_hammer(ctx);
                 to = if at_home || self.peers.is_empty() {
-                    self.home
+                    self.home.for_block(block)
                 } else {
                     let i = ctx.rng().gen_range(0..self.peers.len());
                     self.peers[i]
@@ -562,7 +564,7 @@ impl Component<Message> for FuzzHostCache {
             HostProtocol::Mesi => {
                 let (kind, at_home) = self.random_mesi(ctx);
                 to = if at_home || self.peers.is_empty() {
-                    self.home
+                    self.home.for_block(block)
                 } else {
                     let i = ctx.rng().gen_range(0..self.peers.len());
                     self.peers[i]

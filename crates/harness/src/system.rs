@@ -12,8 +12,10 @@ use xg_accel::{AccelL1, AccelL1Config, AccelL2, AccelL2Config};
 use xg_core::{CrossingGuard, Os, OsPolicy, XgConfig};
 use xg_host_hammer::{HammerCache, HammerConfig, HammerDirectory};
 use xg_host_mesi::{MesiL1, MesiL1Config, MesiL2, MesiL2Config};
-use xg_proto::{Message, Sim, SimBuilder};
-use xg_sim::{Component, Link, NodeId};
+use xg_proto::{HomeMap, Message, Sim, SimBuilder};
+use xg_sim::{
+    Component, Link, NodeId, ParSim, ProfileConfig, Report, RunOutcome, TimelineConfig, TraceConfig,
+};
 
 use crate::config::{AccelOrg, AccelSlot, HostProtocol, SystemConfig};
 use crate::fuzz::{FuzzAccel, FuzzHostCache, FuzzOpts};
@@ -63,10 +65,161 @@ pub struct GuardInstance {
     pub core_indices: Vec<usize>,
 }
 
+/// The executable simulation behind a [`BuiltSystem`]: the classic
+/// single-threaded event loop ([`SystemConfig::threads`] `= 0`, the
+/// default) or the sharded conservative-window executor (`threads ≥ 1`).
+///
+/// Both are fully deterministic, but they are **not** byte-compatible with
+/// each other: the parallel path forces per-component RNG streams, so its
+/// reports differ from serial ones. The parallel guarantee is instead
+/// *worker-count invariance* — for a fixed partition (banks, slots,
+/// cores), any `threads ≥ 1` produces the identical run.
+// One ExecSim exists per built system and lives for the whole run, so the
+// size spread between the two executors is irrelevant; boxing would only
+// add an indirection on every delegated call.
+#[allow(clippy::large_enum_variant)]
+pub enum ExecSim {
+    /// The historical single-threaded simulator (byte-identical goldens).
+    Serial(Sim),
+    /// The partitioned parallel executor.
+    Par(ParSim<Message>),
+}
+
+impl ExecSim {
+    /// Queues `msg` from `from` to `to` through the routed fabric.
+    pub fn post(&mut self, from: NodeId, to: NodeId, msg: Message) {
+        match self {
+            ExecSim::Serial(sim) => sim.post(from, to, msg),
+            ExecSim::Par(par) => par.post(from, to, msg),
+        }
+    }
+
+    /// Schedules a wake-up for `target` after `delay` cycles.
+    pub fn post_wake(&mut self, target: NodeId, delay: u64, token: u64) {
+        match self {
+            ExecSim::Serial(sim) => sim.post_wake(target, delay, token),
+            ExecSim::Par(par) => par.post_wake(target, delay, token),
+        }
+    }
+
+    /// Runs until no events remain or `max_cycles` elapse.
+    pub fn run_to_quiescence(&mut self, max_cycles: u64) -> RunOutcome {
+        match self {
+            ExecSim::Serial(sim) => sim.run_to_quiescence(max_cycles),
+            ExecSim::Par(par) => par.run_to_quiescence(max_cycles),
+        }
+    }
+
+    /// Runs with a progress watchdog (see [`Sim::run_with_watchdog`]).
+    pub fn run_with_watchdog(&mut self, max_cycles: u64, stall_bound: u64) -> RunOutcome {
+        match self {
+            ExecSim::Serial(sim) => sim.run_with_watchdog(max_cycles, stall_bound),
+            ExecSim::Par(par) => par.run_with_watchdog(max_cycles, stall_bound),
+        }
+    }
+
+    /// Collects every component's statistics (parallel runs merge their
+    /// shards in shard order; the key space is identical).
+    pub fn report(&self) -> Report {
+        match self {
+            ExecSim::Serial(sim) => sim.report(),
+            ExecSim::Par(par) => par.report(),
+        }
+    }
+
+    /// The post-mortem dump of flagged addresses, if tracing flagged any.
+    pub fn post_mortem(&self) -> Option<String> {
+        match self {
+            ExecSim::Serial(sim) => sim.post_mortem(),
+            ExecSim::Par(par) => par.post_mortem(),
+        }
+    }
+
+    /// The recorded transaction timeline. Parallel runs do not record
+    /// timelines (per-shard timelines would interleave nondeterministically
+    /// in wall-clock), so `Par` always returns `None`.
+    pub fn timeline_json(&self) -> Option<String> {
+        match self {
+            ExecSim::Serial(sim) => sim.timeline_json(),
+            ExecSim::Par(_) => None,
+        }
+    }
+
+    /// Borrows the component at `id` as a concrete type.
+    pub fn get<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        match self {
+            ExecSim::Serial(sim) => sim.get(id),
+            ExecSim::Par(par) => par.get(id),
+        }
+    }
+
+    /// Mutably borrows the component at `id` as a concrete type.
+    pub fn get_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        match self {
+            ExecSim::Serial(sim) => sim.get_mut(id),
+            ExecSim::Par(par) => par.get_mut(id),
+        }
+    }
+
+    /// Applies a trace configuration (every shard, for parallel runs).
+    pub fn set_trace_config(&mut self, config: TraceConfig) {
+        match self {
+            ExecSim::Serial(sim) => sim.tracer_mut().set_config(config),
+            ExecSim::Par(par) => {
+                for shard in par.shards_mut() {
+                    shard.tracer_mut().set_config(config);
+                }
+            }
+        }
+    }
+
+    /// Applies a profile configuration (every shard, for parallel runs).
+    pub fn set_profile_config(&mut self, config: ProfileConfig) {
+        match self {
+            ExecSim::Serial(sim) => sim.profiler_mut().set_config(config),
+            ExecSim::Par(par) => {
+                for shard in par.shards_mut() {
+                    shard.profiler_mut().set_config(config);
+                }
+            }
+        }
+    }
+
+    /// Enables transaction-timeline recording. A no-op for parallel runs
+    /// (see [`timeline_json`](ExecSim::timeline_json)).
+    pub fn enable_timeline(&mut self, config: TimelineConfig) {
+        match self {
+            ExecSim::Serial(sim) => sim.enable_timeline(config),
+            ExecSim::Par(_) => {}
+        }
+    }
+
+    /// Flags `block` in the trace ring for the post-mortem dump (every
+    /// shard, for parallel runs — the dump merges shard sections).
+    pub fn flag_trace(&mut self, now: u64, block: u64, note: String) {
+        match self {
+            ExecSim::Serial(sim) => sim.tracer_mut().flag(now, block, note),
+            ExecSim::Par(par) => {
+                for shard in par.shards_mut() {
+                    shard.tracer_mut().flag(now, block, note.clone());
+                }
+            }
+        }
+    }
+
+    /// The parallel executor, when running partitioned.
+    pub fn as_par_mut(&mut self) -> Option<&mut ParSim<Message>> {
+        match self {
+            ExecSim::Serial(_) => None,
+            ExecSim::Par(par) => Some(par),
+        }
+    }
+}
+
 /// A fully wired system ready to run.
 pub struct BuiltSystem {
-    /// The simulator.
-    pub sim: Sim,
+    /// The simulator (serial or partitioned-parallel; see [`ExecSim`]).
+    pub sim: ExecSim,
     /// CPU core nodes (from the factory).
     pub cpu_cores: Vec<NodeId>,
     /// CPU cache nodes.
@@ -76,8 +229,10 @@ pub struct BuiltSystem {
     pub accel_cores: Vec<NodeId>,
     /// The cache each accelerator core talks to, across every hierarchy.
     pub accel_frontends: Vec<NodeId>,
-    /// Directory (Hammer) or shared L2 (MESI).
-    pub home: NodeId,
+    /// The home bank nodes — directories (Hammer) or shared-L2 slices
+    /// (MESI), in bank order. One entry unless
+    /// [`SystemConfig::home_banks`] `> 1`.
+    pub homes: Vec<NodeId>,
     /// The OS model.
     pub os: NodeId,
     /// The first Crossing Guard, if any configuration slot has one.
@@ -130,6 +285,11 @@ pub fn build_system(
     b.event_label(Message::class);
     let n = cfg.cpu_cores;
     let slots = cfg.accel_slots();
+    // Address-interleaved home banks: ids n..n+m, right after the CPU
+    // caches. Every requester below routes per-block through this map.
+    let m = cfg.home_banks.max(1);
+    let homes: Vec<NodeId> = (0..m).map(|b| NodeId::from_index(n + b)).collect();
+    let home_map = HomeMap::new(homes.clone());
 
     // ---- host caches (ids 0..n) ----
     let hammer_cfg = HammerConfig {
@@ -149,27 +309,26 @@ pub fn build_system(
         let cache: Box<dyn Component<Message>> = match cfg.host {
             HostProtocol::Hammer => Box::new(HammerCache::new(
                 format!("cpu_cache{i}"),
-                NodeId::from_index(n), // home, added next
+                home_map.clone(), // home banks, added next
                 hammer_cfg.clone(),
             )),
             HostProtocol::Mesi => Box::new(MesiL1::new(
                 format!("cpu_cache{i}"),
-                NodeId::from_index(n),
+                home_map.clone(),
                 mesi_l1_cfg.clone(),
             )),
         };
         cpu_caches.push(b.add(cache));
     }
 
-    // ---- layout bookkeeping for nodes added after the home ----
-    let home = NodeId::from_index(n);
-    let os_id = NodeId::from_index(n + 1);
+    // ---- layout bookkeeping for nodes added after the home banks ----
+    let os_id = NodeId::from_index(n + m);
 
     // Plan every hierarchy's node-id block up front so the home's peer
     // list (one host-protocol identity per hierarchy) is known before any
     // accelerator node exists.
-    let mut next_free = n + 2;
-    let mut plans: Vec<(NodeId, AccelInfra)> = Vec::new();
+    let mut next_free = n + m + 1;
+    let mut plans: Vec<(NodeId, AccelInfra, usize)> = Vec::new();
     for slot in &slots {
         let start = next_free;
         let (host_peer, infra, size) = match &slot.org {
@@ -205,34 +364,53 @@ pub fn build_system(
                 (fz, AccelInfra::FuzzHost { fuzzer: fz }, 1)
             }
         };
-        plans.push((host_peer, infra));
+        plans.push((host_peer, infra, size));
         next_free += size;
     }
 
-    // ---- home node ----
+    // ---- home bank nodes ----
+    // Bank 0 keeps the historical name (`dir` / `host_l2`) when it is the
+    // only bank, so single-bank reports stay byte-identical; banked
+    // systems name every slice explicitly. Each bank only ever sees the
+    // blocks that hash to it, so the controllers need no bank awareness —
+    // every bank gets the full peer list.
     match cfg.host {
         HostProtocol::Hammer => {
             let mut peers = cpu_caches.clone();
-            peers.extend(plans.iter().map(|(peer, _)| *peer));
-            let dir = b.add(Box::new(HammerDirectory::new(
-                "dir",
-                peers,
-                cfg.mem_latency,
-            )));
-            assert_eq!(dir, home);
+            peers.extend(plans.iter().map(|(peer, _, _)| *peer));
+            for (bank, &home) in homes.iter().enumerate() {
+                let name = if m == 1 {
+                    "dir".to_string()
+                } else {
+                    format!("dir{bank}")
+                };
+                let dir = b.add(Box::new(HammerDirectory::new(
+                    name,
+                    peers.clone(),
+                    cfg.mem_latency,
+                )));
+                assert_eq!(dir, home);
+            }
         }
         HostProtocol::Mesi => {
-            let l2 = b.add(Box::new(MesiL2::new(
-                "host_l2",
-                MesiL2Config {
-                    sets: cfg.l2_cache.0,
-                    ways: cfg.l2_cache.1,
-                    mem_latency: cfg.mem_latency,
-                    ack_data_interchange: !cfg.strict_host,
-                    ..MesiL2Config::default()
-                },
-            )));
-            assert_eq!(l2, home);
+            for (bank, &home) in homes.iter().enumerate() {
+                let name = if m == 1 {
+                    "host_l2".to_string()
+                } else {
+                    format!("l2b{bank}")
+                };
+                let l2 = b.add(Box::new(MesiL2::new(
+                    name,
+                    MesiL2Config {
+                        sets: cfg.l2_cache.0,
+                        ways: cfg.l2_cache.1,
+                        mem_latency: cfg.mem_latency,
+                        ack_data_interchange: !cfg.strict_host,
+                        ..MesiL2Config::default()
+                    },
+                )));
+                assert_eq!(l2, home);
+            }
         }
     }
 
@@ -260,7 +438,7 @@ pub fn build_system(
     };
 
     let mut instances: Vec<GuardInstance> = Vec::new();
-    for (k, (slot, (host_peer, infra))) in slots.iter().zip(&plans).enumerate() {
+    for (k, (slot, (host_peer, infra, _))) in slots.iter().zip(&plans).enumerate() {
         // Instance 0 keeps the historical names so single-accelerator
         // reports stay byte-identical; later instances get `a{k}_`.
         let prefix = if k == 0 {
@@ -283,7 +461,7 @@ pub fn build_system(
                 let c: Box<dyn Component<Message>> = match cfg.host {
                     HostProtocol::Hammer => Box::new(HammerCache::new(
                         name.clone(),
-                        home,
+                        home_map.clone(),
                         HammerConfig {
                             sets: cfg.accel_cache.0,
                             ways: cfg.accel_cache.1,
@@ -292,7 +470,7 @@ pub fn build_system(
                     )),
                     HostProtocol::Mesi => Box::new(MesiL1::new(
                         name.clone(),
-                        home,
+                        home_map.clone(),
                         MesiL1Config {
                             sets: cfg.accel_cache.0,
                             ways: cfg.accel_cache.1,
@@ -303,24 +481,30 @@ pub fn build_system(
                 let id = b.add(c);
                 assert_eq!(id, *cache);
                 // The accelerator-side cache reaches the host over the chip
-                // crossing.
-                b.link_bidi(
-                    *cache,
-                    home,
-                    Link::unordered(cfg.crossing.0, cfg.crossing.1),
-                );
+                // crossing (one link per home bank).
+                for &home in &homes {
+                    b.link_bidi(
+                        *cache,
+                        home,
+                        Link::unordered(cfg.crossing.0, cfg.crossing.1),
+                    );
+                }
                 inst.label = name;
                 inst.frontends.push(*cache);
             }
             (AccelOrg::HostSide, AccelInfra::HostSide { cache }) => {
                 let name = format!("{prefix}hostside_cache");
                 let c: Box<dyn Component<Message>> = match cfg.host {
-                    HostProtocol::Hammer => {
-                        Box::new(HammerCache::new(name.clone(), home, hammer_cfg.clone()))
-                    }
-                    HostProtocol::Mesi => {
-                        Box::new(MesiL1::new(name.clone(), home, MesiL1Config::default()))
-                    }
+                    HostProtocol::Hammer => Box::new(HammerCache::new(
+                        name.clone(),
+                        home_map.clone(),
+                        hammer_cfg.clone(),
+                    )),
+                    HostProtocol::Mesi => Box::new(MesiL1::new(
+                        name.clone(),
+                        home_map.clone(),
+                        MesiL1Config::default(),
+                    )),
                 };
                 let id = b.add(c);
                 assert_eq!(id, *cache);
@@ -335,14 +519,14 @@ pub fn build_system(
                     HostProtocol::Hammer => Box::new(CrossingGuard::new_hammer(
                         name.clone(),
                         *top,
-                        home,
+                        home_map.clone(),
                         os_id,
                         xg_config(*variant, slot),
                     )),
                     HostProtocol::Mesi => Box::new(CrossingGuard::new_mesi(
                         name.clone(),
                         *top,
-                        home,
+                        home_map.clone(),
                         os_id,
                         xg_config(*variant, slot),
                     )),
@@ -351,7 +535,7 @@ pub fn build_system(
                 assert_eq!(id, *xg);
                 inst.label = name;
                 inst.xg = Some(*xg);
-                link_guard_to_home(&mut b, cfg, *xg, home);
+                link_guard_to_home(&mut b, cfg, *xg, &homes);
                 b.link_bidi(*xg, *top, Link::ordered(cfg.crossing.0, cfg.crossing.1));
                 if *two_level {
                     let l2 = b.add(Box::new(AccelL2::new(
@@ -391,14 +575,14 @@ pub fn build_system(
                     HostProtocol::Hammer => Box::new(CrossingGuard::new_hammer(
                         name.clone(),
                         *fuzzer,
-                        home,
+                        home_map.clone(),
                         os_id,
                         xg_config(*variant, slot),
                     )),
                     HostProtocol::Mesi => Box::new(CrossingGuard::new_mesi(
                         name.clone(),
                         *fuzzer,
-                        home,
+                        home_map.clone(),
                         os_id,
                         xg_config(*variant, slot),
                     )),
@@ -407,7 +591,7 @@ pub fn build_system(
                 assert_eq!(id, *xg);
                 inst.label = name;
                 inst.xg = Some(*xg);
-                link_guard_to_home(&mut b, cfg, *xg, home);
+                link_guard_to_home(&mut b, cfg, *xg, &homes);
                 let opts = fuzz.clone().expect("FuzzXg needs FuzzOpts");
                 let fz = b.add(Box::new(FuzzAccel::new(
                     format!("{prefix}fuzz_accel"),
@@ -428,20 +612,22 @@ pub fn build_system(
                         .iter()
                         .enumerate()
                         .filter(|&(j, _)| j != k)
-                        .map(|(_, (peer, _))| *peer),
+                        .map(|(_, (peer, _, _))| *peer),
                 );
                 let name = format!("{prefix}fuzz_host");
                 let fz = b.add(Box::new(FuzzHostCache::new(
                     name.clone(),
                     cfg.host,
-                    home,
+                    home_map.clone(),
                     peers,
                     opts,
                 )));
                 assert_eq!(fz, *fuzzer);
                 inst.label = name;
                 inst.fuzzer = Some(fz);
-                b.link_bidi(fz, home, Link::unordered(cfg.crossing.0, cfg.crossing.1));
+                for &home in &homes {
+                    b.link_bidi(fz, home, Link::unordered(cfg.crossing.0, cfg.crossing.1));
+                }
             }
             _ => unreachable!("accel org / infra mismatch"),
         }
@@ -481,8 +667,34 @@ pub fn build_system(
 
     b.default_link(Link::unordered(cfg.host_link.0, cfg.host_link.1));
 
+    // ---- shard plan, mirroring the id layout above ----
+    // Bank b → shard b; the OS rides with bank 0; accelerator slot k's
+    // whole node block (guard, caches, fuzzer, cores) → shard m+k; CPU
+    // core/cache pair i → shard m+num_slots+i. Every 1-cycle core↔cache
+    // and intra-hierarchy link stays shard-local, so the conservative
+    // window δ is set by the (slower) cross-fabric links.
+    let num_slots = slots.len();
+    let cpu_shard = |i: usize| (m + num_slots + i) as u32;
+    let mut shard_plan: Vec<u32> = Vec::new();
+    shard_plan.extend((0..n).map(cpu_shard)); // CPU caches
+    shard_plan.extend((0..m).map(|bank| bank as u32)); // home banks
+    shard_plan.push(0); // OS
+    for (k, (_, _, size)) in plans.iter().enumerate() {
+        shard_plan.extend(std::iter::repeat_n((m + k) as u32, *size));
+    }
+    shard_plan.extend((0..n).map(cpu_shard)); // CPU cores
+    for (k, inst) in instances.iter().enumerate() {
+        shard_plan.extend(std::iter::repeat_n((m + k) as u32, inst.cores.len()));
+    }
+
+    let sim = if cfg.threads == 0 {
+        ExecSim::Serial(b.build())
+    } else {
+        ExecSim::Par(ParSim::new(b, shard_plan, cfg.threads))
+    };
+
     BuiltSystem {
-        sim: b.build(),
+        sim,
         cpu_cores,
         cpu_caches,
         accel_cores,
@@ -490,7 +702,7 @@ pub fn build_system(
             .iter()
             .flat_map(|inst| inst.frontends.iter().copied())
             .collect(),
-        home,
+        homes,
         os,
         xg: instances.iter().find_map(|inst| inst.xg),
         fuzzer: instances.iter().find_map(|inst| inst.fuzzer),
@@ -498,17 +710,19 @@ pub fn build_system(
     }
 }
 
-/// Wires the guard ↔ home pair. Without faults the pair simply rides the
-/// default (unordered host-network) link, exactly as before; with a fault
-/// plan configured, both directions get an explicit unordered link carrying
-/// the plan. The guard ↔ accelerator side stays ordered and fault-free
-/// either way (§2.1).
-fn link_guard_to_home(b: &mut SimBuilder, cfg: &SystemConfig, xg: NodeId, home: NodeId) {
+/// Wires the guard ↔ home-bank pairs. Without faults the pairs simply ride
+/// the default (unordered host-network) link, exactly as before; with a
+/// fault plan configured, both directions of every pair get an explicit
+/// unordered link carrying the plan. The guard ↔ accelerator side stays
+/// ordered and fault-free either way (§2.1).
+fn link_guard_to_home(b: &mut SimBuilder, cfg: &SystemConfig, xg: NodeId, homes: &[NodeId]) {
     if cfg.host_faults.is_none() {
         return;
     }
     let link = Link::unordered(cfg.host_link.0, cfg.host_link.1).with_faults(cfg.host_faults);
-    b.link_bidi(xg, home, link);
+    for &home in homes {
+        b.link_bidi(xg, home, link);
+    }
 }
 
 /// Internal: node layout per accelerator organization.

@@ -16,8 +16,12 @@ fn stress_opts(ops: u64) -> StressOpts {
 
 #[test]
 fn stress_all_twelve_configurations() {
+    // `XG_BANKS` / `XG_THREADS` let CI re-run this clean-stress gate on a
+    // banked and/or partitioned execution shape; the assertions below are
+    // behavioral (no byte-compare), so any shape must pass them.
     for cfg in SystemConfig::matrix(7) {
-        let name = cfg.name();
+        let cfg = cfg.apply_env_overrides();
+        let name = cfg.exec_name();
         let out = run_stress(&cfg, &stress_opts(600));
         assert!(
             !out.deadlocked,
@@ -81,7 +85,8 @@ fn stress_many_seeds_on_guarded_configs() {
                 accel_cores: if two_level { 2 } else { 1 },
                 seed,
                 ..SystemConfig::default()
-            };
+            }
+            .apply_env_overrides();
             let out = run_stress(&cfg, &stress_opts(500));
             assert!(!out.deadlocked, "{} seed {seed}", cfg.name());
             assert_eq!(

@@ -1,0 +1,170 @@
+//! Sharded/parallel execution equivalence tests.
+//!
+//! The parallel executor's contract is *worker-count invariance*: for a
+//! fixed partition (home banks × accelerator slots × CPU pairs), a run
+//! with any `threads ≥ 1` must be byte-identical — same report JSON, same
+//! cycle count, same completed operations — to the `threads = 1` oracle.
+//! These tests pin that contract across the evaluation matrix, and check
+//! that banked-home systems stay clean on the untouched serial path too.
+
+use proptest::prelude::*;
+use xg_core::XgVariant;
+use xg_harness::{
+    run_stress_with, AccelOrg, HostProtocol, Instrumentation, StressOpts, SystemConfig,
+};
+
+fn opts(ops: u64) -> StressOpts {
+    StressOpts {
+        ops,
+        ..StressOpts::default()
+    }
+}
+
+/// Runs the stress test and returns the comparable fingerprint of the run:
+/// cycles, completed operations, data errors, and the full report JSON.
+fn fingerprint(cfg: &SystemConfig, ops: u64) -> (u64, u64, u64, String) {
+    let out = run_stress_with(cfg, &opts(ops), &Instrumentation::off());
+    assert!(!out.deadlocked, "{}: deadlocked", cfg.exec_name());
+    assert_eq!(
+        out.data_errors,
+        0,
+        "{}: data errors: {:?}",
+        cfg.exec_name(),
+        out.error_log
+    );
+    (
+        out.cycles,
+        out.completed,
+        out.data_errors,
+        out.report.to_json(),
+    )
+}
+
+#[test]
+fn worker_count_never_changes_a_partitioned_run() {
+    // Four corners of the matrix, each with banked homes, compared at
+    // several worker counts against the single-worker oracle.
+    let corners = [
+        (HostProtocol::Hammer, AccelOrg::AccelSide, 2, 1),
+        (
+            HostProtocol::Hammer,
+            AccelOrg::Xg {
+                variant: XgVariant::FullState,
+                two_level: false,
+            },
+            3,
+            2,
+        ),
+        (
+            HostProtocol::Mesi,
+            AccelOrg::Xg {
+                variant: XgVariant::Transactional,
+                two_level: true,
+            },
+            2,
+            1,
+        ),
+        (HostProtocol::Mesi, AccelOrg::HostSide, 4, 2),
+    ];
+    for (host, accel, banks, num_accels) in corners {
+        let two_level = matches!(
+            accel,
+            AccelOrg::Xg {
+                two_level: true,
+                ..
+            }
+        );
+        let mk = |threads: usize| SystemConfig {
+            host,
+            accel: accel.clone(),
+            num_accels,
+            accel_cores: if two_level { 2 } else { 1 },
+            home_banks: banks,
+            threads,
+            seed: 0xBEEF,
+            ..SystemConfig::default()
+        };
+        let oracle = fingerprint(&mk(1), 300);
+        for threads in [2, 4] {
+            let got = fingerprint(&mk(threads), 300);
+            assert_eq!(
+                got,
+                oracle,
+                "{}: threads={threads} diverged from the single-worker oracle",
+                mk(threads).exec_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn banked_homes_stay_clean_on_the_serial_path() {
+    // home_banks > 1 with threads = 0: the legacy event loop drives a
+    // banked system. Nothing to compare against — just the §4.1 gates.
+    for (host, banks) in [(HostProtocol::Hammer, 2), (HostProtocol::Mesi, 3)] {
+        let cfg = SystemConfig {
+            host,
+            home_banks: banks,
+            seed: 77,
+            ..SystemConfig::default()
+        };
+        let out = run_stress_with(&cfg, &opts(400), &Instrumentation::off());
+        assert!(!out.deadlocked, "{}", cfg.exec_name());
+        assert_eq!(
+            out.data_errors,
+            0,
+            "{}: {:?}",
+            cfg.exec_name(),
+            out.error_log
+        );
+        assert_eq!(out.report.sum_suffix(".protocol_violation"), 0);
+        assert_eq!(out.report.get("os.errors_total"), 0);
+    }
+}
+
+#[test]
+fn parallel_profiled_report_carries_partition_counters() {
+    let cfg = SystemConfig {
+        home_banks: 2,
+        threads: 2,
+        seed: 3,
+        ..SystemConfig::default()
+    };
+    let out = run_stress_with(&cfg, &opts(200), &Instrumentation::profiled());
+    assert!(!out.deadlocked);
+    // 2 banks + 1 accel slot + 2 CPU pairs = 5 shards.
+    assert_eq!(out.report.profile_get("par.shards"), 5);
+    assert!(out.report.profile_get("par.delta") >= 1);
+    assert!(out.report.profile_get("par.windows") > 0);
+    assert!(
+        out.report.profile_get("par.xshard.sent") > 0,
+        "a stress run must cross shards"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6 })]
+
+    /// The full (banks × threads × host × accel count) product, sampled:
+    /// any partitioned run equals its single-worker oracle byte for byte.
+    #[test]
+    fn any_partition_is_worker_count_invariant(
+        banks in 1usize..=4,
+        threads in 2usize..=4,
+        mesi in any::<bool>(),
+        num_accels in 1usize..=2,
+        seed in 0u64..1_000,
+    ) {
+        let mk = |threads: usize| SystemConfig {
+            host: if mesi { HostProtocol::Mesi } else { HostProtocol::Hammer },
+            num_accels,
+            home_banks: banks,
+            threads,
+            seed,
+            ..SystemConfig::default()
+        };
+        let oracle = fingerprint(&mk(1), 150);
+        let got = fingerprint(&mk(threads), 150);
+        prop_assert_eq!(got, oracle);
+    }
+}

@@ -36,7 +36,7 @@
 use std::collections::HashMap;
 
 use xg_mem::{BlockAddr, DataBlock, Mshr, Replacement, SetAssocCache};
-use xg_proto::{CoreKind, CoreMsg, Ctx, HammerKind, HammerMsg, Message};
+use xg_proto::{CoreKind, CoreMsg, Ctx, HammerKind, HammerMsg, HomeMap, Message};
 use xg_sim::{Component, CoverageSet, Cycle, Histogram, NodeId, Report};
 
 /// Configuration for a [`HammerCache`].
@@ -204,7 +204,7 @@ struct Stats {
 /// the host side of the chip, as the *host-side cache* of configuration (b).
 pub struct HammerCache {
     name: String,
-    dir: NodeId,
+    dir: HomeMap,
     cfg: HammerConfig,
     cache: SetAssocCache<Line>,
     mshr: Mshr<Txn>,
@@ -215,11 +215,12 @@ pub struct HammerCache {
 }
 
 impl HammerCache {
-    /// Creates a cache that sends its protocol requests to directory `dir`.
-    pub fn new(name: impl Into<String>, dir: NodeId, cfg: HammerConfig) -> Self {
+    /// Creates a cache that sends its protocol requests to directory `dir`
+    /// (a single node, or a [`HomeMap`] of address-interleaved banks).
+    pub fn new(name: impl Into<String>, dir: impl Into<HomeMap>, cfg: HammerConfig) -> Self {
         HammerCache {
             name: name.into(),
-            dir,
+            dir: dir.into(),
             cache: SetAssocCache::new(cfg.sets, cfg.ways, cfg.replacement, cfg.seed),
             mshr: Mshr::new(cfg.mshr_entries),
             txn_started: HashMap::new(),
@@ -405,7 +406,7 @@ impl HammerCache {
             GetKind::SOnly => HammerKind::GetSOnly,
             GetKind::M => HammerKind::GetM,
         };
-        ctx.send(self.dir, HammerMsg::new(addr, req).into());
+        ctx.send(self.dir.for_block(addr), HammerMsg::new(addr, req).into());
     }
 
     // ----- network-side ---------------------------------------------------
@@ -519,7 +520,7 @@ impl HammerCache {
                     }) => {
                         self.stats.writebacks += 1;
                         ctx.send(
-                            self.dir,
+                            self.dir.for_block(addr),
                             HammerMsg::new(addr, HammerKind::WbData { data, dirty }).into(),
                         );
                         self.drain_waiting(waiting, ctx);
@@ -763,7 +764,7 @@ impl HammerCache {
         let new_owner = state.is_owner();
         self.install_line(addr, Line { state, dirty, data }, ctx);
         ctx.send(
-            self.dir,
+            self.dir.for_block(addr),
             HammerMsg::new(addr, HammerKind::Unblock { new_owner }).into(),
         );
         ctx.note_progress();
@@ -798,7 +799,10 @@ impl HammerCache {
                 if self.mshr.alloc(addr, txn).is_ok() {
                     self.txn_started.insert(addr, ctx.now());
                     self.stats.mshr_occupancy.record(self.mshr.len() as u64);
-                    ctx.send(self.dir, HammerMsg::new(addr, HammerKind::Put).into());
+                    ctx.send(
+                        self.dir.for_block(addr),
+                        HammerMsg::new(addr, HammerKind::Put).into(),
+                    );
                 } else {
                     // No MSHR for the victim: reinstall it and evict nothing.
                     // The fill below will replace a different way next time.

@@ -32,7 +32,7 @@
 use std::collections::HashMap;
 
 use xg_mem::{BlockAddr, DataBlock, Mshr, Replacement, SetAssocCache};
-use xg_proto::{CoreKind, CoreMsg, Ctx, MesiKind, MesiMsg, Message};
+use xg_proto::{CoreKind, CoreMsg, Ctx, HomeMap, MesiKind, MesiMsg, Message};
 use xg_sim::{Component, CoverageSet, Cycle, Histogram, NodeId, Report};
 
 /// Configuration for a [`MesiL1`].
@@ -182,7 +182,7 @@ struct Stats {
 /// A private MESI L1 cache serving one core.
 pub struct MesiL1 {
     name: String,
-    l2: NodeId,
+    l2: HomeMap,
     cfg: MesiL1Config,
     cache: SetAssocCache<Line>,
     mshr: Mshr<Txn>,
@@ -193,11 +193,12 @@ pub struct MesiL1 {
 }
 
 impl MesiL1 {
-    /// Creates an L1 that sends its requests to the shared L2 at `l2`.
-    pub fn new(name: impl Into<String>, l2: NodeId, cfg: MesiL1Config) -> Self {
+    /// Creates an L1 that sends its requests to the shared L2 at `l2` (a
+    /// single node, or a [`HomeMap`] of address-interleaved banks).
+    pub fn new(name: impl Into<String>, l2: impl Into<HomeMap>, cfg: MesiL1Config) -> Self {
         MesiL1 {
             name: name.into(),
-            l2,
+            l2: l2.into(),
             cache: SetAssocCache::new(cfg.sets, cfg.ways, cfg.replacement, cfg.seed),
             mshr: Mshr::new(cfg.mshr_entries),
             txn_started: HashMap::new(),
@@ -386,7 +387,7 @@ impl MesiL1 {
             GetKind::S => MesiKind::GetS,
             GetKind::M => MesiKind::GetM,
         };
-        ctx.send(self.l2, MesiMsg::new(addr, req).into());
+        ctx.send(self.l2.for_block(addr), MesiMsg::new(addr, req).into());
     }
 
     // ----- network side ----------------------------------------------------
@@ -615,7 +616,7 @@ impl MesiL1 {
                         .into(),
                     );
                     ctx.send(
-                        self.l2,
+                        self.l2.for_block(addr),
                         MesiMsg::new(addr, MesiKind::OwnerWb { data, dirty }).into(),
                     );
                     let line = self.cache.get_mut(addr).expect("present");
@@ -639,7 +640,7 @@ impl MesiL1 {
                 }
                 Deferred::Recall => {
                     ctx.send(
-                        self.l2,
+                        self.l2.for_block(addr),
                         MesiMsg::new(addr, MesiKind::RecallData { data, dirty }).into(),
                     );
                     self.cache.remove(addr);
@@ -682,7 +683,7 @@ impl MesiL1 {
                             .into(),
                         );
                         ctx.send(
-                            self.l2,
+                            self.l2.for_block(addr),
                             MesiMsg::new(addr, MesiKind::OwnerWb { data, dirty }).into(),
                         );
                         if let Some(Txn::Wb { kind, .. }) = self.mshr.get_mut(addr) {
@@ -707,7 +708,7 @@ impl MesiL1 {
                     }
                     Deferred::Recall => {
                         ctx.send(
-                            self.l2,
+                            self.l2.for_block(addr),
                             MesiMsg::new(addr, MesiKind::RecallData { data, dirty }).into(),
                         );
                         *invalidated = true;
@@ -725,7 +726,7 @@ impl MesiL1 {
                 self.violation("owner demand without a copy");
                 if let Deferred::Recall = demand {
                     ctx.send(
-                        self.l2,
+                        self.l2.for_block(addr),
                         MesiMsg::new(
                             addr,
                             MesiKind::RecallData {
@@ -834,7 +835,7 @@ impl MesiL1 {
         if self.mshr.alloc(addr, txn).is_ok() {
             self.txn_started.insert(addr, ctx.now());
             self.stats.mshr_occupancy.record(self.mshr.len() as u64);
-            ctx.send(self.l2, MesiMsg::new(addr, req).into());
+            ctx.send(self.l2.for_block(addr), MesiMsg::new(addr, req).into());
         } else {
             self.stats.mshr_stalls += 1;
             self.cache.insert(addr, line);

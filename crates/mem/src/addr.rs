@@ -93,6 +93,30 @@ impl BlockAddr {
         assert!(blocks > 0, "alignment of zero blocks");
         BlockAddr(self.0 - self.0 % blocks)
     }
+
+    /// The home bank owning this block under `banks`-way address
+    /// interleaving.
+    ///
+    /// The hash XOR-folds the high halves of the block index down before
+    /// taking the modulus, so striding access patterns (page-aligned pools,
+    /// power-of-two footprints) still spread across banks while consecutive
+    /// blocks stay round-robin interleaved. With one bank every block maps
+    /// to bank 0, which is what keeps single-bank systems byte-identical to
+    /// the pre-banking layout.
+    ///
+    /// # Panics
+    /// Panics if `banks` is zero.
+    pub fn bank(self, banks: usize) -> usize {
+        assert!(banks > 0, "zero home banks");
+        if banks == 1 {
+            return 0;
+        }
+        let mut x = self.0;
+        x ^= x >> 32;
+        x ^= x >> 16;
+        x ^= x >> 8;
+        (x % banks as u64) as usize
+    }
 }
 
 impl fmt::Display for BlockAddr {
@@ -164,5 +188,45 @@ mod tests {
     #[should_panic(expected = "alignment of zero")]
     fn zero_alignment_panics() {
         let _ = BlockAddr::new(1).align_down(0);
+    }
+
+    #[test]
+    fn single_bank_maps_everything_to_zero() {
+        for i in [0u64, 1, 255, 0x4000, u64::MAX] {
+            assert_eq!(BlockAddr::new(i).bank(1), 0);
+        }
+    }
+
+    #[test]
+    fn banks_interleave_and_cover() {
+        for banks in 2..=8usize {
+            let mut seen = vec![false; banks];
+            for i in 0..64u64 {
+                let b = BlockAddr::new(i).bank(banks);
+                assert!(b < banks, "bank {b} out of range for {banks}");
+                seen[b] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "all {banks} banks reachable");
+            // Consecutive small block indices stay round-robin interleaved.
+            assert_ne!(BlockAddr::new(0).bank(banks), BlockAddr::new(1).bank(banks));
+        }
+    }
+
+    #[test]
+    fn bank_hash_folds_high_bits() {
+        // Two blocks differing only in bits above the low byte still land
+        // on different banks for some pair — the fold keeps page-strided
+        // pools from aliasing onto one bank.
+        let banks = 4;
+        let hits: std::collections::BTreeSet<usize> = (0..16u64)
+            .map(|i| BlockAddr::new(i << 8).bank(banks))
+            .collect();
+        assert!(hits.len() > 1, "high-bit strides all aliased: {hits:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero home banks")]
+    fn zero_banks_panics() {
+        let _ = BlockAddr::new(1).bank(0);
     }
 }

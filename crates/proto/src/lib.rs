@@ -30,6 +30,64 @@ pub use messages::{
     XgiMsg,
 };
 
+/// The set of home-node banks a client routes coherence requests over.
+///
+/// With sharded home nodes (`SystemConfig::home_banks > 1`) the single
+/// Hammer directory / MESI L2 becomes M address-interleaved banks, and
+/// every component that used to hold one `home: NodeId` holds a `HomeMap`
+/// instead: [`for_block`](HomeMap::for_block) picks the owning bank by the
+/// XOR-fold hash in `xg_mem::BlockAddr::bank`, so requestor and responder
+/// always agree on which bank homes a block. A single-bank map routes every
+/// block to its one node, which keeps the M=1 system identical to the
+/// pre-banking layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HomeMap {
+    banks: Vec<xg_sim::NodeId>,
+}
+
+impl HomeMap {
+    /// Creates a map over the given bank nodes, in bank order.
+    ///
+    /// # Panics
+    /// Panics if `banks` is empty.
+    pub fn new(banks: Vec<xg_sim::NodeId>) -> Self {
+        assert!(!banks.is_empty(), "home map needs at least one bank");
+        HomeMap { banks }
+    }
+
+    /// Number of banks.
+    pub fn len(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Whether the map is empty (never true for a constructed map).
+    pub fn is_empty(&self) -> bool {
+        self.banks.is_empty()
+    }
+
+    /// The bank nodes in bank order.
+    pub fn nodes(&self) -> &[xg_sim::NodeId] {
+        &self.banks
+    }
+
+    /// The home bank owning `block`.
+    pub fn for_block(&self, block: xg_mem::BlockAddr) -> xg_sim::NodeId {
+        self.banks[block.bank(self.banks.len())]
+    }
+
+    /// Whether `node` is one of the banks (i.e. "did this come from home?").
+    pub fn contains(&self, node: xg_sim::NodeId) -> bool {
+        self.banks.contains(&node)
+    }
+}
+
+impl From<xg_sim::NodeId> for HomeMap {
+    /// A single-bank map — the pre-banking "one home node" shape.
+    fn from(home: xg_sim::NodeId) -> Self {
+        HomeMap { banks: vec![home] }
+    }
+}
+
 /// Simulator specialized to the system message type.
 pub type Sim = xg_sim::Simulator<Message>;
 /// Simulation builder specialized to the system message type.

@@ -1,0 +1,703 @@
+//! Conservative-window parallel execution of a single simulation.
+//!
+//! [`ParSim`] partitions one logical simulation into shards (see
+//! [`crate::SimBuilder`]'s shard map) and executes them on a pool of
+//! persistent worker threads. Time advances in *windows*: if every
+//! cross-shard link needs at least `delta` cycles to deliver, then all
+//! events in `[T, T + delta)` are causally independent across shards and
+//! can run concurrently. Cross-shard messages produced during a window are
+//! captured in per-shard outboxes and exchanged at a barrier, sorted by
+//! `(arrival time, source shard, source sequence)` — a total order that
+//! depends only on the partition, never on the worker count or thread
+//! scheduling. Together with per-component RNG streams (forced on for
+//! shards) this makes a `ParSim` run bit-identical at any worker count:
+//! `workers = W` is the same simulation as `workers = 1`, just faster.
+//!
+//! What parallel mode does *not* promise is equality with the legacy
+//! serial [`crate::Simulator`]: the single global RNG stream of a serial
+//! run has no partition-independent equivalent, so the two modes are
+//! distinct (both deterministic) executions of the same system.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::component::NodeId;
+use crate::report::Report;
+use crate::simulator::{Outbound, RunOutcome, SimBuilder, Simulator};
+use crate::time::Cycle;
+
+/// A sense-reversing spin barrier for a fixed set of participants.
+///
+/// Workers spin briefly and then yield, so an idle pool does not burn a
+/// full core per thread while the coordinator exchanges messages.
+struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks until all `n` participants arrive. Each participant passes
+    /// its own `sense` flag, flipped on every crossing.
+    fn wait(&self, sense: &mut usize) {
+        let next = 1 - *sense;
+        *sense = next;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(next, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != next {
+                spins = spins.wrapping_add(1);
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// A parallel executor over one partitioned simulation.
+///
+/// Construct with [`ParSim::new`] from a fully-configured
+/// [`SimBuilder`] plus a shard map; drive it with
+/// [`run_with_watchdog`](ParSim::run_with_watchdog) /
+/// [`run_to_quiescence`](ParSim::run_to_quiescence); collect results with
+/// [`report`](ParSim::report), which merges the per-shard reports in shard
+/// order (components are disjoint across shards, so the merge is a union).
+pub struct ParSim<M> {
+    shards: Vec<Simulator<M>>,
+    shard_map: std::sync::Arc<[u32]>,
+    workers: usize,
+    delta: u64,
+    now: Cycle,
+    last_progress_at: Cycle,
+    windows: u64,
+    xshard_sent: u64,
+    shard_events: Vec<u64>,
+    shard_xshard: Vec<u64>,
+    barrier_wait_ns: u64,
+    hooks: Vec<Box<dyn FnMut() + Send>>,
+}
+
+impl<M: Clone + Send + 'static> ParSim<M> {
+    /// Partitions `builder` according to `shard_map` (component index →
+    /// shard id) and prepares a pool of `workers` threads (clamped to at
+    /// least 1; extra workers beyond the shard count are not spawned).
+    ///
+    /// Shard assignment must keep tightly-coupled components together: the
+    /// window width is the smallest min-latency over cross-shard pairs, so
+    /// putting a latency-1 link across shards serializes the run into
+    /// 1-cycle windows (correct, but slow).
+    pub fn new(builder: SimBuilder<M>, shard_map: Vec<u32>, workers: usize) -> Self {
+        let (shards, shard_map, delta) = builder.build_shards(&shard_map);
+        let n_shards = shards.len();
+        ParSim {
+            shards,
+            shard_map,
+            workers: workers.max(1),
+            delta,
+            now: Cycle::ZERO,
+            last_progress_at: Cycle::ZERO,
+            windows: 0,
+            xshard_sent: 0,
+            shard_events: vec![0; n_shards],
+            shard_xshard: vec![0; n_shards],
+            barrier_wait_ns: 0,
+            hooks: Vec::new(),
+        }
+    }
+
+    /// Number of shards in the partition.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative window width in cycles.
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// Configured worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Latest simulated time reached by any shard.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Total forward progress reported across all shards.
+    pub fn progress(&self) -> u64 {
+        self.shards.iter().map(Simulator::progress).sum()
+    }
+
+    /// Windows executed so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Cross-shard messages exchanged so far.
+    pub fn cross_shard_sent(&self) -> u64 {
+        self.xshard_sent
+    }
+
+    /// Read access to the per-shard simulators (diagnostics, tracers).
+    pub fn shards(&self) -> &[Simulator<M>] {
+        &self.shards
+    }
+
+    /// Mutable access to the per-shard simulators, for applying
+    /// instrumentation (trace/profile config, timelines) to every shard.
+    pub fn shards_mut(&mut self) -> impl Iterator<Item = &mut Simulator<M>> {
+        self.shards.iter_mut()
+    }
+
+    /// Registers a hook that runs on the coordinator at every window
+    /// barrier (and once before the run finishes). Used by harnesses to
+    /// publish cross-shard state — e.g. a shared "done" flag — at a
+    /// deterministic point instead of mid-window.
+    pub fn add_barrier_hook(&mut self, hook: Box<dyn FnMut() + Send>) {
+        self.hooks.push(hook);
+    }
+
+    /// The shard owning component `id` (fabricated ids map to shard 0).
+    fn shard_of(&self, id: NodeId) -> usize {
+        self.shard_map.get(id.index()).copied().unwrap_or(0) as usize
+    }
+
+    /// Injects a message as if `from` had sent it to `to`; routed and
+    /// enqueued on `to`'s shard (the latency draw charges that shard's
+    /// copy of the sender's stream, which is deterministic for a fixed
+    /// partition).
+    pub fn post(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let dst = self.shard_of(to);
+        self.shards[dst].post(from, to, msg);
+    }
+
+    /// Schedules a wake-up for `target` on its owning shard.
+    pub fn post_wake(&mut self, target: NodeId, delay: u64, token: u64) {
+        let dst = self.shard_of(target);
+        self.shards[dst].post_wake(target, delay, token);
+    }
+
+    /// Downcasts a registered component for inspection.
+    pub fn get<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.shards[self.shard_of(id)].get(id)
+    }
+
+    /// Downcasts a registered component, mutably.
+    pub fn get_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        let shard = self.shard_of(id);
+        self.shards[shard].get_mut(id)
+    }
+
+    /// Runs until every shard drains or `max_cycles` elapse.
+    pub fn run_to_quiescence(&mut self, max_cycles: u64) -> RunOutcome {
+        self.run(max_cycles, None)
+    }
+
+    /// Runs with a progress watchdog, mirroring
+    /// [`Simulator::run_with_watchdog`] at window granularity: the run
+    /// stops (stalled) when the global event horizon gets more than
+    /// `stall_bound` cycles past the last window in which any component
+    /// reported progress.
+    pub fn run_with_watchdog(&mut self, max_cycles: u64, stall_bound: u64) -> RunOutcome {
+        self.run(max_cycles, Some(stall_bound))
+    }
+
+    fn run(&mut self, max_cycles: u64, stall_bound: Option<u64>) -> RunOutcome {
+        let deadline = self.now + max_cycles;
+        let n_shards = self.shards.len();
+        let workers = self.workers.min(n_shards).max(1);
+        let delta = self.delta;
+        let profiling = self.shards.iter().any(|s| s.profiler().enabled());
+
+        let barrier = SpinBarrier::new(workers);
+        // Window end published by the coordinator; `u64::MAX` means stop.
+        let window_end = AtomicU64::new(0);
+        let events: Vec<AtomicU64> = (0..n_shards).map(|_| AtomicU64::new(0)).collect();
+        let wait_ns = AtomicU64::new(0);
+
+        let mut shards = std::mem::take(&mut self.shards);
+        let cells: Vec<Mutex<&mut Simulator<M>>> = shards.iter_mut().map(Mutex::new).collect();
+
+        let mut outcome = std::thread::scope(|scope| {
+            for w in 1..workers {
+                let cells = &cells;
+                let barrier = &barrier;
+                let window_end = &window_end;
+                let events = &events;
+                let wait_ns = &wait_ns;
+                scope.spawn(move || {
+                    let mut sense = 0usize;
+                    loop {
+                        let t0 = profiling.then(Instant::now);
+                        barrier.wait(&mut sense);
+                        if let Some(t0) = t0 {
+                            wait_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
+                        let end = window_end.load(Ordering::Acquire);
+                        if end == u64::MAX {
+                            break;
+                        }
+                        let end = Cycle::new(end);
+                        for s in (w..cells.len()).step_by(workers) {
+                            let mut shard = cells[s].lock().expect("shard lock poisoned");
+                            let n = shard.run_window(end);
+                            events[s].fetch_add(n, Ordering::Relaxed);
+                        }
+                        let t1 = profiling.then(Instant::now);
+                        barrier.wait(&mut sense);
+                        if let Some(t1) = t1 {
+                            wait_ns.fetch_add(t1.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+
+            // The coordinator doubles as worker 0. Between barrier 2 and
+            // the next barrier 1 the spawned workers are parked, so the
+            // coordinator has the shards to itself (the locks never
+            // contend; they exist to move `&mut Simulator` across the
+            // thread boundary safely).
+            let mut sense = 0usize;
+            loop {
+                let head = cells
+                    .iter()
+                    .filter_map(|c| c.lock().expect("shard lock poisoned").peek_time())
+                    .min();
+                let stop = |outcome: RunOutcome| {
+                    window_end.store(u64::MAX, Ordering::Release);
+                    outcome
+                };
+                let Some(head) = head else {
+                    let out = stop(RunOutcome {
+                        quiescent: true,
+                        stalled: false,
+                        now: self.now,
+                        events: 0,
+                    });
+                    barrier.wait(&mut sense);
+                    break out;
+                };
+                if head > deadline {
+                    let out = stop(RunOutcome {
+                        quiescent: false,
+                        stalled: false,
+                        now: deadline,
+                        events: 0,
+                    });
+                    barrier.wait(&mut sense);
+                    break out;
+                }
+                if let Some(bound) = stall_bound {
+                    if head.saturating_since(self.last_progress_at) > bound {
+                        let out = stop(RunOutcome {
+                            quiescent: false,
+                            stalled: true,
+                            now: self.now,
+                            events: 0,
+                        });
+                        barrier.wait(&mut sense);
+                        break out;
+                    }
+                }
+                // Events at the deadline itself still run, matching the
+                // serial kernel's `head_time > deadline` cut.
+                let end = (head + delta).min(deadline + 1);
+                let progress_before: u64 = cells
+                    .iter()
+                    .map(|c| c.lock().expect("shard lock poisoned").progress())
+                    .sum();
+                window_end.store(end.as_u64(), Ordering::Release);
+                barrier.wait(&mut sense);
+                for s in (0..cells.len()).step_by(workers) {
+                    let mut shard = cells[s].lock().expect("shard lock poisoned");
+                    let n = shard.run_window(end);
+                    events[s].fetch_add(n, Ordering::Relaxed);
+                }
+                barrier.wait(&mut sense);
+                // Exclusive again: exchange cross-shard messages, run
+                // barrier hooks, account progress.
+                exchange(
+                    &cells,
+                    &self.shard_map,
+                    &mut self.xshard_sent,
+                    &mut self.shard_xshard,
+                );
+                self.windows += 1;
+                for hook in &mut self.hooks {
+                    hook();
+                }
+                self.now = cells
+                    .iter()
+                    .map(|c| c.lock().expect("shard lock poisoned").now())
+                    .max()
+                    .unwrap_or(self.now);
+                let progress_after: u64 = cells
+                    .iter()
+                    .map(|c| c.lock().expect("shard lock poisoned").progress())
+                    .sum();
+                if progress_after > progress_before {
+                    self.last_progress_at = self.now;
+                }
+            }
+        });
+        drop(cells);
+        self.shards = shards;
+        for hook in &mut self.hooks {
+            hook();
+        }
+        let mut total = 0;
+        for (s, e) in events.iter().enumerate() {
+            let e = e.load(Ordering::Relaxed);
+            self.shard_events[s] += e;
+            total += e;
+        }
+        outcome.events = total;
+        self.barrier_wait_ns += wait_ns.load(Ordering::Relaxed);
+        outcome
+    }
+
+    /// Merges the per-shard reports in shard order. Components are
+    /// disjoint across shards, so scalar keys union cleanly; `sim.*` and
+    /// `sched.*` counters sum. When profiling is enabled, `par.*` counters
+    /// describing the partition ride along (all deterministic except
+    /// `par.barrier_wait_ns`, which is host wall-clock).
+    pub fn report(&self) -> Report {
+        let shard_reports: Vec<Report> = self.shards.iter().map(Simulator::report).collect();
+        let mut out = Report::merge_shards(&shard_reports);
+        if self.shards.iter().any(|s| s.profiler().enabled()) {
+            out.profile_set("par.shards", self.shards.len() as u64);
+            out.profile_set("par.delta", self.delta);
+            out.profile_set("par.windows", self.windows);
+            out.profile_set("par.xshard.sent", self.xshard_sent);
+            for (s, (&ev, &xs)) in self.shard_events.iter().zip(&self.shard_xshard).enumerate() {
+                out.profile_set(format!("par.shard{s}.events"), ev);
+                out.profile_set(format!("par.shard{s}.xshard.sent"), xs);
+            }
+            out.profile_set("par.barrier_wait_ns", self.barrier_wait_ns);
+        }
+        out
+    }
+
+    /// Concatenated post-mortem dumps from every shard that has flagged
+    /// addresses, or `None` when nothing was flagged anywhere.
+    pub fn post_mortem(&self) -> Option<String> {
+        let parts: Vec<String> = self
+            .shards
+            .iter()
+            .filter_map(Simulator::post_mortem)
+            .collect();
+        if parts.is_empty() {
+            None
+        } else {
+            Some(parts.join("\n"))
+        }
+    }
+}
+
+/// Drains every shard's outbox and re-enqueues the messages on their
+/// owning shards in `(arrival time, source shard, source sequence)` order
+/// — a total order independent of worker count.
+fn exchange<M: Clone + 'static>(
+    cells: &[Mutex<&mut Simulator<M>>],
+    shard_map: &[u32],
+    xshard_sent: &mut u64,
+    shard_xshard: &mut [u64],
+) {
+    let mut inbound: Vec<(u32, u32, Outbound<M>)> = Vec::new();
+    for (s, cell) in cells.iter().enumerate() {
+        let mut shard = cell.lock().expect("shard lock poisoned");
+        for (seq, out) in shard.take_outbox().into_iter().enumerate() {
+            inbound.push((s as u32, seq as u32, out));
+        }
+    }
+    inbound.sort_by_key(|a| (a.2.time, a.0, a.1));
+    for (src, _seq, out) in inbound {
+        *xshard_sent += 1;
+        shard_xshard[src as usize] += 1;
+        let dst = shard_map[out.to.index()] as usize;
+        cells[dst]
+            .lock()
+            .expect("shard lock poisoned")
+            .push_inbound(out.time, out.from, out.to, out.msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+    use crate::link::Link;
+    use crate::simulator::Ctx;
+    use rand::Rng;
+
+    /// Records every delivery (time, from, payload).
+    struct Recorder {
+        name: &'static str,
+        seen: Vec<(u64, u64)>,
+    }
+    impl Component<u64> for Recorder {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn handle(&mut self, _from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+            self.seen.push((ctx.now().as_u64(), msg));
+            ctx.note_progress();
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Sends `count` tagged randomized payloads to `peer` when poked.
+    struct Source {
+        name: &'static str,
+        peer: NodeId,
+        count: u64,
+        tag: u64,
+    }
+    impl Component<u64> for Source {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn handle(&mut self, _from: NodeId, _msg: u64, ctx: &mut Ctx<'_, u64>) {
+            self.burst(ctx);
+        }
+        fn wake(&mut self, _token: u64, ctx: &mut Ctx<'_, u64>) {
+            self.burst(ctx);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+    impl Source {
+        fn burst(&mut self, ctx: &mut Ctx<'_, u64>) {
+            for i in 0..self.count {
+                let jitter: u64 = ctx.rng().gen_range(0..8);
+                ctx.send(self.peer, self.tag * 1_000_000 + i * 100 + jitter);
+            }
+        }
+    }
+
+    /// Two sources on their own shards feeding one recorder shard.
+    fn fan_in_builder(seed: u64) -> (SimBuilder<u64>, Vec<u32>, NodeId, [NodeId; 2]) {
+        let mut b = SimBuilder::new(seed);
+        let rec = b.add(Box::new(Recorder {
+            name: "rec",
+            seen: Vec::new(),
+        }));
+        let s0 = b.add(Box::new(Source {
+            name: "src0",
+            peer: rec,
+            count: 24,
+            tag: 1,
+        }));
+        let s1 = b.add(Box::new(Source {
+            name: "src1",
+            peer: rec,
+            count: 24,
+            tag: 2,
+        }));
+        b.link(s0, rec, Link::unordered(3, 9));
+        b.link(s1, rec, Link::unordered(3, 9));
+        b.default_link(Link::unordered(3, 9));
+        (b, vec![0, 1, 2], rec, [s0, s1])
+    }
+
+    fn run_fan_in(seed: u64, workers: usize) -> (Vec<(u64, u64)>, RunOutcome, String) {
+        let (b, map, rec, sources) = fan_in_builder(seed);
+        let mut par = ParSim::new(b, map, workers);
+        for src in sources {
+            par.post_wake(src, 1, 0);
+        }
+        let out = par.run_with_watchdog(100_000, 10_000);
+        let seen = par.get::<Recorder>(rec).unwrap().seen.clone();
+        (seen, out, par.report().to_json())
+    }
+
+    #[test]
+    fn delta_is_min_cross_shard_latency() {
+        let (b, map, _, _) = fan_in_builder(1);
+        let par = ParSim::new(b, map, 1);
+        assert_eq!(par.delta(), 3);
+        assert_eq!(par.shard_count(), 3);
+    }
+
+    #[test]
+    fn single_shard_map_keeps_delta_at_one() {
+        let mut b = SimBuilder::new(1);
+        b.add(Box::new(Recorder {
+            name: "only",
+            seen: Vec::new(),
+        }));
+        let par = ParSim::new(b, vec![0], 4);
+        assert_eq!(par.shard_count(), 1);
+        assert_eq!(par.delta(), 1);
+    }
+
+    #[test]
+    fn fan_in_runs_to_quiescence_and_counts_cross_shard_traffic() {
+        let (seen, out, _) = run_fan_in(7, 1);
+        assert!(out.quiescent);
+        assert!(!out.stalled);
+        assert_eq!(seen.len(), 48, "every cross-shard message arrives");
+        // 48 deliveries + 2 wakes.
+        assert_eq!(out.events, 50);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_run() {
+        let base = run_fan_in(42, 1);
+        for workers in [2, 3, 8] {
+            let other = run_fan_in(42, workers);
+            assert_eq!(base.0, other.0, "deliveries differ at workers={workers}");
+            assert_eq!(base.1, other.1, "outcome differs at workers={workers}");
+            assert_eq!(base.2, other.2, "report differs at workers={workers}");
+        }
+    }
+
+    #[test]
+    fn cross_shard_messages_respect_link_latency() {
+        let (seen, _, _) = run_fan_in(3, 2);
+        // Sources wake at cycle 1; min link latency is 3.
+        assert!(seen.iter().all(|&(t, _)| t >= 4), "{seen:?}");
+    }
+
+    #[test]
+    fn deadline_cuts_the_run_exactly_like_serial() {
+        let (b, map, _rec, [s0, _]) = fan_in_builder(5);
+        let mut par = ParSim::new(b, map, 2);
+        par.post_wake(s0, 5_000, 0);
+        let out = par.run_to_quiescence(100);
+        assert!(!out.quiescent);
+        assert!(!out.stalled);
+        assert_eq!(out.now, Cycle::ZERO + 100);
+        let out = par.run_to_quiescence(100_000);
+        assert!(out.quiescent);
+    }
+
+    #[test]
+    fn watchdog_detects_cross_shard_livelock() {
+        /// Ping-pongs every delivery back without progress.
+        struct Pong {
+            name: &'static str,
+        }
+        impl Component<u64> for Pong {
+            fn name(&self) -> &str {
+                self.name
+            }
+            fn handle(&mut self, from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+                ctx.send(from, msg);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut b = SimBuilder::new(9);
+        let a = b.add(Box::new(Pong { name: "pa" }));
+        let c = b.add(Box::new(Pong { name: "pc" }));
+        b.link_bidi(a, c, Link::unordered(2, 5));
+        let mut par = ParSim::new(b, vec![0, 1], 2);
+        par.post(a, c, 1);
+        let out = par.run_with_watchdog(1_000_000, 500);
+        assert!(out.stalled);
+        assert!(!out.quiescent);
+    }
+
+    #[test]
+    fn barrier_hooks_fire_each_window() {
+        use std::sync::atomic::AtomicU64 as Counter;
+        use std::sync::Arc;
+        let (b, map, _, [s0, s1]) = fan_in_builder(11);
+        let mut par = ParSim::new(b, map, 1);
+        let fired = Arc::new(Counter::new(0));
+        let probe = Arc::clone(&fired);
+        par.add_barrier_hook(Box::new(move || {
+            probe.fetch_add(1, Ordering::Relaxed);
+        }));
+        par.post_wake(s0, 1, 0);
+        par.post_wake(s1, 1, 0);
+        assert!(par.run_to_quiescence(100_000).quiescent);
+        // One firing per window plus the end-of-run flush.
+        assert_eq!(fired.load(Ordering::Relaxed), par.windows() + 1);
+    }
+
+    #[test]
+    fn exchange_orders_by_time_then_shard_then_sequence() {
+        // Model test (thread-free): the exchange sort must order equal-time
+        // messages by source shard, then by per-shard sequence.
+        let mut items = [
+            (1u32, 0u32, 10u64),
+            (0, 1, 10),
+            (0, 0, 10),
+            (2, 0, 9),
+            (1, 1, 10),
+        ];
+        items.sort_by_key(|a| (a.2, a.0, a.1));
+        assert_eq!(
+            items,
+            [(2, 0, 9), (0, 0, 10), (0, 1, 10), (1, 0, 10), (1, 1, 10)]
+        );
+    }
+
+    #[test]
+    fn report_merges_disjoint_components_and_hides_par_keys_unprofiled() {
+        let (_, _, json) = run_fan_in(13, 2);
+        assert!(
+            !json.contains("par."),
+            "unprofiled report stays pure: {json}"
+        );
+    }
+
+    #[test]
+    fn profiled_report_carries_partition_counters() {
+        let (b, map, _, [s0, s1]) = fan_in_builder(21);
+        let mut par = ParSim::new(b, map, 2);
+        for shard in par.shards_mut() {
+            shard
+                .profiler_mut()
+                .set_config(xg_prof::ProfileConfig::on());
+        }
+        par.post_wake(s0, 1, 0);
+        par.post_wake(s1, 1, 0);
+        assert!(par.run_to_quiescence(100_000).quiescent);
+        let report = par.report();
+        assert_eq!(report.profile_get("par.shards"), 3);
+        assert_eq!(report.profile_get("par.delta"), 3);
+        assert_eq!(report.profile_get("par.windows"), par.windows());
+        assert_eq!(report.profile_get("par.xshard.sent"), 48);
+        assert_eq!(
+            report.profile_get("par.shard1.xshard.sent")
+                + report.profile_get("par.shard2.xshard.sent"),
+            48
+        );
+        let events: u64 = (0..3)
+            .map(|s| report.profile_get(&format!("par.shard{s}.events")))
+            .sum();
+        assert_eq!(events, 50);
+    }
+}
